@@ -1,0 +1,403 @@
+// Package adcnn's repository-level benchmarks regenerate every table and
+// figure of the paper's evaluation (run with `go test -bench=. -benchmem`).
+// Each benchmark reports the paper's headline quantity as a custom metric
+// so the shape comparison is visible in the bench output:
+//
+//	BenchmarkFigure11   ... speedup-vs-single=6.6 speedup-vs-cloud=2.6
+//
+// Ablation benchmarks at the bottom cover the design choices DESIGN.md
+// calls out (pipelining, EWMA decay, allocation policy, halo reuse,
+// quantization width).
+package adcnn
+
+import (
+	"testing"
+	"time"
+
+	"adcnn/internal/baseline"
+	"adcnn/internal/cluster"
+	"adcnn/internal/core"
+	"adcnn/internal/experiments"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+	"adcnn/internal/sched"
+	"adcnn/internal/tensor"
+)
+
+// ---- Paper artifacts ----------------------------------------------------
+
+// BenchmarkFigure3 regenerates the per-layer-block workload profile.
+func BenchmarkFigure3(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3()
+		share = r.EarlyShare("VGG16", 4)
+	}
+	b.ReportMetric(share, "vgg16-first4-share")
+}
+
+// BenchmarkFigure10 runs the (quick) accuracy experiment: original
+// training plus full progressive retraining for one partition.
+func BenchmarkFigure10(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAccuracy(experiments.QuickAccuracySetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		drop = row.OrigMetric - row.FinalMetric
+	}
+	b.ReportMetric(drop, "accuracy-drop")
+}
+
+// BenchmarkTable1 measures the retraining cost (epochs per stage).
+func BenchmarkTable1(b *testing.B) {
+	var epochs float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAccuracy(experiments.QuickAccuracySetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs = float64(res.Rows[0].TotalEpochs())
+	}
+	b.ReportMetric(epochs, "total-epochs")
+}
+
+// BenchmarkTable2 measures the Conv-node output compression ratio.
+func BenchmarkTable2(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAccuracy(experiments.QuickAccuracySetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Rows[0].CompressionRatio
+	}
+	b.ReportMetric(ratio, "compressed/raw")
+}
+
+// BenchmarkFigure11 compares ADCNN with single-device and remote-cloud.
+func BenchmarkFigure11(b *testing.B) {
+	var vsSingle, vsCloud float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(20, experiments.DefaultSimOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsSingle, vsCloud = r.MeanSpeedups()
+	}
+	b.ReportMetric(vsSingle, "speedup-vs-single")
+	b.ReportMetric(vsCloud, "speedup-vs-cloud")
+}
+
+// BenchmarkTable3 regenerates the VGG16 latency breakdown.
+func BenchmarkTable3(b *testing.B) {
+	var adcnnMs float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(experiments.DefaultSimOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		adcnnMs = float64(r.Rows[0].Total()) / float64(time.Millisecond)
+	}
+	b.ReportMetric(adcnnMs, "adcnn-vgg16-ms")
+}
+
+// BenchmarkFigure12 measures the pruning effect at two link rates.
+func BenchmarkFigure12(b *testing.B) {
+	var fast, slow float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, slow = r.MeanReduction(87.72), r.MeanReduction(12.66)
+	}
+	b.ReportMetric(fast, "saving%@87.72")
+	b.ReportMetric(slow, "saving%@12.66")
+}
+
+// BenchmarkFigure13 sweeps the cluster size.
+func BenchmarkFigure13(b *testing.B) {
+	var s8 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure13(10, experiments.DefaultSimOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s8 = r.Rows[len(r.Rows)-1].Speedup
+	}
+	b.ReportMetric(s8, "speedup@8nodes")
+}
+
+// BenchmarkFigure14 compares ADCNN with Neurosurgeon and AOFL.
+func BenchmarkFigure14(b *testing.B) {
+	var vsNS, vsAOFL float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure14(20, experiments.DefaultSimOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsNS, vsAOFL = r.MeanFactors()
+	}
+	b.ReportMetric(vsNS, "vs-neurosurgeon")
+	b.ReportMetric(vsAOFL, "vs-aofl")
+}
+
+// BenchmarkFigure15 runs the dynamic-adaptation scenario.
+func BenchmarkFigure15(b *testing.B) {
+	var recovery float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure15(50, experiments.DefaultSimOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovery = (r.PeakMs - r.SettledMs) / (r.PeakMs - r.BeforeMs)
+	}
+	b.ReportMetric(recovery, "latency-recovery-frac")
+}
+
+// ---- Ablations (DESIGN.md Section 5) -------------------------------------
+
+func newVGGSim(b *testing.B, mutate func(*core.SimConfig)) *core.Sim {
+	b.Helper()
+	cfg := core.SimConfig{
+		Model:      models.VGG16().Systemized(),
+		Grid:       fdsp.Grid{Rows: 8, Cols: 8},
+		Nodes:      cluster.NewPiCluster(8),
+		Central:    cluster.NewDevice(0, perfmodel.RaspberryPi()),
+		Link:       perfmodel.WiFi(),
+		Pruning:    true,
+		PruneRatio: 0.032,
+		Gamma:      0.9,
+		Pipeline:   true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := core.NewSim(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func meanLatencyMs(s *core.Sim, n int) float64 {
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.RunImage().Latency
+	}
+	return float64(sum) / float64(n) / float64(time.Millisecond)
+}
+
+// BenchmarkAblationPipelining quantifies the compute/transfer overlap.
+func BenchmarkAblationPipelining(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = meanLatencyMs(newVGGSim(b, func(c *core.SimConfig) {
+			c.InputBytesPerValue = 4
+		}), 10)
+		without = meanLatencyMs(newVGGSim(b, func(c *core.SimConfig) {
+			c.InputBytesPerValue = 4
+			c.Pipeline = false
+		}), 10)
+	}
+	b.ReportMetric(with, "pipelined-ms")
+	b.ReportMetric(without, "sequential-ms")
+}
+
+// BenchmarkAblationGamma sweeps Algorithm 2's decay and reports how many
+// images adaptation needs after a mid-run degradation.
+func BenchmarkAblationGamma(b *testing.B) {
+	adaptImages := func(gamma float64) float64 {
+		s := newVGGSim(b, func(c *core.SimConfig) { c.Gamma = gamma })
+		events := []cluster.ThrottleEvent{
+			{Image: 5, DeviceID: 5, Fraction: 0.45},
+			{Image: 5, DeviceID: 6, Fraction: 0.45},
+		}
+		results := s.RunImages(40, events)
+		settled := results[39].Latency
+		for i := 6; i < 40; i++ {
+			if results[i].Latency <= settled*11/10 {
+				return float64(i - 5)
+			}
+		}
+		return 35
+	}
+	var fast, slow float64
+	for i := 0; i < b.N; i++ {
+		fast = adaptImages(0.9) // paper's setting
+		slow = adaptImages(0.1)
+	}
+	b.ReportMetric(fast, "images-to-adapt(γ=0.9)")
+	b.ReportMetric(slow, "images-to-adapt(γ=0.1)")
+}
+
+// BenchmarkAblationAllocator compares Algorithm 3 against round-robin
+// under heterogeneity.
+func BenchmarkAblationAllocator(b *testing.B) {
+	speeds := []float64{12, 12, 12, 12, 5, 5, 3, 3}
+	var greedy, rr float64
+	for i := 0; i < b.N; i++ {
+		a, err := sched.Allocate(64, speeds, 0, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy = a.Bottleneck(speeds)
+		roundRobin := make(sched.Allocation, len(speeds))
+		for t := 0; t < 64; t++ {
+			roundRobin[t%len(speeds)]++
+		}
+		rr = roundRobin.Bottleneck(speeds)
+	}
+	b.ReportMetric(greedy, "greedy-bottleneck")
+	b.ReportMetric(rr, "roundrobin-bottleneck")
+}
+
+// BenchmarkAblationHaloReuse shows why AOFL needs the multi-round reuse
+// scheduling: naive halo extension explodes the compute overhead.
+func BenchmarkAblationHaloReuse(b *testing.B) {
+	cfg := models.VGG16()
+	grid := experiments.AOFLGrid(cfg.Name, 8)
+	var withReuse, naive float64
+	for i := 0; i < b.N; i++ {
+		withReuse = float64(baseline.AOFLWithReuse(cfg, grid, 8,
+			perfmodel.RaspberryPi(), perfmodel.WiFi(), baseline.DefaultHaloReuse).Total().Milliseconds())
+		naive = float64(baseline.AOFLWithReuse(cfg, grid, 8,
+			perfmodel.RaspberryPi(), perfmodel.WiFi(), 0).Total().Milliseconds())
+	}
+	b.ReportMetric(withReuse, "aofl-reuse-ms")
+	b.ReportMetric(naive, "aofl-naive-ms")
+}
+
+// BenchmarkAblationQuantBits sweeps the quantization width's effect on
+// the simulated wire volume (latency at 12.66 Mbps).
+func BenchmarkAblationQuantBits(b *testing.B) {
+	ratioFor := map[int]float64{2: 0.016, 4: 0.032, 8: 0.064, 16: 0.128}
+	out := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for bits, ratio := range ratioFor {
+			s := newVGGSim(b, func(c *core.SimConfig) {
+				c.Link = perfmodel.WiFiSlow()
+				c.PruneRatio = ratio
+			})
+			out[bits] = meanLatencyMs(s, 5)
+		}
+	}
+	b.ReportMetric(out[4], "ms@4bit")
+	b.ReportMetric(out[16], "ms@16bit")
+}
+
+// BenchmarkAblationProgressive compares Algorithm 1 against one-shot
+// retraining (all modifications applied at once, same total epoch
+// budget) — the paper reports one-shot stalls 4-5% below the original.
+func BenchmarkAblationProgressive(b *testing.B) {
+	var prog, oneShot float64
+	for i := 0; i < b.N; i++ {
+		setup := experiments.QuickAccuracySetup()
+		p, o, err := experiments.ProgressiveVsOneShot(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, oneShot = p, o
+	}
+	b.ReportMetric(prog, "progressive-metric")
+	b.ReportMetric(oneShot, "oneshot-metric")
+}
+
+// BenchmarkFailureResilience measures graceful degradation: the metric
+// retained when 1 of 4 tiles is zero-filled (extension experiment).
+func BenchmarkFailureResilience(b *testing.B) {
+	var retained float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FailureSweep(experiments.QuickAccuracySetup(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained = res.Points[1].Metric / res.Points[0].Metric
+	}
+	b.ReportMetric(retained, "metric-retained@1tile")
+}
+
+// BenchmarkStreamThroughput measures pipelined images/second for VGG16.
+func BenchmarkStreamThroughput(b *testing.B) {
+	var ips float64
+	for i := 0; i < b.N; i++ {
+		s := newVGGSim(b, nil)
+		ips = s.RunStream(50, nil).Throughput
+	}
+	b.ReportMetric(ips, "images/sec")
+}
+
+// BenchmarkHaloExchangeTraffic measures the naive spatial partition's
+// halo bytes on a real model (Section 3.1's overhead, which FDSP
+// eliminates).
+func BenchmarkHaloExchangeTraffic(b *testing.B) {
+	m, err := models.Build(models.VGGSim(), models.Options{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks, err := m.ExchangeBlocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := testInput()
+	var haloKB float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := fdsp.RunWithExchange(blocks, x, fdsp.Grid{Rows: 4, Cols: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		haloKB = float64(st.HaloBytes) / 1024
+	}
+	b.ReportMetric(haloKB, "halo-KB/image")
+}
+
+// BenchmarkSimThroughput measures the virtual-time simulator itself.
+func BenchmarkSimThroughput(b *testing.B) {
+	s := newVGGSim(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunImage()
+	}
+}
+
+// BenchmarkDistributedInference measures the live in-process runtime on
+// the sim-scale VGG model (real tensors over the wire).
+func BenchmarkDistributedInference(b *testing.B) {
+	m, err := models.Build(models.VGGSim(), models.Options{
+		Grid: fdsp.Grid{Rows: 4, Cols: 4}, ClipLo: 0.05, ClipHi: 2.5, QuantBits: 4,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conns := make([]core.Conn, 4)
+	for i := range conns {
+		a, bb := core.Pipe()
+		conns[i] = a
+		go func() { _ = core.NewWorker(i+1, m).Serve(bb) }()
+	}
+	central, err := core.NewCentral(m, conns, 10*time.Second, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer central.Shutdown()
+	x := testInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := central.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testInput() *tensor.Tensor {
+	t := tensor.New(1, 3, 32, 32)
+	for i := range t.Data {
+		t.Data[i] = float32(i%13) * 0.1
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+// Command adcnn-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adcnn-bench -exp all            # everything (accuracy experiments train models; minutes)
+//	adcnn-bench -exp fig11          # one experiment
+//	adcnn-bench -exp accuracy -quick
+//
+// Experiments: fig3, accuracy (= fig10 + table1 + table2), fig11,
+// table3, fig12, fig13, fig14, fig15, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adcnn/internal/core"
+	"adcnn/internal/experiments"
+	"adcnn/internal/models"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
+	images := flag.Int("images", 50, "images per latency measurement")
+	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := os.Stdout
+	opts := experiments.DefaultSimOptions()
+	opts.Seed = *seed
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "\n==== %s ====\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig3", func() error {
+		experiments.Figure3().WriteText(w)
+		return nil
+	})
+	run("fig9", func() error {
+		sim, _, _, err := experiments.NewADCNNSim(models.VGG16(), opts)
+		if err != nil {
+			return err
+		}
+		r := sim.RunImage()
+		core.TimelineFor(r).WriteText(w, 64)
+		return nil
+	})
+	run("accuracy", func() error {
+		setup := experiments.FullAccuracySetup()
+		if *quick {
+			setup = experiments.QuickAccuracySetup()
+		}
+		setup.Seed = *seed
+		res, err := experiments.RunAccuracy(setup)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("fig11", func() error {
+		res, err := experiments.Figure11(*images, opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("table3", func() error {
+		res, err := experiments.Table3(opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("fig12", func() error {
+		res, err := experiments.Figure12(*images, *seed)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("fig13", func() error {
+		res, err := experiments.Figure13(*images, opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("fig14", func() error {
+		res, err := experiments.Figure14(*images, opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("fig15", func() error {
+		res, err := experiments.Figure15(*images, opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("stream", func() error {
+		res, err := experiments.Throughput(*images, opts)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("locality", func() error {
+		setup := experiments.QuickAccuracySetup()
+		setup.Seed = *seed
+		res, err := experiments.FeatureLocality(setup)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("partition", func() error {
+		setup := experiments.QuickAccuracySetup()
+		setup.Seed = *seed
+		res, err := experiments.ComparePartitioning(setup)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+	run("failure", func() error {
+		setup := experiments.QuickAccuracySetup()
+		setup.Seed = *seed
+		res, err := experiments.FailureSweep(setup, 4)
+		if err != nil {
+			return err
+		}
+		res.WriteText(w)
+		return nil
+	})
+}

@@ -1,0 +1,125 @@
+// Command adcnn-central runs the ADCNN Central node over TCP: it builds
+// the model (same seed as the Conv nodes so weights match, or loads a
+// shared snapshot), connects to the Conv nodes, streams synthetic input
+// images through the distributed pipeline, and reports per-image latency,
+// tile allocation, and agreement with local execution.
+//
+// Usage:
+//
+//	adcnn-central -nodes 127.0.0.1:9001,127.0.0.1:9002 -model vgg-sim -grid 4x4 -images 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"adcnn/internal/cliutil"
+	"adcnn/internal/core"
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+)
+
+func main() {
+	nodeList := flag.String("nodes", "127.0.0.1:9001", "comma-separated Conv node addresses")
+	model := flag.String("model", "vgg-sim", "model short name")
+	grid := flag.String("grid", "4x4", "FDSP partition")
+	seed := flag.Int64("seed", 42, "weight seed shared with conv nodes")
+	images := flag.Int("images", 10, "number of synthetic images to run")
+	tl := flag.Duration("tl", 5*time.Second, "result wait deadline T_L")
+	gamma := flag.Float64("gamma", 0.9, "statistics decay γ")
+	weights := flag.String("weights", "", "optional weight snapshot for the full net")
+	clipLo := flag.Float64("clip-lo", 0, "clipped ReLU lower bound")
+	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
+	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
+	verify := flag.Bool("verify", true, "check outputs against local execution")
+	flag.Parse()
+
+	cfg, err := cliutil.SimConfigByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := cliutil.ParseGrid(*grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := models.Build(cfg, models.Options{
+		Grid: g, ClipLo: float32(*clipLo), ClipHi: float32(*clipHi), QuantBits: *quant,
+	}, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Net.LoadParams(f); err != nil {
+			log.Fatalf("load weights: %v", err)
+		}
+		f.Close()
+	}
+
+	var conns []core.Conn
+	for _, addr := range strings.Split(*nodeList, ",") {
+		c, err := net.Dial("tcp", strings.TrimSpace(addr))
+		if err != nil {
+			log.Fatalf("dial %s: %v", addr, err)
+		}
+		conns = append(conns, core.NewStreamConn(c))
+	}
+	central, err := core.NewCentral(m, conns, *tl, *gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer central.Shutdown()
+
+	set, err := synthSet(cfg, *images, *seed+100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total time.Duration
+	mismatches := 0
+	for i := 0; i < *images; i++ {
+		x, _ := set.Batch(i, 1)
+		out, st, err := central.Infer(x)
+		if err != nil {
+			log.Fatalf("image %d: %v", i, err)
+		}
+		total += st.Latency
+		status := ""
+		if *verify {
+			want := m.Net.Forward(x, false)
+			if !out.Equal(want, 1e-4) {
+				status = "  MISMATCH vs local"
+				mismatches++
+			}
+		}
+		fmt.Printf("image %2d: latency %8v  missed %d  alloc %v%s\n",
+			i, st.Latency.Round(time.Microsecond), st.TilesMissed, st.Alloc, status)
+	}
+	fmt.Printf("mean latency: %v over %d images; %d mismatches\n",
+		(total / time.Duration(*images)).Round(time.Microsecond), *images, mismatches)
+	if mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+func synthSet(cfg models.Config, n int, seed int64) (*dataset.Set, error) {
+	switch cfg.Task {
+	case models.TaskClassify:
+		return dataset.Classification(n, cfg.Classes, cfg.InputC, cfg.InputH, cfg.InputW, 0.15, seed), nil
+	case models.TaskSegment:
+		return dataset.Segmentation(n, cfg.Classes, cfg.InputC, cfg.InputH, cfg.InputW, seed), nil
+	case models.TaskDetect:
+		dh, dw := cfg.TotalDownsample()
+		return dataset.Cells(n, cfg.Classes, cfg.InputC, cfg.InputH, cfg.InputW, cfg.InputH/dh, cfg.InputW/dw, seed), nil
+	case models.TaskText:
+		return dataset.Text(n, cfg.Classes, cfg.InputC, cfg.InputH, seed), nil
+	}
+	return nil, fmt.Errorf("unknown task")
+}

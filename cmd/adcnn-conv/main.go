@@ -1,0 +1,79 @@
+// Command adcnn-conv runs one ADCNN Conv node: it listens on a TCP port,
+// builds the (deterministically seeded) model whose separable blocks it
+// executes, optionally loads retrained weights, and serves tile tasks
+// until the Central node shuts it down.
+//
+// Usage:
+//
+//	adcnn-conv -listen :9001 -model vgg-sim -grid 4x4 -weights front.bin
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"adcnn/internal/cliutil"
+	"adcnn/internal/core"
+	"adcnn/internal/models"
+)
+
+func main() {
+	listen := flag.String("listen", ":9001", "TCP listen address")
+	model := flag.String("model", "vgg-sim", "model: vgg-sim|resnet-sim|yolo-sim|fcn-sim|charcnn-sim")
+	grid := flag.String("grid", "4x4", "FDSP partition, e.g. 4x4")
+	seed := flag.Int64("seed", 42, "weight seed shared with the central node")
+	id := flag.Int("id", 1, "node ID")
+	weights := flag.String("weights", "", "optional weight snapshot (nn.SaveParams format) for the full net")
+	clipLo := flag.Float64("clip-lo", 0, "clipped ReLU lower bound (0 with hi=0 disables)")
+	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
+	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
+	flag.Parse()
+
+	m, err := buildModel(*model, *grid, *seed, float32(*clipLo), float32(*clipHi), *quant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Net.LoadParams(f); err != nil {
+			log.Fatalf("load weights: %v", err)
+		}
+		f.Close()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("conv node %d serving %s (%s) on %s", *id, *model, *grid, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := core.NewWorker(*id, m)
+		go func() {
+			if err := w.Serve(core.NewStreamConn(conn)); err != nil {
+				log.Printf("serve: %v", err)
+			}
+		}()
+	}
+}
+
+func buildModel(name, grid string, seed int64, lo, hi float32, quant int) (*models.Model, error) {
+	cfg, err := cliutil.SimConfigByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cliutil.ParseGrid(grid)
+	if err != nil {
+		return nil, err
+	}
+	opt := models.Options{Grid: g, ClipLo: lo, ClipHi: hi, QuantBits: quant}
+	return models.Build(cfg, opt, seed)
+}

@@ -1,0 +1,119 @@
+// Command adcnn-sim explores the ADCNN design space on the calibrated
+// virtual-time simulator: pick a model, cluster size, partition, link
+// and compression settings, optionally schedule mid-run throttle/failure
+// events, and watch per-image latency and tile allocation.
+//
+// Usage examples:
+//
+//	adcnn-sim -model VGG16 -nodes 8 -images 20
+//	adcnn-sim -model YOLO -mbps 12.66 -prune=false
+//	adcnn-sim -model VGG16 -images 50 -events "25:5:0.45,25:6:0.45,25:7:0.24,25:8:0.24"
+//	adcnn-sim -model VGG16 -stream -images 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"adcnn/internal/cliutil"
+	"adcnn/internal/cluster"
+	"adcnn/internal/core"
+	"adcnn/internal/experiments"
+	"adcnn/internal/perfmodel"
+	"adcnn/internal/stats"
+)
+
+func main() {
+	model := flag.String("model", "VGG16", "full-scale model: VGG16|ResNet34|YOLO|FCN|CharCNN")
+	nodes := flag.Int("nodes", 8, "number of Conv nodes")
+	mbps := flag.Float64("mbps", 87.72, "link bandwidth in Mbps")
+	prune := flag.Bool("prune", true, "compress Conv-node outputs")
+	images := flag.Int("images", 20, "images to process")
+	noise := flag.Float64("noise", 0.04, "compute-time jitter fraction")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	events := flag.String("events", "", "throttle events image:node:fraction[,...] (fraction 0 = failure)")
+	stream := flag.Bool("stream", false, "report pipelined-stream throughput instead of per-image lines")
+	timeline := flag.Bool("timeline", false, "render the Figure 9 phase timeline of the first image")
+	flag.Parse()
+
+	cfg, err := cliutil.FullConfigByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := experiments.SimOptions{
+		Nodes:   *nodes,
+		Link:    perfmodel.LinkModel{Name: "cli", BandwidthMbps: *mbps, LatencyMs: 0.5, Efficiency: 0.85},
+		Pruning: *prune,
+		Noise:   *noise,
+		Seed:    *seed,
+	}
+	sim, nodeDevs, _, err := experiments.NewADCNNSim(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evs, err := parseEvents(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stream {
+		res := sim.RunStream(*images, evs)
+		fmt.Printf("%s on %d nodes @ %.2f Mbps: %.2f images/s, mean latency %v over %d images\n",
+			cfg.Name, *nodes, *mbps, res.Throughput, res.AvgLatency.Round(time.Millisecond), res.Images)
+		return
+	}
+
+	var lat []time.Duration
+	for i := 0; i < *images; i++ {
+		cluster.ApplyEvents(nodeDevs, evs, i)
+		r := sim.RunImage()
+		lat = append(lat, r.Latency)
+		marker := ""
+		for _, ev := range evs {
+			if ev.Image == i {
+				marker = "  <-- event"
+			}
+		}
+		fmt.Printf("image %3d: %8v  missed %2d  alloc %v%s\n",
+			i, r.Latency.Round(time.Millisecond), r.TilesMissed, r.Alloc, marker)
+		if i == 0 && *timeline {
+			core.TimelineFor(r).WriteText(flag.CommandLine.Output(), 60)
+		}
+	}
+	mean, ci := stats.CI95(stats.Durations(lat))
+	fmt.Printf("\n%s, %d nodes, %.2f Mbps, prune=%v: mean %.1f ± %.1f ms over %d images\n",
+		cfg.Name, *nodes, *mbps, *prune, mean, ci, *images)
+}
+
+// parseEvents parses "image:node:fraction" triples.
+func parseEvents(s string) ([]cluster.ThrottleEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cluster.ThrottleEvent
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad event %q (want image:node:fraction)", part)
+		}
+		img, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		frac, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cluster.ThrottleEvent{Image: img, DeviceID: node, Fraction: frac})
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+// Comparison demo: put ADCNN side by side with every baseline the paper
+// evaluates — single device, remote cloud, Neurosurgeon and AOFL — on
+// the three Figure 14 models, using the calibrated edge testbed models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adcnn/internal/baseline"
+	"adcnn/internal/experiments"
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+)
+
+func main() {
+	opts := experiments.DefaultSimOptions()
+	fmt.Println("edge testbed: 8 Conv nodes + 1 Central (Raspberry-Pi class), 87.72 Mbps WiFi;")
+	fmt.Println("cloud: EC2 p3.2xlarge class behind a 61.30 Mbps WAN")
+	fmt.Printf("\n%-10s %12s %12s %12s %14s %10s\n",
+		"model", "ADCNN", "single-dev", "rem-cloud", "neurosurgeon", "AOFL")
+
+	for _, cfg := range []models.Config{models.YOLO(), models.VGG16(), models.ResNet34()} {
+		sim, _, _, err := experiments.NewADCNNSim(cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adcnn, _, _ := experiments.MeasureLatency(sim, 30)
+		single := baseline.SingleDevice(cfg, perfmodel.RaspberryPi())
+		cloud := baseline.RemoteCloud(cfg, perfmodel.CloudServer(), perfmodel.WAN())
+		ns := baseline.Neurosurgeon(cfg, perfmodel.RaspberryPi(), perfmodel.CloudServer(), perfmodel.WAN())
+		aofl := baseline.AOFL(cfg, experiments.AOFLGrid(cfg.Name, opts.Nodes), opts.Nodes,
+			perfmodel.RaspberryPi(), opts.Link)
+
+		fmt.Printf("%-10s %10.1fms %10.1fms %10.1fms %12.1fms %8.1fms\n",
+			cfg.Name, adcnn,
+			float64(single.Total().Milliseconds()),
+			float64(cloud.Total().Milliseconds()),
+			float64(ns.Total().Milliseconds()),
+			float64(aofl.Total().Milliseconds()))
+		fmt.Printf("%-10s neurosurgeon split=%d, AOFL fused %d blocks (halo overhead %.0f%%)\n",
+			"", ns.SplitAfter, aofl.FusedBlocks, 100*aofl.ComputeOverhead)
+	}
+	fmt.Println("\nshape check (paper Figure 14): ADCNN < AOFL < Neurosurgeon per model")
+}

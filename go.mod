@@ -1,0 +1,3 @@
+module adcnn
+
+go 1.22

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+)
+
+// ChannelPartition models the channel-partitioning strategy the paper
+// rejects in Section 3.1: feature maps are split along channels across K
+// devices, so each convolution layer needs the partially accumulated
+// output maps exchanged before the next layer can run. Compute
+// parallelises perfectly, but every layer boundary moves (K−1)/K of the
+// full ofmap per device through the shared medium.
+func ChannelPartition(cfg models.Config, devices int,
+	dev perfmodel.DeviceModel, link perfmodel.LinkModel) Breakdown {
+
+	k := int64(devices)
+	var comp, xferBytes int64
+	for _, b := range cfg.Profile() {
+		comp += b.FLOPs / k
+		// Every device must receive the (K-1)/K of each ofmap it did not
+		// accumulate; all of it crosses the shared medium.
+		xferBytes += b.OfmapBytes * (k - 1)
+	}
+	head := cfg.HeadProfile()
+	comp += head.FLOPs
+	memPerDev := cfg.TotalMemBytes() / k
+	return Breakdown{
+		Scheme:       "channel-partition",
+		Transmission: link.TransferTime(xferBytes),
+		Computation:  dev.Time(comp, memPerDev),
+	}
+}
+
+// ChannelPartitionLayerBits returns the bits a pair of devices exchanges
+// after one layer under 2-way channel partitioning — the paper's
+// Section 3.1 example computes 51.38 Mbits for VGG16's first block.
+func ChannelPartitionLayerBits(cfg models.Config, layer int) int64 {
+	return cfg.Profile()[layer].OfmapBytes / 2 * 8
+}
+
+// BatchPartition models batch partitioning (Section 3.1): whole images
+// go to different devices. Per-image latency equals the single-device
+// scheme — "it does not mitigate resource bottlenecks ... and hence does
+// not minimize latency" — while throughput scales with the device count.
+type BatchPartitionResult struct {
+	Breakdown
+	ThroughputPerSec float64
+}
+
+// BatchPartition returns the per-image latency and aggregate throughput
+// of a K-device batch-partitioned deployment.
+func BatchPartition(cfg models.Config, devices int, dev perfmodel.DeviceModel) BatchPartitionResult {
+	single := SingleDevice(cfg, dev)
+	lat := single.Total()
+	res := BatchPartitionResult{
+		Breakdown:        Breakdown{Scheme: "batch-partition", Computation: single.Computation},
+		ThroughputPerSec: float64(devices) / lat.Seconds(),
+	}
+	return res
+}

@@ -1,0 +1,50 @@
+package baseline
+
+import (
+	"testing"
+
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+)
+
+func TestChannelPartitionLayerBitsMatchesPaper(t *testing.T) {
+	// Section 3.1: VGG16 block-1 ofmap is 224×224×64; the per-pair
+	// exchange under 2-way channel partitioning is 51.38 Mbits.
+	bits := ChannelPartitionLayerBits(models.VGG16(), 0)
+	if bits < 50e6 || bits > 53e6 {
+		t.Fatalf("exchange = %.2f Mbits, paper says 51.38", float64(bits)/1e6)
+	}
+}
+
+func TestChannelPartitionIsCommunicationBound(t *testing.T) {
+	// The paper's conclusion: "channel partitioning is not a good option"
+	// — its per-layer exchanges dominate and it loses to even the
+	// single-device scheme on a WiFi edge network.
+	cfg := models.VGG16()
+	ch := ChannelPartition(cfg, 8, perfmodel.RaspberryPi(), perfmodel.WiFi())
+	if ch.Transmission < ch.Computation {
+		t.Fatalf("channel partitioning must be communication-bound: %v vs %v",
+			ch.Transmission, ch.Computation)
+	}
+	single := SingleDevice(cfg, perfmodel.RaspberryPi())
+	if ch.Total() < single.Total() {
+		t.Fatalf("channel partitioning on WiFi (%v) should not beat single device (%v)",
+			ch.Total(), single.Total())
+	}
+}
+
+func TestBatchPartitionThroughputNotLatency(t *testing.T) {
+	cfg := models.VGG16()
+	single := SingleDevice(cfg, perfmodel.RaspberryPi())
+	bp := BatchPartition(cfg, 8, perfmodel.RaspberryPi())
+	// Latency unchanged.
+	if bp.Computation != single.Computation {
+		t.Fatal("batch partitioning must not change per-image latency")
+	}
+	// Throughput scales with devices.
+	one := BatchPartition(cfg, 1, perfmodel.RaspberryPi())
+	if bp.ThroughputPerSec < 7.9*one.ThroughputPerSec {
+		t.Fatalf("8-device throughput %.3f should be ~8x single %.3f",
+			bp.ThroughputPerSec, one.ThroughputPerSec)
+	}
+}

@@ -1,0 +1,43 @@
+package cliutil
+
+import "testing"
+
+func TestSimConfigByName(t *testing.T) {
+	for short, want := range map[string]string{
+		"vgg-sim": "VGG16-sim", "resnet-sim": "ResNet34-sim",
+		"yolo-sim": "YOLO-sim", "fcn-sim": "FCN-sim", "charcnn-sim": "CharCNN-sim",
+	} {
+		cfg, err := SimConfigByName(short)
+		if err != nil {
+			t.Fatalf("%s: %v", short, err)
+		}
+		if cfg.Name != want {
+			t.Fatalf("%s resolved to %s, want %s", short, cfg.Name, want)
+		}
+	}
+	if _, err := SimConfigByName("bogus"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestFullConfigByName(t *testing.T) {
+	cfg, err := FullConfigByName("VGG16")
+	if err != nil || cfg.Name != "VGG16" {
+		t.Fatalf("cfg %v err %v", cfg.Name, err)
+	}
+	if _, err := FullConfigByName("AlexNet"); err == nil {
+		t.Fatal("unknown full model must error")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("4x8")
+	if err != nil || g.Rows != 4 || g.Cols != 8 {
+		t.Fatalf("g %v err %v", g, err)
+	}
+	for _, bad := range []string{"", "4", "4x", "x8", "0x4", "axb"} {
+		if _, err := ParseGrid(bad); err == nil {
+			t.Fatalf("%q must fail", bad)
+		}
+	}
+}

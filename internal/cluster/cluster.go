@@ -1,0 +1,153 @@
+// Package cluster models the edge-device cluster: per-node compute rate
+// with runtime throttling (the paper degrades nodes with CPUlimit),
+// failure injection, storage capacity, and busy-time/memory accounting
+// for the energy and footprint measurements of Figure 13.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"adcnn/internal/perfmodel"
+)
+
+// Device is one simulated edge node.
+type Device struct {
+	ID    int
+	Name  string
+	Model perfmodel.DeviceModel
+
+	throttle float64 // fraction of full speed currently available
+	failed   bool
+
+	// Capacity is the storage budget H_k for input tiles (bytes);
+	// 0 means unlimited.
+	Capacity int64
+
+	busy    time.Duration
+	curMem  int64
+	peakMem int64
+}
+
+// NewDevice creates a full-speed device.
+func NewDevice(id int, model perfmodel.DeviceModel) *Device {
+	return &Device{ID: id, Name: fmt.Sprintf("%s-%d", model.Name, id), Model: model, throttle: 1}
+}
+
+// NewPiCluster creates n identical Raspberry Pi devices (IDs 1..n),
+// matching the paper's testbed of identical Conv nodes.
+func NewPiCluster(n int) []*Device {
+	out := make([]*Device, n)
+	for i := range out {
+		out[i] = NewDevice(i+1, perfmodel.RaspberryPi())
+	}
+	return out
+}
+
+// SetThrottle limits the device to frac of its full speed (CPUlimit
+// semantics: frac=0.45 after a 55% reduction). frac is clamped to [0,1];
+// 0 behaves like a failure.
+func (d *Device) SetThrottle(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	d.throttle = frac
+}
+
+// Throttle returns the current speed fraction.
+func (d *Device) Throttle() float64 { return d.throttle }
+
+// Fail marks the device as crashed; ComputeTime becomes unavailable.
+func (d *Device) Fail() { d.failed = true }
+
+// Restore brings a failed device back at full speed.
+func (d *Device) Restore() { d.failed = false; d.throttle = 1 }
+
+// Failed reports the failure flag.
+func (d *Device) Failed() bool { return d.failed }
+
+// EffectiveFLOPS returns the current effective compute rate.
+func (d *Device) EffectiveFLOPS() float64 {
+	if d.failed {
+		return 0
+	}
+	return d.Model.FLOPS * d.throttle
+}
+
+// ComputeTime returns how long a workload (compute + feature-map
+// traffic) takes at the current throttle, and false when the device
+// cannot compute at all. Throttling slows both terms: CPUlimit starves
+// the process of time slices, stretching memory-bound phases equally.
+func (d *Device) ComputeTime(flops, memBytes int64) (time.Duration, bool) {
+	if d.failed || d.throttle <= 0 {
+		return 0, false
+	}
+	base := d.Model.Time(flops, memBytes)
+	return time.Duration(float64(base) / d.throttle), true
+}
+
+// RecordBusy accumulates busy time for the energy model.
+func (d *Device) RecordBusy(t time.Duration) { d.busy += t }
+
+// BusyTime returns the accumulated busy time.
+func (d *Device) BusyTime() time.Duration { return d.busy }
+
+// Alloc tracks a transient memory allocation (tiles + activations).
+func (d *Device) Alloc(bytes int64) {
+	d.curMem += bytes
+	if d.curMem > d.peakMem {
+		d.peakMem = d.curMem
+	}
+}
+
+// Free releases a transient allocation.
+func (d *Device) Free(bytes int64) {
+	d.curMem -= bytes
+	if d.curMem < 0 {
+		d.curMem = 0
+	}
+}
+
+// PeakMem returns the high-water memory mark.
+func (d *Device) PeakMem() int64 { return d.peakMem }
+
+// ResetAccounting clears busy-time and memory statistics (not throttle).
+func (d *Device) ResetAccounting() {
+	d.busy = 0
+	d.curMem = 0
+	d.peakMem = 0
+}
+
+// Energy returns the joules consumed over a total elapsed window.
+func (d *Device) Energy(model perfmodel.EnergyModel, elapsed time.Duration) float64 {
+	return model.Energy(d.busy, elapsed)
+}
+
+// ThrottleEvent schedules a speed change before processing image index
+// Image (used to reproduce Figure 15's mid-run degradation).
+type ThrottleEvent struct {
+	Image    int
+	DeviceID int
+	Fraction float64 // new speed fraction; 0 = failure
+}
+
+// ApplyEvents applies all events scheduled for the given image index.
+func ApplyEvents(devices []*Device, events []ThrottleEvent, image int) {
+	for _, ev := range events {
+		if ev.Image != image {
+			continue
+		}
+		for _, d := range devices {
+			if d.ID == ev.DeviceID {
+				if ev.Fraction <= 0 {
+					d.Fail()
+				} else {
+					d.SetThrottle(ev.Fraction)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"adcnn/internal/perfmodel"
+)
+
+func TestThrottleScalesComputeTime(t *testing.T) {
+	d := NewDevice(1, perfmodel.RaspberryPi())
+	full, ok := d.ComputeTime(1e9, 1e6)
+	if !ok {
+		t.Fatal("healthy device must compute")
+	}
+	d.SetThrottle(0.5)
+	half, _ := d.ComputeTime(1e9, 1e6)
+	if half < full*19/10 || half > full*21/10 {
+		t.Fatalf("50%% throttle: %v vs full %v", half, full)
+	}
+}
+
+func TestThrottleClamped(t *testing.T) {
+	d := NewDevice(1, perfmodel.RaspberryPi())
+	d.SetThrottle(2)
+	if d.Throttle() != 1 {
+		t.Fatal("throttle must clamp to 1")
+	}
+	d.SetThrottle(-1)
+	if d.Throttle() != 0 {
+		t.Fatal("throttle must clamp to 0")
+	}
+	if _, ok := d.ComputeTime(1, 0); ok {
+		t.Fatal("zero-speed device cannot compute")
+	}
+}
+
+func TestFailRestore(t *testing.T) {
+	d := NewDevice(1, perfmodel.RaspberryPi())
+	d.Fail()
+	if !d.Failed() || d.EffectiveFLOPS() != 0 {
+		t.Fatal("failed device must have zero rate")
+	}
+	d.Restore()
+	if d.Failed() || d.EffectiveFLOPS() != d.Model.FLOPS {
+		t.Fatal("restore must return full speed")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	d := NewDevice(1, perfmodel.RaspberryPi())
+	d.Alloc(100)
+	d.Alloc(200)
+	d.Free(150)
+	d.Alloc(50)
+	if d.PeakMem() != 300 {
+		t.Fatalf("peak = %d, want 300", d.PeakMem())
+	}
+	d.Free(10000) // over-free clamps at zero
+	d.Alloc(10)
+	if d.PeakMem() != 300 {
+		t.Fatal("peak must not move after clamped free")
+	}
+}
+
+func TestBusyAndEnergy(t *testing.T) {
+	d := NewDevice(1, perfmodel.RaspberryPi())
+	d.RecordBusy(time.Second)
+	e := d.Energy(perfmodel.PiEnergy(), 2*time.Second)
+	want := perfmodel.PiEnergy().ActiveWatts + perfmodel.PiEnergy().IdleWatts
+	if e < want-1e-9 || e > want+1e-9 {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+	d.ResetAccounting()
+	if d.BusyTime() != 0 || d.PeakMem() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPiClusterIDs(t *testing.T) {
+	ds := NewPiCluster(8)
+	if len(ds) != 8 || ds[0].ID != 1 || ds[7].ID != 8 {
+		t.Fatal("cluster IDs must be 1..8")
+	}
+}
+
+func TestApplyEvents(t *testing.T) {
+	ds := NewPiCluster(4)
+	events := []ThrottleEvent{
+		{Image: 25, DeviceID: 3, Fraction: 0.45},
+		{Image: 25, DeviceID: 4, Fraction: 0},
+		{Image: 30, DeviceID: 1, Fraction: 0.5},
+	}
+	ApplyEvents(ds, events, 25)
+	if ds[2].Throttle() != 0.45 {
+		t.Fatal("device 3 not throttled")
+	}
+	if !ds[3].Failed() {
+		t.Fatal("device 4 not failed")
+	}
+	if ds[0].Throttle() != 1 {
+		t.Fatal("device 1 changed too early")
+	}
+}

@@ -1,0 +1,121 @@
+// Package compress implements ADCNN's Conv-node output compression
+// (paper Section 4): the separable blocks end in a clipped ReLU whose
+// output lies in [0, b-a] and is highly sparse; those activations are
+// quantized to a few bits and run-length encoded before transmission to
+// the Central node. This package provides the full tensor → wire-bytes →
+// tensor round trip plus the size accounting used by Table 2 and
+// Figure 12.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"adcnn/internal/quant"
+	"adcnn/internal/rle"
+	"adcnn/internal/tensor"
+)
+
+// Pipeline bundles the quantizer configuration used at the Front/Back
+// boundary. Range must equal the clipped ReLU's b-a so the quantizer
+// covers exactly the activation support.
+type Pipeline struct {
+	Bits  int
+	Range float32
+}
+
+// NewPipeline creates a compression pipeline (the paper uses 4 bits).
+func NewPipeline(bits int, rng float32) Pipeline {
+	_ = quant.New(bits, rng) // validate
+	return Pipeline{Bits: bits, Range: rng}
+}
+
+// Quantizer returns the pipeline's quantizer.
+func (p Pipeline) Quantizer() quant.Quantizer { return quant.New(p.Bits, p.Range) }
+
+// Encode compresses a clipped-ReLU output tensor into a self-describing
+// payload: header (shape, range, bits) followed by the RLE stream of
+// quantization levels.
+func (p Pipeline) Encode(t *tensor.Tensor) ([]byte, error) {
+	if t.Rank() > 255 {
+		return nil, fmt.Errorf("compress: rank %d too large", t.Rank())
+	}
+	q := p.Quantizer()
+	levels := q.EncodeSlice(t.Data)
+	stream, err := rle.Encode(levels, p.Bits)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, 1+4*t.Rank()+4)
+	hdr = append(hdr, byte(t.Rank()))
+	var b4 [4]byte
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(b4[:], uint32(d))
+		hdr = append(hdr, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(p.Range))
+	hdr = append(hdr, b4[:]...)
+	return append(hdr, stream...), nil
+}
+
+// Decode reverses Encode, returning the dequantized tensor.
+func Decode(payload []byte) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, errors.New("compress: empty payload")
+	}
+	rank := int(payload[0])
+	need := 1 + 4*rank + 4
+	if len(payload) < need {
+		return nil, errors.New("compress: truncated header")
+	}
+	shape := make([]int, rank)
+	for i := 0; i < rank; i++ {
+		shape[i] = int(binary.LittleEndian.Uint32(payload[1+4*i:]))
+	}
+	rng := math.Float32frombits(binary.LittleEndian.Uint32(payload[1+4*rank:]))
+	if rng <= 0 || rng != rng { // NaN check
+		return nil, fmt.Errorf("compress: corrupt range %v", rng)
+	}
+	levels, err := rle.Decode(payload[need:])
+	if err != nil {
+		return nil, err
+	}
+	if len(levels) != tensor.Volume(shape) {
+		return nil, fmt.Errorf("compress: %d levels for shape %v", len(levels), shape)
+	}
+	if len(payload) > need+4 {
+		bits := int(payload[need+4])
+		if bits < 1 || bits > 16 {
+			return nil, fmt.Errorf("compress: corrupt bits %d", bits)
+		}
+		q := quant.New(bits, rng)
+		return tensor.FromSlice(q.DecodeSlice(levels), shape...), nil
+	}
+	return nil, errors.New("compress: missing RLE body")
+}
+
+// EncodedSize returns len(Encode(t)) without materialising the payload.
+func (p Pipeline) EncodedSize(t *tensor.Tensor) int {
+	q := p.Quantizer()
+	levels := q.EncodeSlice(t.Data)
+	return 1 + 4*t.Rank() + 4 + rle.CompressedSize(levels, p.Bits)
+}
+
+// RawSize returns the uncompressed float32 wire size of a tensor in
+// bytes, the paper's "before pruning" reference.
+func RawSize(t *tensor.Tensor) int { return 4 * t.Len() }
+
+// Ratio returns compressed/raw size for t — Table 2 reports this per
+// model (e.g. 0.032× for VGG16).
+func (p Pipeline) Ratio(t *tensor.Tensor) float64 {
+	return float64(p.EncodedSize(t)) / float64(RawSize(t))
+}
+
+// QuantizeInPlace applies the quantizer's rounding to t, which is what
+// the modified training graph inserts after the clipped ReLU (forward
+// pass only; the backward pass uses the straight-through estimator).
+func (p Pipeline) QuantizeInPlace(t *tensor.Tensor) {
+	p.Quantizer().Apply(t.Data)
+}

@@ -1,0 +1,211 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+func sparseTensor(seed int64, n int, sparsity float64, rng32 float32) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n)
+	for i := range t.Data {
+		if rng.Float64() >= sparsity {
+			t.Data[i] = rng.Float32() * rng32
+		}
+	}
+	return t
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewPipeline(4, 1.8)
+	x := sparseTensor(1, 1000, 0.9, 1.8)
+	payload, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.SameShape(x) {
+		t.Fatalf("shape %v, want %v", y.Shape, x.Shape)
+	}
+	q := p.Quantizer()
+	for i := range x.Data {
+		want := q.Decode(q.Encode(x.Data[i]))
+		if y.Data[i] != want {
+			t.Fatalf("element %d: %v, want %v", i, y.Data[i], want)
+		}
+	}
+}
+
+func TestRoundTripPreservesShape4D(t *testing.T) {
+	p := NewPipeline(4, 2)
+	x := tensor.New(1, 8, 4, 4)
+	x.Fill(0.5)
+	payload, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y.Shape) != 4 || y.Shape[1] != 8 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	f := func(seed int64) bool {
+		p := NewPipeline(4, 1.5)
+		x := sparseTensor(seed, 1+int(seed%511+511)%511, 0.8, 1.5)
+		payload, err := p.Encode(x)
+		if err != nil {
+			return false
+		}
+		return p.EncodedSize(x) == len(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseCompressesBelowPaperScale(t *testing.T) {
+	// Paper Table 2: 8x8-partition Conv-node outputs compress to
+	// 0.01–0.06× of raw size. A 97%-sparse 4-bit stream should land in
+	// that regime.
+	p := NewPipeline(4, 1.0)
+	x := sparseTensor(7, 100000, 0.97, 1.0)
+	r := p.Ratio(x)
+	if r > 0.08 {
+		t.Fatalf("ratio %v, want < 0.08 for 97%% sparsity", r)
+	}
+}
+
+func TestDenseDoesNotExplode(t *testing.T) {
+	p := NewPipeline(4, 1.0)
+	x := sparseTensor(8, 10000, 0.0, 1.0)
+	// Dense 4-bit data: ~0.5 bytes/elem vs 4 raw → ratio ≈ 0.125 plus
+	// small token overhead.
+	if r := p.Ratio(x); r > 0.2 {
+		t.Fatalf("dense ratio %v too large", r)
+	}
+}
+
+func TestDecodeCorruptPayloads(t *testing.T) {
+	p := NewPipeline(4, 1.0)
+	x := sparseTensor(9, 64, 0.5, 1.0)
+	payload, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil payload must fail")
+	}
+	if _, err := Decode(payload[:3]); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	if _, err := Decode(payload[:len(payload)-2]); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+	// Corrupt the range field to NaN.
+	bad := append([]byte(nil), payload...)
+	bad[1+4*1] = 0xff
+	bad[1+4*1+1] = 0xff
+	bad[1+4*1+2] = 0xff
+	bad[1+4*1+3] = 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("NaN range must fail")
+	}
+}
+
+func TestQuantizeInPlaceIdempotent(t *testing.T) {
+	p := NewPipeline(4, 1.2)
+	x := sparseTensor(10, 200, 0.5, 1.2)
+	p.QuantizeInPlace(x)
+	y := x.Clone()
+	p.QuantizeInPlace(y)
+	if !y.Equal(x, 0) {
+		t.Fatal("QuantizeInPlace must be idempotent")
+	}
+}
+
+func TestSTQuantForwardRoundsBackwardIdentity(t *testing.T) {
+	p := NewPipeline(4, 1.0)
+	sq := NewSTQuant("q", p)
+	x := tensor.FromSlice([]float32{0, 0.031, 0.5, 0.99, 1.5}, 5)
+	y := sq.Forward(x, true)
+	q := p.Quantizer()
+	for i := range x.Data {
+		if y.Data[i] != q.Decode(q.Encode(x.Data[i])) {
+			t.Fatalf("forward not quantized at %d", i)
+		}
+	}
+	g := tensor.FromSlice([]float32{1, 2, 3, 4, 5}, 5)
+	dx := sq.Backward(g)
+	if !dx.Equal(g, 0) {
+		t.Fatal("straight-through backward must be identity")
+	}
+	if sq.Params() != nil {
+		t.Fatal("STQuant has no params")
+	}
+}
+
+// Property: compression round trip error is bounded by half a quant step.
+func TestRoundTripErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := NewPipeline(4, 2.0)
+		x := sparseTensor(seed, 128, 0.6, 2.0)
+		payload, err := p.Encode(x)
+		if err != nil {
+			return false
+		}
+		y, err := Decode(payload)
+		if err != nil {
+			return false
+		}
+		bound := float64(p.Quantizer().MaxError()) * 1.0001
+		for i := range x.Data {
+			if math.Abs(float64(x.Data[i]-y.Data[i])) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: clipped ReLU → STQuant inside a Sequential still trains
+// (gradient reaches an upstream conv through the straight-through path).
+func TestPipelineInTrainingGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	p := NewPipeline(4, 2.0)
+	net := nn.NewSequential("g",
+		nn.NewConv2D("c", 1, 2, 3, 3, 1, 1, rng),
+		nn.NewClippedReLU("cr", 0.1, 2.1),
+		NewSTQuant("q", p),
+	)
+	x := tensor.New(1, 1, 6, 6)
+	x.RandN(rng, 1)
+	y := net.Forward(x, true)
+	g := tensor.New(y.Shape...)
+	g.Fill(1)
+	net.Backward(g)
+	var nz bool
+	for _, v := range net.Params()[0].Grad.Data {
+		if v != 0 {
+			nz = true
+		}
+	}
+	if !nz {
+		t.Fatal("gradient must reach the conv weights through clipped ReLU + STQuant")
+	}
+}

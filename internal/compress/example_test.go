@@ -1,0 +1,30 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"adcnn/internal/compress"
+	"adcnn/internal/tensor"
+)
+
+// Compress a sparse activation tile the way a Conv node does before
+// transmitting it: 4-bit quantization over the clipped-ReLU range plus
+// run-length encoding.
+func ExamplePipeline_Encode() {
+	p := compress.NewPipeline(4, 2.0)
+	tile := tensor.New(1, 4, 8, 8)
+	tile.Data[5] = 1.0 // one active neuron in a sea of zeros
+	tile.Data[77] = 0.5
+
+	payload, err := p.Encode(tile)
+	if err != nil {
+		panic(err)
+	}
+	back, err := compress.Decode(payload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("raw %dB -> wire %dB, shape preserved: %v\n",
+		compress.RawSize(tile), len(payload), back.SameShape(tile))
+	// Output: raw 1024B -> wire 39B, shape preserved: true
+}

@@ -1,0 +1,41 @@
+package compress
+
+import (
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// STQuant is the quantization node inserted into the training graph
+// (paper Figure 7(b)): the forward pass rounds activations to the
+// pipeline's levels, while the backward pass uses the straight-through
+// estimator (identity gradient), exactly the "full-precision gradients"
+// rule of Section 4.4.
+type STQuant struct {
+	label string
+	P     Pipeline
+}
+
+// NewSTQuant creates a straight-through quantization layer.
+func NewSTQuant(label string, p Pipeline) *STQuant {
+	return &STQuant{label: label, P: p}
+}
+
+// Forward rounds every activation to its quantization level.
+func (s *STQuant) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	s.P.QuantizeInPlace(y)
+	return y
+}
+
+// Backward passes the gradient through unchanged (straight-through).
+func (s *STQuant) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Clone()
+}
+
+// Params returns nil; the quantizer is not trained.
+func (s *STQuant) Params() []*nn.Param { return nil }
+
+// Name returns the layer label.
+func (s *STQuant) Name() string { return s.label }
+
+var _ nn.Layer = (*STQuant)(nil)

@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestSimRespectsStorageCapacity exercises Equation (1)'s constraint
+// M·x_k ≤ H_k end to end: a node whose storage only fits two input
+// tiles never receives more, and the excess spreads over the others.
+func TestSimRespectsStorageCapacity(t *testing.T) {
+	s := vggSim(t, 4, nil)
+	// One input tile's wire size (1 byte/value, 8x8 grid on 224²×3).
+	tileBytes := int64(3*224*224) / 64
+	s.cfg.Nodes[0].Capacity = 2 * tileBytes
+	for i := 0; i < 6; i++ {
+		r := s.RunImage()
+		if r.Alloc[0] > 2 {
+			t.Fatalf("image %d: capacity-limited node got %d tiles: %v", i, r.Alloc[0], r.Alloc)
+		}
+		if r.Alloc.Total() != 64 {
+			t.Fatalf("image %d: tiles lost: %v", i, r.Alloc)
+		}
+	}
+}
+
+// All nodes capacity-limited below the tile count: allocation fails and
+// the image is zero-filled rather than wedging the system.
+func TestSimAllCapacityExhausted(t *testing.T) {
+	s := vggSim(t, 2, nil)
+	tileBytes := int64(3*224*224) / 64
+	s.cfg.Nodes[0].Capacity = 4 * tileBytes
+	s.cfg.Nodes[1].Capacity = 4 * tileBytes
+	r := s.RunImage()
+	if r.TilesMissed != 64 {
+		t.Fatalf("expected total loss when capacity < tiles, got %d missed", r.TilesMissed)
+	}
+	if r.Latency <= 0 {
+		t.Fatal("latency must remain finite")
+	}
+}

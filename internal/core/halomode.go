@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+// HaloCentral distributes inference with *exact* halo-extended tiles
+// (the AOFL/DeepThings execution style the paper compares against):
+// each Conv node receives its tile extended by the separable prefix's
+// receptive-field margin, runs the unmodified Front, and the Central
+// node crops the contaminated border before reassembly. No retraining
+// is needed and the result is bit-identical to local execution — at the
+// cost of transmitting and computing the halo overlap, which is exactly
+// the overhead ADCNN's FDSP eliminates.
+type HaloCentral struct {
+	Model *models.Model // an UNpartitioned model (Options zero value)
+	Grid  fdsp.Grid
+	Conns []Conn
+	TL    time.Duration
+
+	margin int
+	down   int
+
+	imageID uint32
+	mu      sync.Mutex
+}
+
+// NewHaloCentral builds the exact-mode central node. The model must be
+// unpartitioned (halo execution works on the original weights).
+func NewHaloCentral(m *models.Model, g fdsp.Grid, conns []Conn, tl time.Duration) (*HaloCentral, error) {
+	if m.Opt.Partitioned() || m.Opt.Clipped() {
+		return nil, fmt.Errorf("core: halo mode needs the original (unmodified) model")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("core: need at least one conv node")
+	}
+	var geoms []fdsp.LayerGeom
+	for _, gg := range m.Cfg.HaloGeoms(m.Cfg.Separable) {
+		geoms = append(geoms, fdsp.LayerGeom{Kernel: gg[0], Stride: gg[1]})
+	}
+	margin := fdsp.HaloMargin(geoms)
+	down := fdsp.Downsample(geoms)
+	if margin%down != 0 {
+		margin += down - margin%down
+	}
+	return &HaloCentral{Model: m, Grid: g, Conns: conns, TL: tl, margin: margin, down: down}, nil
+}
+
+// Margin returns the per-tile input extension in pixels.
+func (c *HaloCentral) Margin() int { return c.margin }
+
+// Infer runs one exact distributed inference.
+func (c *HaloCentral) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
+	start := time.Now()
+	c.mu.Lock()
+	c.imageID++
+	img := c.imageID
+	c.mu.Unlock()
+
+	h, w := x.Shape[2], x.Shape[3]
+	tiles := c.Grid.Layout(h, w)
+	exts := make([]fdsp.Tile, len(tiles))
+	var wireOut int64
+	for ti, tl := range tiles {
+		if tl.Y0%c.down != 0 || tl.X0%c.down != 0 || tl.H%c.down != 0 || tl.W%c.down != 0 {
+			return nil, InferStats{}, fmt.Errorf("core: tile %d not aligned to downsample %d", ti, c.down)
+		}
+		exts[ti] = fdsp.HaloExtension(tl, c.margin, h, w)
+		payload := EncodeTensor(fdsp.ExtractTile(x, exts[ti]))
+		wireOut += int64(len(payload))
+		conn := c.Conns[ti%len(c.Conns)]
+		if err := conn.Send(&Message{Kind: KindTask, ImageID: img, TileID: uint32(ti), Payload: payload}); err != nil {
+			return nil, InferStats{}, fmt.Errorf("core: send tile %d: %w", ti, err)
+		}
+	}
+
+	// Collect all extended results.
+	type arrival struct {
+		tile int
+		t    *tensor.Tensor
+	}
+	results := make(chan arrival, len(tiles))
+	var wg sync.WaitGroup
+	perConn := make([]int, len(c.Conns))
+	for ti := range tiles {
+		perConn[ti%len(c.Conns)]++
+	}
+	for k, conn := range c.Conns {
+		if perConn[k] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(conn Conn, want int) {
+			defer wg.Done()
+			for i := 0; i < want; {
+				m, err := conn.Recv()
+				if err != nil || m.Kind != KindResult {
+					return
+				}
+				if m.ImageID != img {
+					continue
+				}
+				i++
+				t, derr := DecodeTensor(m.Payload)
+				if derr != nil {
+					return
+				}
+				results <- arrival{int(m.TileID), t}
+			}
+		}(conn, perConn[k])
+	}
+
+	outs := make([]*tensor.Tensor, len(tiles))
+	deadline := time.NewTimer(c.TL)
+	defer deadline.Stop()
+	got := 0
+collect:
+	for got < len(tiles) {
+		select {
+		case a := <-results:
+			if outs[a.tile] == nil {
+				outs[a.tile] = a.t
+				got++
+			}
+		case <-deadline.C:
+			break collect
+		}
+	}
+	go func() { wg.Wait() }()
+	if got < len(tiles) {
+		return nil, InferStats{Latency: time.Since(start), TilesMissed: len(tiles) - got},
+			fmt.Errorf("core: halo mode cannot zero-fill (exactness contract); %d tiles missing", len(tiles)-got)
+	}
+
+	// Crop each extended result to its exact tile region and reassemble.
+	cropped := make([]*tensor.Tensor, len(tiles))
+	for ti, tl := range tiles {
+		ext := exts[ti]
+		cropped[ti] = fdsp.Crop(outs[ti],
+			(tl.Y0-ext.Y0)/c.down, (tl.X0-ext.X0)/c.down, tl.H/c.down, tl.W/c.down)
+	}
+	merged := fdsp.Reassemble(cropped, c.Grid)
+	out := c.Model.Back.Forward(merged, false)
+	return out, InferStats{Latency: time.Since(start), WireBytes: wireOut}, nil
+}
+
+// Shutdown stops the workers.
+func (c *HaloCentral) Shutdown() {
+	for _, conn := range c.Conns {
+		_ = conn.Send(&Message{Kind: KindShutdown})
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+func TestHaloModeIsExact(t *testing.T) {
+	cfg := models.VGGSim()
+	m, err := models.Build(cfg, models.Options{}, 42) // original model
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	conns := make([]Conn, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		a, b := Pipe()
+		conns[i] = a
+		w := NewWorker(i+1, m)
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = w.Serve(b) }()
+	}
+	hc, err := NewHaloCentral(m, fdsp.Grid{Rows: 4, Cols: 4}, conns, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { hc.Shutdown(); wg.Wait() }()
+	if hc.Margin() <= 0 {
+		t.Fatal("a multi-conv front must need a positive halo margin")
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 3; trial++ {
+		x := tensor.New(1, 3, 32, 32)
+		x.RandN(rng, 1)
+		want := m.Net.Forward(x, false)
+		got, st, err := hc.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 1e-4) {
+			t.Fatal("halo-mode distributed inference must be exact")
+		}
+		if st.WireBytes <= int64(4*3*32*32) {
+			t.Fatal("halo transmission must exceed the raw image (overlap overhead)")
+		}
+	}
+}
+
+func TestHaloModeRejectsModifiedModels(t *testing.T) {
+	m, err := models.Build(models.VGGSim(), models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Pipe()
+	if _, err := NewHaloCentral(m, fdsp.Grid{Rows: 2, Cols: 2}, []Conn{a}, time.Second); err == nil {
+		t.Fatal("halo mode must reject FDSP-modified models")
+	}
+}
+
+// Halo mode ships more bytes than FDSP mode for the same image: the
+// quantitative core of the ADCNN-vs-AOFL comparison, on the live runtime.
+func TestHaloModeCostsMoreWireThanFDSP(t *testing.T) {
+	cfg := models.VGGSim()
+	grid := fdsp.Grid{Rows: 4, Cols: 4}
+
+	runWire := func(build func() (interface {
+		Infer(*tensor.Tensor) (*tensor.Tensor, InferStats, error)
+	}, func())) int64 {
+		infer, stop := build()
+		defer stop()
+		rng := rand.New(rand.NewSource(5))
+		x := tensor.New(1, 3, 32, 32)
+		x.RandN(rng, 1)
+		_, st, err := infer.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.WireBytes
+	}
+
+	haloWire := runWire(func() (interface {
+		Infer(*tensor.Tensor) (*tensor.Tensor, InferStats, error)
+	}, func()) {
+		m, _ := models.Build(cfg, models.Options{}, 42)
+		conns := make([]Conn, 4)
+		var wg sync.WaitGroup
+		for i := range conns {
+			a, b := Pipe()
+			conns[i] = a
+			w := NewWorker(i+1, m)
+			wg.Add(1)
+			go func() { defer wg.Done(); _ = w.Serve(b) }()
+		}
+		hc, err := NewHaloCentral(m, grid, conns, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hc, func() { hc.Shutdown(); wg.Wait() }
+	})
+
+	fdspWire := runWire(func() (interface {
+		Infer(*tensor.Tensor) (*tensor.Tensor, InferStats, error)
+	}, func()) {
+		m, _ := models.Build(cfg, models.Options{
+			Grid: grid, ClipLo: 0.05, ClipHi: 2.5, QuantBits: 4,
+		}, 42)
+		conns := make([]Conn, 4)
+		var wg sync.WaitGroup
+		for i := range conns {
+			a, b := Pipe()
+			conns[i] = a
+			w := NewWorker(i+1, m)
+			wg.Add(1)
+			go func() { defer wg.Done(); _ = w.Serve(b) }()
+		}
+		c, err := NewCentral(m, conns, 5*time.Second, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, func() { c.Shutdown(); wg.Wait() }
+	})
+
+	// HaloCentral counts outbound (input) bytes; Central counts inbound
+	// compressed results. Compare halo's extended-input volume against
+	// FDSP's compressed-results volume — the two wire costs that differ
+	// between the schemes.
+	if haloWire <= fdspWire {
+		t.Fatalf("halo wire %d must exceed compressed FDSP wire %d", haloWire, fdspWire)
+	}
+}

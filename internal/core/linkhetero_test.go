@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkHeterogeneityShiftsAllocation: a node behind a slow link
+// returns fewer results within the stats window, so Algorithm 2/3 shift
+// tiles away from it even though its CPU is healthy — bandwidth
+// heterogeneity is absorbed by the same mechanism as CPU heterogeneity.
+func TestLinkHeterogeneityShiftsAllocation(t *testing.T) {
+	// The stats window anchors at send-completion (paper: the timer starts
+	// "after transmitting all the tiles"), so only the return path can
+	// discriminate link speed: keep inputs small and results raw/big, and
+	// slow one node's link hard.
+	s := vggSim(t, 4, func(c *SimConfig) {
+		c.Pruning = false // raw result transfers dominate the return path
+		c.LinkScale = []float64{1, 1, 1, 0.02}
+		// A tight window: the auto window (1.25x compute) plus the slow
+		// node's inflated send phase would otherwise mask return slowness.
+		c.StatsWindow = 350 * time.Millisecond
+	})
+	var last ImageResult
+	for i := 0; i < 12; i++ {
+		last = s.RunImage()
+	}
+	slow := last.Alloc[3]
+	for k := 0; k < 3; k++ {
+		if last.Alloc[k] <= slow {
+			t.Fatalf("node %d (fast link) got %d tiles, not more than slow-link node's %d: %v",
+				k+1, last.Alloc[k], slow, last.Alloc)
+		}
+	}
+}
+
+// A degenerate LinkScale entry (0) falls back to nominal speed.
+func TestLinkScaleZeroIsNominal(t *testing.T) {
+	a := vggSim(t, 2, func(c *SimConfig) { c.LinkScale = []float64{0, 0} })
+	b := vggSim(t, 2, nil)
+	ra, rb := a.RunImage(), b.RunImage()
+	if ra.Latency != rb.Latency {
+		t.Fatalf("zero scale must mean nominal: %v vs %v", ra.Latency, rb.Latency)
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adcnn/internal/compress"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/sched"
+	"adcnn/internal/tensor"
+)
+
+// Worker is a Conv node: it stores the separable layer blocks' weights,
+// processes input tiles, applies the communication-reduction boundary,
+// and streams intermediate results back (paper Figure 8, right side).
+type Worker struct {
+	ID    int
+	Model *models.Model
+	// Delay adds artificial per-tile latency — the live-runtime
+	// equivalent of throttling a device with CPUlimit, used to exercise
+	// the adaptive scheduler against a genuinely slow node.
+	Delay time.Duration
+}
+
+// NewWorker creates a Conv-node worker around a model instance (the
+// worker uses only Front and Boundary).
+func NewWorker(id int, m *models.Model) *Worker {
+	return &Worker{ID: id, Model: m}
+}
+
+// Serve processes tasks from conn until a shutdown message or EOF.
+func (w *Worker) Serve(conn Conn) error {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return nil // peer gone
+		}
+		switch m.Kind {
+		case KindShutdown:
+			return nil
+		case KindTask:
+			if w.Delay > 0 {
+				time.Sleep(w.Delay)
+			}
+			out, compressed, err := w.process(m.Payload)
+			if err != nil {
+				return fmt.Errorf("core: worker %d: %w", w.ID, err)
+			}
+			res := &Message{
+				Kind: KindResult, ImageID: m.ImageID, TileID: m.TileID,
+				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
+			}
+			if err := conn.Send(res); err != nil {
+				return nil
+			}
+		default:
+			return fmt.Errorf("core: worker %d: unexpected message kind %d", w.ID, m.Kind)
+		}
+	}
+}
+
+// process runs one tile through Front + Boundary and encodes the result.
+func (w *Worker) process(payload []byte) ([]byte, bool, error) {
+	x, err := DecodeTensor(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	y := w.Model.Front.Forward(x, false)
+	opt := w.Model.Opt
+	if opt.Clipped() {
+		// The boundary's clipped ReLU runs on the Conv node so the result
+		// is sparse before encoding.
+		y = w.Model.Boundary.Layers[0].Forward(y, false)
+		if opt.QuantBits > 0 {
+			p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
+			out, err := p.Encode(y)
+			return out, true, err
+		}
+	}
+	return EncodeTensor(y), false, nil
+}
+
+// InferStats reports one distributed inference's runtime behaviour.
+type InferStats struct {
+	Latency     time.Duration
+	TilesMissed int
+	Alloc       sched.Allocation
+	Received    []int
+	WireBytes   int64 // total result bytes received
+}
+
+// Central is the ADCNN Central node: input-partition block, statistics
+// collection block (Algorithm 2) and layer-computation block.
+type Central struct {
+	Model *models.Model
+	Conns []Conn
+	// TL is the wait deadline for intermediate results; missing tiles are
+	// zero-filled (paper Section 6.1).
+	TL    time.Duration
+	Stats *sched.Stats
+
+	imageID uint32
+	dead    []bool // nodes whose connection failed
+	mu      sync.Mutex
+}
+
+// NewCentral creates a Central node. gamma is Algorithm 2's decay.
+func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) (*Central, error) {
+	if !m.Opt.Partitioned() {
+		return nil, fmt.Errorf("core: central requires a partitioned model")
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("core: central needs at least one conv node")
+	}
+	tiles := m.Opt.Grid.Tiles()
+	return &Central{
+		Model: m,
+		Conns: conns,
+		TL:    tl,
+		Stats: sched.NewStats(len(conns), gamma, float64(tiles)/float64(len(conns))),
+		dead:  make([]bool, len(conns)),
+	}, nil
+}
+
+// markDead flags a node whose connection failed so future allocations
+// skip it — the paper's "if node k fails ... no tiles will be assigned
+// to it" behaviour, but triggered immediately by the transport layer
+// instead of waiting for the EWMA to decay.
+func (c *Central) markDead(k int) {
+	c.mu.Lock()
+	c.dead[k] = true
+	c.mu.Unlock()
+}
+
+// aliveSpeeds returns the scheduler speeds with dead nodes zeroed.
+func (c *Central) aliveSpeeds() []float64 {
+	speeds := c.Stats.Speeds()
+	c.mu.Lock()
+	for k, d := range c.dead {
+		if d {
+			speeds[k] = 0
+		}
+	}
+	c.mu.Unlock()
+	return speeds
+}
+
+// tileOutShape returns the per-tile Front output shape [1,C,h,w].
+func (c *Central) tileOutShape() []int {
+	full := c.Model.FrontOutputShape()
+	g := c.Model.Opt.Grid
+	return []int{1, full[0], full[1] / g.Rows, full[2] / g.Cols}
+}
+
+// Infer runs one distributed inference for a [1,C,H,W] input and returns
+// the model output.
+func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
+	start := time.Now()
+	c.mu.Lock()
+	c.imageID++
+	img := c.imageID
+	c.mu.Unlock()
+
+	g := c.Model.Opt.Grid
+	tiles := g.Layout(x.Shape[2], x.Shape[3])
+
+	// Input-partition block: allocate tiles to nodes by current stats,
+	// skipping nodes whose connections have failed.
+	alloc, err := sched.Allocate(len(tiles), c.aliveSpeeds(), 0, nil, nil)
+	if err != nil {
+		return nil, InferStats{}, fmt.Errorf("core: allocation: %w", err)
+	}
+	assignment := make([]int, len(tiles)) // tile -> node
+	next := 0
+	for k, n := range alloc {
+		for j := 0; j < n; j++ {
+			assignment[next] = k
+			next++
+		}
+	}
+
+	// Dispatch every tile. A send failure marks the node dead and the
+	// tile falls over to the next alive node — the runtime half of the
+	// paper's failure tolerance.
+	counts := make(sched.Allocation, len(c.Conns)) // tiles actually sent per node
+	for ti, tl := range tiles {
+		task := &Message{
+			Kind: KindTask, ImageID: img, TileID: uint32(ti),
+			Payload: EncodeTensor(fdsp.ExtractTile(x, tl)),
+		}
+		k := assignment[ti]
+		sent := false
+		for attempt := 0; attempt < len(c.Conns); attempt++ {
+			c.mu.Lock()
+			deadK := c.dead[k]
+			c.mu.Unlock()
+			if !deadK {
+				if err := c.Conns[k].Send(task); err == nil {
+					counts[k]++
+					sent = true
+					break
+				}
+				c.markDead(k)
+			}
+			k = (k + 1) % len(c.Conns)
+		}
+		if !sent {
+			return nil, InferStats{}, fmt.Errorf("core: no alive conv node for tile %d", ti)
+		}
+	}
+	alloc = counts
+
+	// Collect intermediate results until all tiles arrive or TL expires.
+	type arrival struct {
+		tile int
+		node int
+		t    *tensor.Tensor
+		wire int
+	}
+	results := make(chan arrival, len(tiles))
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for k, conn := range c.Conns {
+		if alloc[k] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, conn Conn, want int) {
+			defer wg.Done()
+			for i := 0; i < want; {
+				m, err := conn.Recv()
+				if err != nil {
+					c.markDead(k) // connection lost mid-image
+					return
+				}
+				if m.Kind != KindResult {
+					return
+				}
+				if m.ImageID != img {
+					continue // stale result from a timed-out earlier image
+				}
+				i++
+				var t *tensor.Tensor
+				var derr error
+				if m.Compressed {
+					t, derr = compress.Decode(m.Payload)
+				} else {
+					t, derr = DecodeTensor(m.Payload)
+				}
+				if derr != nil {
+					return
+				}
+				select {
+				case results <- arrival{int(m.TileID), k, t, len(m.Payload)}:
+				case <-done:
+					return
+				}
+			}
+		}(k, conn, alloc[k])
+	}
+
+	outTiles := make([]*tensor.Tensor, len(tiles))
+	received := make([]int, len(c.Conns))
+	var wire int64
+	got := 0
+	deadline := time.NewTimer(c.TL)
+	defer deadline.Stop()
+collect:
+	for got < len(tiles) {
+		select {
+		case a := <-results:
+			if outTiles[a.tile] == nil {
+				outTiles[a.tile] = a.t
+				received[a.node]++
+				wire += int64(a.wire)
+				got++
+			}
+		case <-deadline.C:
+			break collect
+		}
+	}
+	close(done)
+
+	// Statistics-collection block (Algorithm 2).
+	c.Stats.Update(received)
+
+	// Zero-fill missing tiles (paper: "start executing the later layers by
+	// setting the missing input to zero").
+	missed := 0
+	shape := c.tileOutShape()
+	for i := range outTiles {
+		if outTiles[i] == nil {
+			outTiles[i] = tensor.New(shape...)
+			missed++
+		}
+	}
+
+	// Layer-computation block: reassemble and run the later layers. When
+	// results arrived compressed they are already dequantized, so only the
+	// plain (raw) path needs the boundary applied here to mirror the
+	// training graph.
+	merged := fdsp.Reassemble(outTiles, g)
+	if c.Model.Opt.Clipped() && missed == len(tiles) {
+		// degenerate case, nothing to do — boundary of zeros is zeros
+		_ = merged
+	}
+	out := c.Model.Back.Forward(merged, false)
+
+	go func() { wg.Wait() }()
+	return out, InferStats{
+		Latency:     time.Since(start),
+		TilesMissed: missed,
+		Alloc:       alloc,
+		Received:    received,
+		WireBytes:   wire,
+	}, nil
+}
+
+// Shutdown tells every Conv node to stop and closes the connections.
+func (c *Central) Shutdown() {
+	for _, conn := range c.Conns {
+		_ = conn.Send(&Message{Kind: KindShutdown})
+		_ = conn.Close()
+	}
+}

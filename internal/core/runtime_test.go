@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+func TestTensorWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{1 + rng.Intn(3), 1 + rng.Intn(4), 1 + rng.Intn(5)}
+		x := tensor.New(shape...)
+		x.RandN(rng, 1)
+		y, err := DecodeTensor(EncodeTensor(x))
+		return err == nil && y.Equal(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTensorRejectsCorrupt(t *testing.T) {
+	x := tensor.New(2, 3)
+	enc := EncodeTensor(x)
+	if _, err := DecodeTensor(nil); err == nil {
+		t.Fatal("nil payload must fail")
+	}
+	if _, err := DecodeTensor(enc[:5]); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+	if _, err := DecodeTensor(append(enc, 0)); err == nil {
+		t.Fatal("oversized payload must fail")
+	}
+}
+
+func TestMessageFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Kind: KindResult, ImageID: 7, TileID: 42, NodeID: 3,
+		Compressed: true, Payload: []byte{1, 2, 3, 4, 5}}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.ImageID != 7 || out.TileID != 42 ||
+		out.NodeID != 3 || !out.Compressed || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestMessageFramingRejectsBadLength(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("absurd frame length must fail")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{1, 0, 0, 0, 1})); err == nil {
+		t.Fatal("too-short frame must fail")
+	}
+}
+
+func TestPipeConnDelivers(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	msg := &Message{Kind: KindTask, ImageID: 1, Payload: []byte("x")}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil || got.ImageID != 1 {
+		t.Fatalf("recv: %v %+v", err, got)
+	}
+	a.Close()
+	if err := a.Send(msg); err == nil {
+		t.Fatal("send on closed conn must fail")
+	}
+}
+
+// buildRuntime wires a Central and n in-process Workers sharing one
+// model's weights.
+func buildRuntime(t *testing.T, opt models.Options, n int, tl time.Duration) (*Central, *models.Model, func()) {
+	t.Helper()
+	cfg := models.VGGSim()
+	m, err := models.Build(cfg, opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]Conn, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a, b := Pipe()
+		conns[i] = a
+		w := NewWorker(i+1, m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Serve(b)
+		}()
+	}
+	c, err := NewCentral(m, conns, tl, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, func() { c.Shutdown(); wg.Wait() }
+}
+
+func TestDistributedMatchesLocalExecution(t *testing.T) {
+	opt := models.Options{Grid: fdsp.Grid{Rows: 4, Cols: 4}}
+	c, m, stop := buildRuntime(t, opt, 4, 5*time.Second)
+	defer stop()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		x := tensor.New(1, 3, 32, 32)
+		x.RandN(rng, 1)
+		want := m.Net.Forward(x, false)
+		got, st, err := c.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.TilesMissed != 0 {
+			t.Fatalf("missed %d tiles with a generous deadline", st.TilesMissed)
+		}
+		if !got.Equal(want, 1e-4) {
+			t.Fatal("distributed inference must match local execution")
+		}
+	}
+}
+
+func TestDistributedWithCompressionMatchesLocal(t *testing.T) {
+	opt := models.Options{
+		Grid:   fdsp.Grid{Rows: 4, Cols: 4},
+		ClipLo: 0.05, ClipHi: 2.0, QuantBits: 4,
+	}
+	c, m, stop := buildRuntime(t, opt, 4, 5*time.Second)
+	defer stop()
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	want := m.Net.Forward(x, false) // local graph includes clip + STQuant
+	got, st, err := c.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-4) {
+		t.Fatal("compressed distributed inference must match the modified training graph")
+	}
+	// Compression must actually shrink the wire volume versus raw floats.
+	raw := int64(models.VGGSim().FrontOutBytes())
+	if st.WireBytes >= raw {
+		t.Fatalf("wire bytes %d not smaller than raw %d", st.WireBytes, raw)
+	}
+}
+
+func TestDistributedLoadBalancesAcrossImages(t *testing.T) {
+	opt := models.Options{Grid: fdsp.Grid{Rows: 4, Cols: 4}}
+	c, _, stop := buildRuntime(t, opt, 4, 5*time.Second)
+	defer stop()
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	var last InferStats
+	for i := 0; i < 5; i++ {
+		_, st, err := c.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st
+	}
+	if last.Alloc.Total() != 16 {
+		t.Fatalf("total tiles %d", last.Alloc.Total())
+	}
+	for k, n := range last.Alloc {
+		if n == 0 {
+			t.Fatalf("node %d starved: %v", k, last.Alloc)
+		}
+	}
+}
+
+func TestDeadlineZeroFillsMissingTiles(t *testing.T) {
+	// A 1ns deadline guarantees every tile misses; inference must still
+	// produce an output of the right shape.
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}
+	c, m, stop := buildRuntime(t, opt, 2, time.Nanosecond)
+	defer stop()
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	got, st, err := c.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilesMissed == 0 {
+		t.Skip("scheduler beat a 1ns deadline — environment too fast to force misses")
+	}
+	want := m.Net.Forward(x, false)
+	if !got.SameShape(want) {
+		t.Fatalf("output shape %v, want %v", got.Shape, want.Shape)
+	}
+}
+
+func TestCentralRequiresPartitionedModel(t *testing.T) {
+	m, err := models.Build(models.VGGSim(), models.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Pipe()
+	if _, err := NewCentral(m, []Conn{a}, time.Second, 0.9); err == nil {
+		t.Fatal("unpartitioned model must be rejected")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adcnn/internal/perfmodel"
+)
+
+// Property: every allocation distributes exactly the grid's tile count,
+// across arbitrary mid-run throttle patterns.
+func TestSimTileConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := vggSim(t, 8, func(c *SimConfig) { c.Seed = seed; c.Noise = 0.1 })
+		// Derive a throttle pattern from the seed.
+		frac := 0.2 + float64(uint64(seed)%60)/100.0
+		node := int(uint64(seed)%8) + 1
+		for i := 0; i < 6; i++ {
+			if i == 3 {
+				s.cfg.Nodes[node-1].SetThrottle(frac)
+			}
+			r := s.RunImage()
+			if r.Alloc.Total() != 64 {
+				return false
+			}
+			if r.Latency <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a faster link never increases latency (all else equal).
+func TestSimLinkMonotonicityProperty(t *testing.T) {
+	run := func(mbps float64) int64 {
+		s := vggSim(t, 8, func(c *SimConfig) {
+			c.Link = perfmodel.LinkModel{Name: "x", BandwidthMbps: mbps, LatencyMs: 0.5, Efficiency: 0.85}
+		})
+		var sum int64
+		for i := 0; i < 5; i++ {
+			sum += int64(s.RunImage().Latency)
+		}
+		return sum
+	}
+	prev := run(5)
+	for _, mbps := range []float64{10, 20, 40, 80, 160} {
+		cur := run(mbps)
+		if cur > prev {
+			t.Fatalf("latency rose when link sped up to %v Mbps", mbps)
+		}
+		prev = cur
+	}
+}
+
+// Property: pruning never increases latency.
+func TestSimPruningNeverHurtsProperty(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8} {
+		withP := vggSim(t, nodes, nil)
+		withoutP := vggSim(t, nodes, func(c *SimConfig) { c.Pruning = false })
+		for i := 0; i < 3; i++ {
+			a, b := withP.RunImage().Latency, withoutP.RunImage().Latency
+			if a > b {
+				t.Fatalf("nodes=%d image %d: pruned %v slower than raw %v", nodes, i, a, b)
+			}
+		}
+	}
+}
+
+// Property: more nodes never increases latency in a healthy cluster.
+func TestSimNodeMonotonicityProperty(t *testing.T) {
+	var prev int64 = 1 << 62
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		s := vggSim(t, nodes, nil)
+		var sum int64
+		for i := 0; i < 5; i++ {
+			sum += int64(s.RunImage().Latency)
+		}
+		if sum > prev {
+			t.Fatalf("latency rose when cluster grew to %d nodes", nodes)
+		}
+		prev = sum
+	}
+}
+
+// Property: the stats window tracks node speed — after a throttle, the
+// EWMA estimate of a slowed node ends below a healthy one's.
+func TestSimStatsTrackSpeedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		frac := 0.2 + float64(uint64(seed)%50)/100.0
+		s := vggSim(t, 4, nil)
+		for i := 0; i < 3; i++ {
+			s.RunImage()
+		}
+		s.cfg.Nodes[1].SetThrottle(frac)
+		for i := 0; i < 10; i++ {
+			s.RunImage()
+		}
+		sp := s.Stats().Speeds()
+		return sp[1] < sp[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

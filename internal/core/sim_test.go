@@ -1,0 +1,298 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adcnn/internal/cluster"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+)
+
+func vggSim(t *testing.T, nodes int, mutate func(*SimConfig)) *Sim {
+	t.Helper()
+	cfg := SimConfig{
+		Model:      models.VGG16().Systemized(),
+		Grid:       fdsp.Grid{Rows: 8, Cols: 8},
+		Nodes:      cluster.NewPiCluster(nodes),
+		Central:    cluster.NewDevice(0, perfmodel.RaspberryPi()),
+		Link:       perfmodel.WiFi(),
+		Pruning:    true,
+		PruneRatio: 0.032,
+		Gamma:      0.9,
+		Pipeline:   true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimLatencyInPaperBallpark(t *testing.T) {
+	// Figure 11 / Table 3: ADCNN VGG16 with 8 Conv nodes ≈ 240 ms
+	// end-to-end (202.88 compute + 37.14 transmission).
+	s := vggSim(t, 8, nil)
+	var latencies []time.Duration
+	for i := 0; i < 10; i++ {
+		latencies = append(latencies, s.RunImage().Latency)
+	}
+	mean := meanDur(latencies)
+	if mean < 120*time.Millisecond || mean > 500*time.Millisecond {
+		t.Fatalf("ADCNN VGG16 latency = %v, want the 150-450 ms regime", mean)
+	}
+}
+
+func TestSimBeatsSingleDeviceByPaperFactor(t *testing.T) {
+	// Paper: 6.68× faster than single-device on average (5 models); for
+	// VGG16 1586 ms single vs ~240 ms ADCNN ≈ 6.6×.
+	s := vggSim(t, 8, nil)
+	var sum time.Duration
+	n := 10
+	for i := 0; i < n; i++ {
+		sum += s.RunImage().Latency
+	}
+	adcnn := sum / time.Duration(n)
+	single := perfmodel.RaspberryPi().Time(models.VGG16().TotalFLOPs(), models.VGG16().TotalMemBytes())
+	speedup := float64(single) / float64(adcnn)
+	if speedup < 4 || speedup > 9 {
+		t.Fatalf("speedup = %.2f×, paper reports ≈6.7×", speedup)
+	}
+}
+
+func TestSimEqualNodesGetEqualTiles(t *testing.T) {
+	s := vggSim(t, 8, nil)
+	res := s.RunImage()
+	for k, x := range res.Alloc {
+		if x != 8 {
+			t.Fatalf("node %d got %d tiles, want 8: %v", k, x, res.Alloc)
+		}
+	}
+}
+
+func TestSimThrottleAdaptsAllocation(t *testing.T) {
+	// Figure 15: throttle nodes 5,6 to 45% and 7,8 to 24% mid-run; the
+	// scheduler must shift tiles to nodes 1-4 and latency must first jump,
+	// then partially recover.
+	s := vggSim(t, 8, nil)
+	events := []cluster.ThrottleEvent{
+		{Image: 10, DeviceID: 5, Fraction: 0.45},
+		{Image: 10, DeviceID: 6, Fraction: 0.45},
+		{Image: 10, DeviceID: 7, Fraction: 0.24},
+		{Image: 10, DeviceID: 8, Fraction: 0.24},
+	}
+	results := s.RunImages(40, events)
+
+	before := results[9]
+	jump := results[10]
+	settled := results[39]
+
+	if jump.Latency <= before.Latency {
+		t.Fatalf("degradation must raise latency: %v -> %v", before.Latency, jump.Latency)
+	}
+	if settled.Latency >= jump.Latency {
+		t.Fatalf("adaptation must recover some latency: jump %v, settled %v",
+			jump.Latency, settled.Latency)
+	}
+	if settled.Latency <= before.Latency {
+		t.Fatalf("slow cluster cannot be as fast as healthy one: %v vs %v",
+			settled.Latency, before.Latency)
+	}
+	// Tile shares shift: fast nodes (1-4) get more than the initial 8,
+	// slow nodes fewer; most-throttled nodes (7,8) get the least.
+	a := settled.Alloc
+	for k := 0; k < 4; k++ {
+		if a[k] <= 8 {
+			t.Fatalf("fast node %d should exceed 8 tiles after adaptation: %v", k+1, a)
+		}
+	}
+	for k := 6; k < 8; k++ {
+		if a[k] >= a[4] {
+			t.Fatalf("76%%-throttled node %d should get fewer tiles than 55%%-throttled: %v", k+1, a)
+		}
+	}
+}
+
+func TestSimNodeFailureToleratedAndRecovers(t *testing.T) {
+	s := vggSim(t, 4, nil)
+	events := []cluster.ThrottleEvent{{Image: 5, DeviceID: 2, Fraction: 0}}
+	results := s.RunImages(15, events)
+	// After failure the dead node receives nothing and the system keeps
+	// producing results.
+	for i := 5; i < 15; i++ {
+		if results[i].Alloc[1] != 0 {
+			t.Fatalf("image %d allocated tiles to the failed node: %v", i, results[i].Alloc)
+		}
+		if results[i].Latency <= 0 {
+			t.Fatalf("image %d has no latency", i)
+		}
+	}
+	// The remaining three nodes absorb all 64 tiles.
+	if got := results[14].Alloc.Total(); got != 64 {
+		t.Fatalf("total tiles after failure = %d", got)
+	}
+}
+
+func TestSimAllNodesFailedStillTerminates(t *testing.T) {
+	s := vggSim(t, 2, nil)
+	for _, d := range s.cfg.Nodes {
+		d.Fail()
+	}
+	res := s.RunImage()
+	if res.TilesMissed != 64 {
+		t.Fatalf("missed = %d, want 64", res.TilesMissed)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("latency must still be finite")
+	}
+}
+
+func TestSimPruningReducesLatencyMoreOnSlowLink(t *testing.T) {
+	// Figure 12: pruning saves ~10.7% at 87.72 Mbps and ~31.2% at
+	// 12.66 Mbps — the slow link benefits much more.
+	run := func(link perfmodel.LinkModel, prune bool) time.Duration {
+		s := vggSim(t, 8, func(c *SimConfig) {
+			c.Link = link
+			c.Pruning = prune
+			if prune {
+				c.PruneRatio = 0.032
+			}
+		})
+		var sum time.Duration
+		for i := 0; i < 5; i++ {
+			sum += s.RunImage().Latency
+		}
+		return sum / 5
+	}
+	fastGain := 1 - float64(run(perfmodel.WiFi(), true))/float64(run(perfmodel.WiFi(), false))
+	slowGain := 1 - float64(run(perfmodel.WiFiSlow(), true))/float64(run(perfmodel.WiFiSlow(), false))
+	if fastGain <= 0 || slowGain <= 0 {
+		t.Fatalf("pruning must help on both links: fast %.3f slow %.3f", fastGain, slowGain)
+	}
+	if slowGain <= fastGain {
+		t.Fatalf("pruning must help more on the slow link: fast %.3f slow %.3f", fastGain, slowGain)
+	}
+}
+
+func TestSimSpeedupGrowsSublinearly(t *testing.T) {
+	// Figure 13: speedup grows 1.8× → 6.2× from 2 to 8 nodes with a
+	// decreasing growth rate.
+	single := perfmodel.RaspberryPi().Time(models.VGG16().TotalFLOPs(), models.VGG16().TotalMemBytes())
+	speedup := func(nodes int) float64 {
+		s := vggSim(t, nodes, nil)
+		var sum time.Duration
+		for i := 0; i < 5; i++ {
+			sum += s.RunImage().Latency
+		}
+		return float64(single) / (float64(sum) / 5)
+	}
+	s2, s4, s8 := speedup(2), speedup(4), speedup(8)
+	if !(s2 < s4 && s4 < s8) {
+		t.Fatalf("speedup must grow with nodes: %v %v %v", s2, s4, s8)
+	}
+	if s2 < 1.2 || s2 > 3 {
+		t.Fatalf("2-node speedup = %.2f, paper ≈1.8", s2)
+	}
+	if s8 < 4 || s8 > 9 {
+		t.Fatalf("8-node speedup = %.2f, paper ≈6.2", s8)
+	}
+	// Diminishing returns: growth 4→8 < growth 2→4 per node.
+	if (s8-s4)/4 >= (s4-s2)/2 {
+		t.Fatalf("growth rate must decrease: %v %v %v", s2, s4, s8)
+	}
+}
+
+func TestSimPipeliningHelps(t *testing.T) {
+	run := func(pipe bool) time.Duration {
+		s := vggSim(t, 8, func(c *SimConfig) {
+			c.Pipeline = pipe
+			c.InputBytesPerValue = 4 // larger input transfers make overlap visible
+		})
+		var sum time.Duration
+		for i := 0; i < 5; i++ {
+			sum += s.RunImage().Latency
+		}
+		return sum / 5
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("pipelining must not slow things down: with %v, without %v", with, without)
+	}
+}
+
+func TestSimBusyTimeAndMemoryAccounted(t *testing.T) {
+	s := vggSim(t, 8, nil)
+	s.RunImage()
+	for k, d := range s.cfg.Nodes {
+		if d.BusyTime() <= 0 {
+			t.Fatalf("node %d has no busy time", k)
+		}
+		if d.PeakMem() <= 0 {
+			t.Fatalf("node %d has no peak memory", k)
+		}
+	}
+	if s.cfg.Central.BusyTime() <= 0 {
+		t.Fatal("central busy time missing")
+	}
+	// More nodes → fewer tiles each → less peak memory per node.
+	s2 := vggSim(t, 2, nil)
+	s2.RunImage()
+	if s2.cfg.Nodes[0].PeakMem() <= s.cfg.Nodes[0].PeakMem() {
+		t.Fatal("2-node cluster must use more memory per node than 8-node")
+	}
+}
+
+func TestSimConfigValidation(t *testing.T) {
+	base := SimConfig{
+		Model:   models.VGG16().Systemized(),
+		Grid:    fdsp.Grid{Rows: 8, Cols: 8},
+		Nodes:   cluster.NewPiCluster(2),
+		Central: cluster.NewDevice(0, perfmodel.RaspberryPi()),
+		Link:    perfmodel.WiFi(),
+		Gamma:   0.9,
+	}
+	bad := base
+	bad.Nodes = nil
+	if _, err := NewSim(bad); err == nil {
+		t.Fatal("no nodes must be rejected")
+	}
+	bad = base
+	bad.Gamma = 0
+	if _, err := NewSim(bad); err == nil {
+		t.Fatal("gamma 0 must be rejected")
+	}
+	bad = base
+	bad.Pruning = true
+	bad.PruneRatio = 2
+	if _, err := NewSim(bad); err == nil {
+		t.Fatal("prune ratio > 1 must be rejected")
+	}
+	bad = base
+	bad.Grid = fdsp.Grid{}
+	if _, err := NewSim(bad); err == nil {
+		t.Fatal("zero grid must be rejected")
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a := vggSim(t, 8, nil)
+	b := vggSim(t, 8, nil)
+	for i := 0; i < 5; i++ {
+		ra, rb := a.RunImage(), b.RunImage()
+		if ra.Latency != rb.Latency || ra.TilesMissed != rb.TilesMissed {
+			t.Fatalf("image %d: nondeterministic results", i)
+		}
+	}
+}
+
+func meanDur(ds []time.Duration) time.Duration {
+	var s time.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return s / time.Duration(len(ds))
+}

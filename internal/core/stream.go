@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"adcnn/internal/cluster"
+)
+
+// StreamResult summarises a pipelined multi-image run (paper Figure 9:
+// the Central node transmits image i+1's tiles before image i finishes,
+// so the three pipeline stages — tile transmission, Conv-node
+// computation+return, Central-node later layers — overlap across
+// consecutive images).
+type StreamResult struct {
+	Images     int
+	Makespan   time.Duration
+	Throughput float64       // images per second
+	AvgLatency time.Duration // mean per-image latency including pipeline queueing
+}
+
+// StreamDepth bounds the number of in-flight images: the Central node
+// starts transmitting image i only after image i−StreamDepth has
+// finished (the paper's t_s^{i+1} < t_c^i keeps roughly one extra image
+// in flight; we allow a small window). Without this bound a saturated
+// open-loop stream would grow its queue — and per-image latency —
+// without limit.
+const StreamDepth = 3
+
+// RunStream simulates n images flowing through the pipeline. Each image
+// is first simulated in isolation (RunImage, which also drives the
+// scheduler state), then the stream makespan is assembled from the
+// per-stage spans with classic pipeline overlap: every stage is a
+// resource (the shared link, the Conv cluster, the Central node) that
+// processes images in order, with at most StreamDepth images in flight.
+func (s *Sim) RunStream(n int, events []cluster.ThrottleEvent) StreamResult {
+	var linkFree, clusterFree, centralFree time.Duration
+	var totalLatency time.Duration
+	var makespan time.Duration
+	done := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		cluster.ApplyEvents(s.cfg.Nodes, events, i)
+		r := s.RunImage()
+		// Stage spans for this image.
+		sSend := r.InputXfer
+		sConv := r.ConvCompute + r.OutputXfer
+		sBack := r.BackCompute
+
+		start := linkFree
+		if i >= StreamDepth && done[i-StreamDepth] > start {
+			start = done[i-StreamDepth] // admission control
+		}
+		sendDone := start + sSend
+		linkFree = sendDone
+		convDone := maxDur(sendDone, clusterFree) + sConv
+		clusterFree = convDone
+		backDone := maxDur(convDone, centralFree) + sBack
+		centralFree = backDone
+		done[i] = backDone
+
+		totalLatency += backDone - start
+		makespan = backDone
+	}
+	if n == 0 {
+		return StreamResult{}
+	}
+	return StreamResult{
+		Images:     n,
+		Makespan:   makespan,
+		Throughput: float64(n) / makespan.Seconds(),
+		AvgLatency: totalLatency / time.Duration(n),
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStreamThroughputExceedsInverseLatency(t *testing.T) {
+	// With pipelining, throughput is bounded by the slowest stage, not
+	// the whole per-image latency, so it must beat 1/latency.
+	s := vggSim(t, 8, nil)
+	probe := s.RunImage()
+	latency := probe.Latency
+
+	s2 := vggSim(t, 8, nil)
+	res := s2.RunStream(50, nil)
+	if res.Images != 50 || res.Throughput <= 0 {
+		t.Fatalf("bad stream result %+v", res)
+	}
+	unpipelined := 1.0 / latency.Seconds()
+	if res.Throughput <= unpipelined {
+		t.Fatalf("pipelined throughput %.2f img/s must beat un-pipelined %.2f img/s",
+			res.Throughput, unpipelined)
+	}
+	// Per-image latency under streaming cannot be below the isolated one.
+	if res.AvgLatency < latency/2 {
+		t.Fatalf("stream latency %v implausibly below isolated %v", res.AvgLatency, latency)
+	}
+}
+
+func TestStreamMakespanMonotone(t *testing.T) {
+	run := func(n int) time.Duration {
+		s := vggSim(t, 4, nil)
+		return s.RunStream(n, nil).Makespan
+	}
+	if !(run(5) < run(10) && run(10) < run(20)) {
+		t.Fatal("makespan must grow with the number of images")
+	}
+}
+
+func TestStreamZeroImages(t *testing.T) {
+	s := vggSim(t, 2, nil)
+	if res := s.RunStream(0, nil); res.Throughput != 0 || res.Images != 0 {
+		t.Fatalf("zero-image stream: %+v", res)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+func TestStreamConnOverNetPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewStreamConn(a), NewStreamConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		_ = ca.Send(&Message{Kind: KindTask, ImageID: 9, Payload: []byte("hello")})
+	}()
+	m, err := cb.Recv()
+	if err != nil || m.ImageID != 9 || string(m.Payload) != "hello" {
+		t.Fatalf("recv %v %+v", err, m)
+	}
+}
+
+func TestDistributedOverRealTCP(t *testing.T) {
+	// Full ADCNN protocol over loopback TCP: two Conv-node servers, one
+	// Central client, outputs identical to local execution.
+	cfg := models.VGGSim()
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}, ClipLo: 0.02, ClipHi: 2.5, QuantBits: 4}
+	m, err := models.Build(cfg, opt, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	conns := make([]Conn, 2)
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorker(i+1, m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = w.Serve(NewStreamConn(c))
+		}()
+		dial, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = NewStreamConn(dial)
+		defer ln.Close()
+	}
+
+	central, err := NewCentral(m, conns, 10*time.Second, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { central.Shutdown(); wg.Wait() }()
+
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	want := m.Net.Forward(x, false)
+	got, st, err := central.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilesMissed != 0 {
+		t.Fatalf("missed %d tiles over loopback", st.TilesMissed)
+	}
+	if !got.Equal(want, 1e-4) {
+		t.Fatal("TCP distributed inference must match local execution")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// PhaseSpan is one labelled interval of the inference timeline.
+type PhaseSpan struct {
+	Label      string
+	Start, End time.Duration
+}
+
+// Timeline is the Figure 9 artifact: the phase intervals of one image's
+// distributed inference (T_F input transmission, T_Conv separable-block
+// computation, T_C result transmission, T_rest later layers).
+type Timeline struct {
+	Spans []PhaseSpan
+	Total time.Duration
+}
+
+// TimelineFor derives the Figure 9 timeline from one simulated image.
+func TimelineFor(r ImageResult) Timeline {
+	tF := r.InputXfer
+	tConvEnd := tF + r.ConvCompute
+	tCEnd := tConvEnd + r.OutputXfer
+	return Timeline{
+		Spans: []PhaseSpan{
+			{Label: "T_F    (input tiles → Conv nodes)", Start: 0, End: tF},
+			{Label: "T_Conv (separable layer blocks)", Start: tF, End: tConvEnd},
+			{Label: "T_C    (intermediate results → Central)", Start: tConvEnd, End: tCEnd},
+			{Label: "T_rest (later layers on Central)", Start: r.Latency - r.BackCompute, End: r.Latency},
+		},
+		Total: r.Latency,
+	}
+}
+
+// WriteText renders a proportional text Gantt chart.
+func (t Timeline) WriteText(w io.Writer, width int) {
+	if width < 20 {
+		width = 60
+	}
+	if t.Total <= 0 {
+		fmt.Fprintln(w, "empty timeline")
+		return
+	}
+	scale := float64(width) / float64(t.Total)
+	fmt.Fprintf(w, "timeline of one image (total %v):\n", t.Total.Round(time.Millisecond))
+	for _, s := range t.Spans {
+		lo := int(float64(s.Start) * scale)
+		hi := int(float64(s.End) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo)
+		fmt.Fprintf(w, "  %-42s |%-*s| %6.1fms\n", s.Label, width, bar,
+			float64(s.End-s.Start)/float64(time.Millisecond))
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimelinePhasesOrderedAndCovering(t *testing.T) {
+	s := vggSim(t, 8, nil)
+	r := s.RunImage()
+	tl := TimelineFor(r)
+	if len(tl.Spans) != 4 {
+		t.Fatalf("expected 4 phases, got %d", len(tl.Spans))
+	}
+	// Phases are ordered and non-negative.
+	for i, sp := range tl.Spans {
+		if sp.End < sp.Start {
+			t.Fatalf("phase %d inverted: %+v", i, sp)
+		}
+	}
+	// First three phases chain (Figure 9: T_F then T_Conv then T_C).
+	if tl.Spans[1].Start != tl.Spans[0].End || tl.Spans[2].Start != tl.Spans[1].End {
+		t.Fatal("transmission/compute phases must chain")
+	}
+	// The rest-layer phase ends at the total latency.
+	if tl.Spans[3].End != tl.Total {
+		t.Fatal("T_rest must end at the total latency")
+	}
+	var buf bytes.Buffer
+	tl.WriteText(&buf, 60)
+	out := buf.String()
+	for _, want := range []string{"T_F", "T_Conv", "T_C", "T_rest"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in rendering:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Timeline{}.WriteText(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty timeline should say so")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"adcnn/internal/tensor"
+)
+
+// MsgKind tags protocol messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	KindTask     MsgKind = 1 // Central → Conv: one input tile
+	KindResult   MsgKind = 2 // Conv → Central: one intermediate result
+	KindShutdown MsgKind = 3 // Central → Conv: stop serving
+)
+
+// Message is one protocol frame. Tiles carry the image ID and tile ID of
+// paper Figure 8 so results can be matched to requests.
+type Message struct {
+	Kind    MsgKind
+	ImageID uint32
+	TileID  uint32
+	NodeID  uint32
+	// Compressed marks Payload as a compress-pipeline payload rather
+	// than a raw tensor encoding.
+	Compressed bool
+	Payload    []byte
+}
+
+const maxFrame = 256 << 20 // 256 MiB guard against corrupt lengths
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m *Message) error {
+	if len(m.Payload) > maxFrame {
+		return fmt.Errorf("core: payload %d exceeds frame limit", len(m.Payload))
+	}
+	var hdr [18]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Payload))+14)
+	hdr[4] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[5:], m.ImageID)
+	binary.LittleEndian.PutUint32(hdr[9:], m.TileID)
+	binary.LittleEndian.PutUint32(hdr[13:], m.NodeID)
+	if m.Compressed {
+		hdr[17] = 1
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 14 || n > maxFrame {
+		return nil, fmt.Errorf("core: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	m := &Message{
+		Kind:       MsgKind(body[0]),
+		ImageID:    binary.LittleEndian.Uint32(body[1:]),
+		TileID:     binary.LittleEndian.Uint32(body[5:]),
+		NodeID:     binary.LittleEndian.Uint32(body[9:]),
+		Compressed: body[13] == 1,
+		Payload:    body[14:],
+	}
+	return m, nil
+}
+
+// EncodeTensor serialises a tensor as shape + raw float32 data.
+func EncodeTensor(t *tensor.Tensor) []byte {
+	out := make([]byte, 1+4*t.Rank()+4*t.Len())
+	out[0] = byte(t.Rank())
+	off := 1
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(out[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(v))
+		off += 4
+	}
+	return out
+}
+
+// DecodeTensor reverses EncodeTensor.
+func DecodeTensor(data []byte) (*tensor.Tensor, error) {
+	if len(data) < 1 {
+		return nil, errors.New("core: empty tensor payload")
+	}
+	rank := int(data[0])
+	off := 1
+	if len(data) < off+4*rank {
+		return nil, errors.New("core: truncated tensor header")
+	}
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		vol *= shape[i]
+		// Guard against integer overflow from corrupt shape headers: no
+		// legitimate payload exceeds the frame limit.
+		if vol < 0 || vol > maxFrame/4 {
+			return nil, fmt.Errorf("core: tensor volume overflows frame limit")
+		}
+	}
+	if len(data) != off+4*vol {
+		return nil, fmt.Errorf("core: tensor payload %d bytes, want %d", len(data), off+4*vol)
+	}
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	return t, nil
+}
+
+// Conn is a bidirectional message channel between Central and one Conv
+// node.
+type Conn interface {
+	Send(m *Message) error
+	Recv() (*Message, error)
+	Close() error
+}
+
+// chanConn is the in-process transport: two buffered channels.
+type chanConn struct {
+	out    chan<- *Message
+	in     <-chan *Message
+	closed chan struct{}
+}
+
+// Pipe returns a connected pair of in-process Conns.
+func Pipe() (a, b Conn) {
+	ab := make(chan *Message, 1024)
+	ba := make(chan *Message, 1024)
+	closed := make(chan struct{})
+	return &chanConn{out: ab, in: ba, closed: closed},
+		&chanConn{out: ba, in: ab, closed: closed}
+}
+
+func (c *chanConn) Send(m *Message) error {
+	// Check the closed flag first: with a buffered channel both select
+	// cases can be ready and the choice would be random.
+	select {
+	case <-c.closed:
+		return errors.New("core: connection closed")
+	default:
+	}
+	select {
+	case <-c.closed:
+		return errors.New("core: connection closed")
+	case c.out <- m:
+		return nil
+	}
+}
+
+func (c *chanConn) Recv() (*Message, error) {
+	select {
+	case <-c.closed:
+		return nil, io.EOF
+	case m, ok := <-c.in:
+		if !ok {
+			return nil, io.EOF
+		}
+		return m, nil
+	}
+}
+
+func (c *chanConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+
+// streamConn adapts an io.ReadWriteCloser (e.g. a TCP connection) to
+// Conn with buffered framing.
+type streamConn struct {
+	rw io.ReadWriteCloser
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewStreamConn wraps a byte stream in the message framing.
+func NewStreamConn(rw io.ReadWriteCloser) Conn {
+	return &streamConn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16), bw: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+func (s *streamConn) Send(m *Message) error {
+	if err := WriteMessage(s.bw, m); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+func (s *streamConn) Recv() (*Message, error) { return ReadMessage(s.br) }
+
+func (s *streamConn) Close() error { return s.rw.Close() }

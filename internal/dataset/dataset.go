@@ -1,0 +1,261 @@
+// Package dataset generates the synthetic workloads that stand in for
+// the paper's datasets (ImageNet/Caltech101 → structured-pattern images,
+// CamVid → blob scenes with masks, VOC detection → per-cell patterns,
+// AG-news → keyword character streams). Each generator produces a
+// distribution with both local texture and global layout, so accuracy
+// degrades under FDSP's tile-border zero padding and recovers under
+// retraining — the property the paper's accuracy experiments probe.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"adcnn/internal/tensor"
+)
+
+// Set is an in-memory dataset: one sample per row of X with task labels.
+// For classification/text there is one label per sample; for dense tasks
+// there are LabelH*LabelW labels per sample, row-major.
+type Set struct {
+	X      *tensor.Tensor // [N, C, H, W]
+	Labels []int
+	// LabelH/LabelW describe dense label geometry (1×1 for classification).
+	LabelH, LabelW int
+	Classes        int
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return s.X.Shape[0] }
+
+// Split divides the set into a training prefix of n samples and a test
+// remainder. Both halves come from the same generation run, so they share
+// class patterns — use this rather than generating two sets with
+// different seeds, which would produce two unrelated distributions.
+func (s *Set) Split(n int) (train, test *Set) {
+	if n <= 0 || n >= s.Len() {
+		panic("dataset: split size out of range")
+	}
+	c, h, w := s.X.Shape[1], s.X.Shape[2], s.X.Shape[3]
+	sample := c * h * w
+	per := s.LabelH * s.LabelW
+	mk := func(lo, hi int) *Set {
+		return &Set{
+			X:      tensorFromRange(s.X.Data[lo*sample:hi*sample], hi-lo, c, h, w),
+			Labels: s.Labels[lo*per : hi*per],
+			LabelH: s.LabelH, LabelW: s.LabelW,
+			Classes: s.Classes,
+		}
+	}
+	return mk(0, n), mk(n, s.Len())
+}
+
+func tensorFromRange(data []float32, shape ...int) *tensor.Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// Batch returns samples [i, i+n) as a view-free copy plus their labels.
+func (s *Set) Batch(i, n int) (*tensor.Tensor, []int) {
+	if i < 0 || i+n > s.Len() {
+		panic("dataset: batch out of range")
+	}
+	c, h, w := s.X.Shape[1], s.X.Shape[2], s.X.Shape[3]
+	sample := c * h * w
+	x := tensor.FromSlice(s.X.Data[i*sample:(i+n)*sample], n, c, h, w)
+	per := s.LabelH * s.LabelW
+	return x, s.Labels[i*per : (i+n)*per]
+}
+
+// classPattern builds a smooth class-characteristic field from a few
+// random low-frequency cosine components, giving each class a distinct
+// global layout that tiling disrupts.
+func classPattern(rng *rand.Rand, c, h, w int) *tensor.Tensor {
+	p := tensor.New(c, h, w)
+	const waves = 4
+	for ch := 0; ch < c; ch++ {
+		for k := 0; k < waves; k++ {
+			fy := (rng.Float64()*2 - 1) * 3 * math.Pi / float64(h)
+			fx := (rng.Float64()*2 - 1) * 3 * math.Pi / float64(w)
+			phase := rng.Float64() * 2 * math.Pi
+			amp := 0.5 + rng.Float64()
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					p.Data[ch*h*w+y*w+x] += float32(amp * math.Cos(fy*float64(y)+fx*float64(x)+phase))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Classification generates an image-classification set: each class has a
+// fixed smooth pattern; samples add Gaussian pixel noise and a small
+// random translation.
+func Classification(n, classes, c, h, w int, noise float32, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	patterns := make([]*tensor.Tensor, classes)
+	for k := range patterns {
+		patterns[k] = classPattern(rng, c, h, w)
+	}
+	s := &Set{
+		X:      tensor.New(n, c, h, w),
+		Labels: make([]int, n),
+		LabelH: 1, LabelW: 1,
+		Classes: classes,
+	}
+	for i := 0; i < n; i++ {
+		k := rng.Intn(classes)
+		s.Labels[i] = k
+		dy, dx := rng.Intn(5)-2, rng.Intn(5)-2
+		base := i * c * h * w
+		p := patterns[k]
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				sy := (y + dy + h) % h
+				for x := 0; x < w; x++ {
+					sx := (x + dx + w) % w
+					s.X.Data[base+ch*h*w+y*w+x] = p.Data[ch*h*w+sy*w+sx] + noise*float32(rng.NormFloat64())
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Segmentation generates blob scenes: each image contains a few
+// rectangular blobs of class-specific texture on a background (class 0);
+// labels mark the class of every pixel.
+func Segmentation(n, classes, c, h, w int, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	// Per-class texture: a mean level per channel plus a stripe frequency.
+	type tex struct {
+		mean []float32
+		freq float64
+	}
+	texes := make([]tex, classes)
+	for k := range texes {
+		m := make([]float32, c)
+		for ch := range m {
+			m[ch] = float32(rng.NormFloat64())
+		}
+		texes[k] = tex{mean: m, freq: 0.5 + rng.Float64()*2}
+	}
+	s := &Set{
+		X:      tensor.New(n, c, h, w),
+		Labels: make([]int, n*h*w),
+		LabelH: h, LabelW: w,
+		Classes: classes,
+	}
+	for i := 0; i < n; i++ {
+		base := i * c * h * w
+		lbase := i * h * w
+		paint := func(k, y0, x0, bh, bw int) {
+			t := texes[k]
+			for y := y0; y < y0+bh && y < h; y++ {
+				for x := x0; x < x0+bw && x < w; x++ {
+					s.Labels[lbase+y*w+x] = k
+					for ch := 0; ch < c; ch++ {
+						v := t.mean[ch] + float32(0.5*math.Sin(t.freq*float64(y+x))) +
+							0.2*float32(rng.NormFloat64())
+						s.X.Data[base+ch*h*w+y*w+x] = v
+					}
+				}
+			}
+		}
+		paint(0, 0, 0, h, w) // background
+		blobs := 2 + rng.Intn(3)
+		for b := 0; b < blobs; b++ {
+			k := 1 + rng.Intn(classes-1)
+			bh := h/4 + rng.Intn(h/3)
+			bw := w/4 + rng.Intn(w/3)
+			paint(k, rng.Intn(h-bh), rng.Intn(w-bw), bh, bw)
+		}
+	}
+	return s
+}
+
+// Cells generates the detection proxy: the image is divided into
+// cellH×cellW regions and each region is filled with one class's
+// texture; labels give the class per cell (the YOLO-style dense target).
+func Cells(n, classes, c, h, w, cellH, cellW int, seed int64) *Set {
+	if h%cellH != 0 || w%cellW != 0 {
+		panic("dataset: cells must divide the image")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patterns := make([]*tensor.Tensor, classes)
+	ph, pw := h/cellH, w/cellW
+	for k := range patterns {
+		patterns[k] = classPattern(rng, c, ph, pw)
+	}
+	s := &Set{
+		X:      tensor.New(n, c, h, w),
+		Labels: make([]int, n*cellH*cellW),
+		LabelH: cellH, LabelW: cellW,
+		Classes: classes,
+	}
+	for i := 0; i < n; i++ {
+		base := i * c * h * w
+		for cy := 0; cy < cellH; cy++ {
+			for cx := 0; cx < cellW; cx++ {
+				k := rng.Intn(classes)
+				s.Labels[i*cellH*cellW+cy*cellW+cx] = k
+				p := patterns[k]
+				for ch := 0; ch < c; ch++ {
+					for y := 0; y < ph; y++ {
+						for x := 0; x < pw; x++ {
+							s.X.Data[base+ch*h*w+(cy*ph+y)*w+cx*pw+x] =
+								p.Data[ch*ph*pw+y*pw+x] + 0.3*float32(rng.NormFloat64())
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Text generates character sequences (one-hot over an alphabet of size c,
+// sequence along H, W=1). Each class plants its own keyword patterns at
+// random positions in a random-character stream — the character-level
+// classification structure CharCNN exploits.
+func Text(n, classes, c, length int, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	kwLen := 5
+	keywords := make([][][]int, classes) // per class: several keywords
+	for k := range keywords {
+		kws := make([][]int, 3)
+		for j := range kws {
+			kw := make([]int, kwLen)
+			for i := range kw {
+				kw[i] = rng.Intn(c)
+			}
+			kws[j] = kw
+		}
+		keywords[k] = kws
+	}
+	s := &Set{
+		X:      tensor.New(n, c, length, 1),
+		Labels: make([]int, n),
+		LabelH: 1, LabelW: 1,
+		Classes: classes,
+	}
+	for i := 0; i < n; i++ {
+		k := rng.Intn(classes)
+		s.Labels[i] = k
+		seq := make([]int, length)
+		for j := range seq {
+			seq[j] = rng.Intn(c)
+		}
+		// Plant several keyword occurrences.
+		for rep := 0; rep < 4; rep++ {
+			kw := keywords[k][rng.Intn(len(keywords[k]))]
+			pos := rng.Intn(length - kwLen)
+			copy(seq[pos:pos+kwLen], kw)
+		}
+		base := i * c * length
+		for j, ch := range seq {
+			s.X.Data[base+ch*length+j] = 1
+		}
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestClassificationShapeAndLabels(t *testing.T) {
+	s := Classification(20, 4, 3, 16, 16, 0.1, 1)
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.Labels) != 20 {
+		t.Fatalf("labels = %d", len(s.Labels))
+	}
+	for _, l := range s.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	x, labels := s.Batch(5, 3)
+	if x.Shape[0] != 3 || len(labels) != 3 {
+		t.Fatalf("batch shapes %v %d", x.Shape, len(labels))
+	}
+}
+
+func TestClassificationDeterministic(t *testing.T) {
+	a := Classification(5, 3, 1, 8, 8, 0.1, 42)
+	b := Classification(5, 3, 1, 8, 8, 0.1, 42)
+	if !a.X.Equal(b.X, 0) {
+		t.Fatal("same seed must reproduce data")
+	}
+	c := Classification(5, 3, 1, 8, 8, 0.1, 43)
+	if a.X.Equal(c.X, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestClassificationClassesSeparable(t *testing.T) {
+	// Nearest-class-pattern classification on clean-ish data should beat
+	// chance by a wide margin: verify per-class means differ.
+	s := Classification(100, 2, 1, 8, 8, 0.05, 7)
+	var m0, m1 float64
+	var n0, n1 int
+	sample := 8 * 8
+	for i := 0; i < s.Len(); i++ {
+		var sum float64
+		for _, v := range s.X.Data[i*sample : (i+1)*sample] {
+			sum += float64(v)
+		}
+		if s.Labels[i] == 0 {
+			m0 += sum
+			n0++
+		} else {
+			m1 += sum
+			n1++
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		t.Fatal("degenerate class balance")
+	}
+	// The class patterns are random fields, so their means differ with
+	// overwhelming probability for this seed.
+	if m0/float64(n0) == m1/float64(n1) {
+		t.Fatal("class distributions identical")
+	}
+}
+
+func TestBatchOutOfRangePanics(t *testing.T) {
+	s := Classification(4, 2, 1, 8, 8, 0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Batch(3, 2)
+}
+
+func TestSegmentationLabelsPerPixel(t *testing.T) {
+	s := Segmentation(6, 4, 3, 16, 16, 2)
+	if len(s.Labels) != 6*16*16 {
+		t.Fatalf("labels = %d", len(s.Labels))
+	}
+	if s.LabelH != 16 || s.LabelW != 16 {
+		t.Fatal("label geometry")
+	}
+	seen := map[int]bool{}
+	for _, l := range s.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("segmentation must contain multiple classes")
+	}
+	// background should be present
+	if !seen[0] {
+		t.Fatal("no background pixels")
+	}
+}
+
+func TestCellsGeometry(t *testing.T) {
+	s := Cells(5, 3, 3, 32, 32, 8, 8, 3)
+	if len(s.Labels) != 5*8*8 {
+		t.Fatalf("labels = %d", len(s.Labels))
+	}
+	x, labels := s.Batch(0, 2)
+	if x.Shape[2] != 32 || len(labels) != 2*64 {
+		t.Fatal("batch geometry")
+	}
+}
+
+func TestCellsIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Cells(1, 2, 1, 30, 30, 8, 8, 1)
+}
+
+func TestTextOneHot(t *testing.T) {
+	s := Text(10, 4, 16, 64, 5)
+	if s.X.Shape[1] != 16 || s.X.Shape[2] != 64 || s.X.Shape[3] != 1 {
+		t.Fatalf("shape %v", s.X.Shape)
+	}
+	// Every position must have exactly one hot channel.
+	for i := 0; i < s.Len(); i++ {
+		for pos := 0; pos < 64; pos++ {
+			count := 0
+			for ch := 0; ch < 16; ch++ {
+				if s.X.At(i, ch, pos, 0) == 1 {
+					count++
+				} else if s.X.At(i, ch, pos, 0) != 0 {
+					t.Fatal("non-binary value in one-hot stream")
+				}
+			}
+			if count != 1 {
+				t.Fatalf("sample %d pos %d has %d hot channels", i, pos, count)
+			}
+		}
+	}
+}

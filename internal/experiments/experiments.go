@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each function returns a typed result with a
+// WriteText method that prints the same rows/series the paper reports;
+// cmd/adcnn-bench and the repository-level benchmarks call these.
+//
+// System-side experiments (Figures 11-15, Table 3) run the virtual-time
+// simulator on full-scale model configs with the calibrated Raspberry
+// Pi / WiFi / EC2 models. Accuracy-side experiments (Figure 10,
+// Tables 1-2) actually train the sim-scale models on synthetic data.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"adcnn/internal/cluster"
+	"adcnn/internal/core"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+	"adcnn/internal/stats"
+)
+
+// SystemGrid returns the partition the paper uses for each model in the
+// testbed experiments (Section 7.2): 8×8 for VGG16, ResNet34 and
+// CharCNN, 4×8 for FCN, 4×4 for YOLO.
+func SystemGrid(name string) fdsp.Grid {
+	switch name {
+	case "FCN":
+		return fdsp.Grid{Rows: 4, Cols: 8}
+	case "YOLO":
+		return fdsp.Grid{Rows: 4, Cols: 4}
+	case "CharCNN":
+		return fdsp.Grid{Rows: 64, Cols: 1} // 1-D: 64 sequence segments
+	default:
+		return fdsp.Grid{Rows: 8, Cols: 8}
+	}
+}
+
+// AOFLGrid returns the coarse one-piece-per-device partition AOFL uses
+// (paper Section 7.4: "partition the input image spatially into eight
+// pieces").
+func AOFLGrid(name string, devices int) fdsp.Grid {
+	if name == "CharCNN" {
+		return fdsp.Grid{Rows: devices, Cols: 1}
+	}
+	rows := 2
+	for rows*rows < devices {
+		rows *= 2
+	}
+	cols := devices / rows
+	if cols < 1 {
+		cols = 1
+	}
+	return fdsp.Grid{Rows: rows, Cols: cols}
+}
+
+// PruneRatio returns the measured compressed/raw output ratio per model
+// (paper Table 2).
+func PruneRatio(name string) float64 {
+	switch name {
+	case "VGG16":
+		return 0.032
+	case "ResNet34":
+		return 0.043
+	case "FCN":
+		return 0.011
+	case "YOLO":
+		return 0.020
+	case "CharCNN":
+		return 0.056
+	default:
+		return 0.03
+	}
+}
+
+// SimOptions collects the common knobs for building an ADCNN simulation.
+type SimOptions struct {
+	Nodes   int
+	Link    perfmodel.LinkModel
+	Pruning bool
+	Noise   float64
+	Seed    int64
+}
+
+// DefaultSimOptions mirrors the paper's stable-environment testbed:
+// 8 Conv nodes, 87.72 Mbps WiFi, pruning on, mild measurement noise.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Nodes: 8, Link: perfmodel.WiFi(), Pruning: true, Noise: 0.04, Seed: 1}
+}
+
+// NewADCNNSim builds the virtual-time simulator for one full-scale model
+// under the system configuration (deep separable prefix, paper grids).
+func NewADCNNSim(cfg models.Config, o SimOptions) (*core.Sim, []*cluster.Device, *cluster.Device, error) {
+	nodes := cluster.NewPiCluster(o.Nodes)
+	central := cluster.NewDevice(0, perfmodel.RaspberryPi())
+	sim, err := core.NewSim(core.SimConfig{
+		Model:      cfg.Systemized(),
+		Grid:       SystemGrid(cfg.Name),
+		Nodes:      nodes,
+		Central:    central,
+		Link:       o.Link,
+		Pruning:    o.Pruning,
+		PruneRatio: PruneRatio(cfg.Name),
+		Gamma:      0.9,
+		Pipeline:   true,
+		Noise:      o.Noise,
+		Seed:       o.Seed,
+	})
+	return sim, nodes, central, err
+}
+
+// MeasureLatency runs n images and returns mean and CI95 half-width in
+// milliseconds, plus the raw per-image results.
+func MeasureLatency(sim *core.Sim, n int) (mean, ci float64, results []core.ImageResult) {
+	results = make([]core.ImageResult, 0, n)
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		r := sim.RunImage()
+		results = append(results, r)
+		lat = append(lat, r.Latency)
+	}
+	mean, ci = stats.CI95(stats.Durations(lat))
+	return
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

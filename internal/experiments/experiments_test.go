@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigure3ShapesMatchPaper(t *testing.T) {
+	r := Figure3()
+	if len(r.Models) != 4 {
+		t.Fatalf("Figure 3 covers 4 models, got %d", len(r.Models))
+	}
+	// Early blocks dominate: paper reports the first 4 VGG16 blocks take
+	// 41.4% of the total; accept a generous band around it.
+	share := r.EarlyShare("VGG16", 4)
+	if share < 0.3 || share > 0.65 {
+		t.Fatalf("VGG16 first-4-block share = %.3f, paper ≈ 0.414", share)
+	}
+	// Ifmap size rises after block 1 and later falls for every model.
+	for _, m := range r.Models {
+		last := m.Blocks[len(m.Blocks)-1].IfmapMB
+		peak := 0.0
+		for _, b := range m.Blocks {
+			if b.IfmapMB > peak {
+				peak = b.IfmapMB
+			}
+		}
+		if last >= peak {
+			t.Errorf("%s: ifmap must shrink toward the end", m.Model)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "VGG16") || !strings.Contains(buf.String(), "CharCNN") {
+		t.Fatal("text output incomplete")
+	}
+}
+
+func TestRunAccuracyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short")
+	}
+	res, err := RunAccuracy(QuickAccuracySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.OrigMetric < 0.7 {
+		t.Fatalf("original model too weak: %.3f", row.OrigMetric)
+	}
+	// Figure 10's claim: the retrained model recovers to within ~1% (we
+	// allow the setup tolerance plus slack for the tiny dataset).
+	if row.FinalMetric < row.OrigMetric-0.15 {
+		t.Fatalf("retrained metric %.3f too far below original %.3f",
+			row.FinalMetric, row.OrigMetric)
+	}
+	// Table 1's claim: a handful of epochs per stage, not hundreds.
+	if row.TotalEpochs() > 3*QuickAccuracySetup().StageEpochs {
+		t.Fatalf("epochs = %d exceeds budget", row.TotalEpochs())
+	}
+	// Table 2's claim: the pruned output is a small fraction of raw.
+	if row.CompressionRatio <= 0 || row.CompressionRatio > 0.5 {
+		t.Fatalf("compression ratio = %.4f, expected well below 0.5", row.CompressionRatio)
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	for _, want := range []string{"Figure 10", "Table 1", "Table 2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in text output", want)
+		}
+	}
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	r, err := Figure11(10, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("expected 5 models, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ADCNNMs >= row.SingleDeviceMs {
+			t.Errorf("%s: ADCNN %.1f not faster than single device %.1f",
+				row.Model, row.ADCNNMs, row.SingleDeviceMs)
+		}
+	}
+	vsSingle, vsCloud := r.MeanSpeedups()
+	// Paper: 6.68× and 4.42×. The calibrated simulator lands in the same
+	// regime; assert the qualitative bands.
+	if vsSingle < 3 || vsSingle > 10 {
+		t.Fatalf("mean speedup vs single device = %.2f, paper 6.68", vsSingle)
+	}
+	if vsCloud < 2 || vsCloud > 10 {
+		t.Fatalf("mean speedup vs remote cloud = %.2f, paper 4.42", vsCloud)
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	r, err := Table3(DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adcnn, single, cloud float64
+	for _, b := range r.Rows {
+		switch b.Scheme {
+		case "ADCNN":
+			adcnn = ms(b.Total())
+			if ms(b.Transmission) >= ms(b.Computation) {
+				t.Error("ADCNN must be compute-dominated (paper: 37ms vs 203ms)")
+			}
+		case "single-device":
+			single = ms(b.Total())
+			if b.Transmission != 0 {
+				t.Error("single device transmits nothing")
+			}
+		case "remote-cloud":
+			cloud = ms(b.Total())
+			if b.Transmission < b.Computation {
+				t.Error("remote cloud must be transmission-dominated")
+			}
+		}
+	}
+	if !(adcnn < cloud && cloud < single) {
+		t.Fatalf("ordering ADCNN < cloud < single violated: %.0f %.0f %.0f", adcnn, cloud, single)
+	}
+}
+
+func TestFigure12Shapes(t *testing.T) {
+	r, err := Figure12(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := r.MeanReduction(87.72)
+	slow := r.MeanReduction(12.66)
+	if fast <= 0 || slow <= 0 {
+		t.Fatalf("pruning must reduce latency: %.1f%% / %.1f%%", fast, slow)
+	}
+	if slow <= fast {
+		t.Fatalf("pruning must matter more on the slow link: %.1f%% vs %.1f%%", fast, slow)
+	}
+}
+
+func TestFigure13Shapes(t *testing.T) {
+	r, err := Figure13(6, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Speedup grows with node count, sub-linearly.
+	var prev float64
+	for _, row := range r.Rows[1:] {
+		if row.Speedup <= prev {
+			t.Fatalf("speedup not increasing: %+v", r.Rows)
+		}
+		prev = row.Speedup
+	}
+	s2, s8 := r.Rows[1].Speedup, r.Rows[4].Speedup
+	if s2 < 1.2 || s8 < 3.5 {
+		t.Fatalf("speedups 2→%.2f 8→%.2f, paper 1.8→6.2", s2, s8)
+	}
+	// Energy and memory per Conv node decrease with more nodes, and both
+	// sit below the single-device row.
+	for i := 2; i < len(r.Rows); i++ {
+		if r.Rows[i].EnergyJ >= r.Rows[i-1].EnergyJ {
+			t.Fatalf("per-node energy must fall with cluster size: %+v", r.Rows)
+		}
+		if r.Rows[i].PeakMemMB >= r.Rows[i-1].PeakMemMB {
+			t.Fatalf("per-node memory must fall with cluster size: %+v", r.Rows)
+		}
+	}
+}
+
+func TestFigure14Shapes(t *testing.T) {
+	r, err := Figure14(10, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.ADCNNMs >= row.AOFLMs {
+			t.Errorf("%s: ADCNN %.1f must beat AOFL %.1f", row.Model, row.ADCNNMs, row.AOFLMs)
+		}
+		if row.AOFLMs >= row.NeurosurgeonMs {
+			t.Errorf("%s: AOFL %.1f must beat Neurosurgeon %.1f", row.Model, row.AOFLMs, row.NeurosurgeonMs)
+		}
+	}
+	ns, aofl := r.MeanFactors()
+	// Paper: 2.8× and 1.6× — assert the same regime.
+	if ns < 1.8 || ns > 6 {
+		t.Fatalf("vs Neurosurgeon = %.2f, paper 2.8", ns)
+	}
+	if aofl < 1.2 || aofl > 4 {
+		t.Fatalf("vs AOFL = %.2f, paper 1.6", aofl)
+	}
+}
+
+func TestFigure15Shapes(t *testing.T) {
+	r, err := Figure15(40, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.BeforeMs < r.SettledMs && r.SettledMs < r.PeakMs) {
+		t.Fatalf("latency shape before<settled<peak violated: %.1f %.1f %.1f",
+			r.BeforeMs, r.SettledMs, r.PeakMs)
+	}
+	// Tile shares shift toward healthy nodes 1-4.
+	for k := 0; k < 4; k++ {
+		if r.AllocSettled[k] <= r.AllocBefore[k] {
+			t.Fatalf("healthy node %d should gain tiles: %v -> %v",
+				k+1, r.AllocBefore, r.AllocSettled)
+		}
+	}
+	for k := 4; k < 8; k++ {
+		if r.AllocSettled[k] >= r.AllocBefore[k] {
+			t.Fatalf("throttled node %d should lose tiles: %v -> %v",
+				k+1, r.AllocBefore, r.AllocSettled)
+		}
+	}
+	// Figure 15(a): effective CPU utilization of the throttled nodes drops
+	// well below the healthy nodes' after degradation.
+	settledU := r.Points[len(r.Points)-1].Utilization
+	for k := 4; k < 8; k++ {
+		if settledU[k] >= settledU[0] {
+			t.Fatalf("throttled node %d utilization %.2f should be below healthy %.2f",
+				k+1, settledU[k], settledU[0])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFailureSweepDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short")
+	}
+	setup := QuickAccuracySetup()
+	res, err := FailureSweep(setup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(res.Points))
+	}
+	healthy := res.Points[0].Metric
+	if healthy < 0.7 {
+		t.Fatalf("healthy metric too low: %.3f", healthy)
+	}
+	// Degradation is graceful: losing 1 of 4 tiles must not collapse the
+	// model to chance (1/8 classes), and more missing tiles can only make
+	// things monotonically worse on average (allow small sampling slack).
+	chance := 1.0 / 8
+	if res.Points[1].Metric < chance {
+		t.Fatalf("one missing tile collapsed the model: %.3f", res.Points[1].Metric)
+	}
+	if res.Points[3].Metric > res.Points[0].Metric+0.05 {
+		t.Fatalf("3 missing tiles cannot beat healthy: %.3f vs %.3f",
+			res.Points[3].Metric, res.Points[0].Metric)
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	if !strings.Contains(buf.String(), "missing") {
+		t.Fatal("text output incomplete")
+	}
+}

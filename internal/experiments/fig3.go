@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"adcnn/internal/models"
+	"adcnn/internal/perfmodel"
+)
+
+// Fig3Block is one bar of Figure 3: a layer block's execution time on a
+// Raspberry Pi and its input feature-map size.
+type Fig3Block struct {
+	Name    string
+	TimeMs  float64
+	IfmapMB float64
+}
+
+// Fig3Model is one subplot of Figure 3.
+type Fig3Model struct {
+	Model  string
+	Blocks []Fig3Block
+	HeadMs float64
+}
+
+// Figure3Result reproduces Figure 3 ("Execution time and ifmap size of
+// each layer block for different types of CNNs on Raspberry Pi").
+type Figure3Result struct {
+	Models []Fig3Model
+}
+
+// Figure3 computes the per-layer-block profile of VGG16, ResNet18, FCN
+// and CharCNN on the calibrated Pi model.
+func Figure3() Figure3Result {
+	pi := perfmodel.RaspberryPi()
+	var out Figure3Result
+	for _, cfg := range []models.Config{models.VGG16(), models.ResNet18(), models.FCN(), models.CharCNN()} {
+		m := Fig3Model{Model: cfg.Name}
+		for _, b := range cfg.Profile() {
+			m.Blocks = append(m.Blocks, Fig3Block{
+				Name:    b.Name,
+				TimeMs:  ms(pi.Time(b.FLOPs, b.IfmapBytes+b.OfmapBytes)),
+				IfmapMB: float64(b.IfmapBytes) / 1e6,
+			})
+		}
+		h := cfg.HeadProfile()
+		m.HeadMs = ms(pi.Time(h.FLOPs, h.IfmapBytes+h.OfmapBytes))
+		out.Models = append(out.Models, m)
+	}
+	return out
+}
+
+// WriteText prints the figure as rows.
+func (r Figure3Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 3: per-layer-block execution time and ifmap size (Raspberry Pi)\n")
+	for _, m := range r.Models {
+		fprintf(w, "\n%s:\n  %-8s %10s %10s\n", m.Model, "block", "time(ms)", "ifmap(MB)")
+		for _, b := range m.Blocks {
+			fprintf(w, "  %-8s %10.2f %10.3f\n", b.Name, b.TimeMs, b.IfmapMB)
+		}
+		fprintf(w, "  %-8s %10.2f\n", "FC/head", m.HeadMs)
+	}
+}
+
+// EarlyShare returns the latency fraction of the first n blocks of one
+// model (the paper: first 4 VGG16 blocks ≈ 41.4%).
+func (r Figure3Result) EarlyShare(model string, n int) float64 {
+	for _, m := range r.Models {
+		if m.Model != model {
+			continue
+		}
+		var first, total float64
+		for i, b := range m.Blocks {
+			total += b.TimeMs
+			if i < n {
+				first += b.TimeMs
+			}
+		}
+		total += m.HeadMs
+		if total == 0 {
+			return 0
+		}
+		return first / total
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFeatureLocalityGrowsWithDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short")
+	}
+	setup := QuickAccuracySetup()
+	res, err := FeatureLocality(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("need several depths, got %d", len(res.Points))
+	}
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	// Section 2.3's claim: deeper blocks see a wider input region.
+	if last.Radius90 <= first.Radius90 {
+		t.Fatalf("sensitivity radius must grow with depth: block1 %.1f vs block%d %.1f",
+			first.Radius90, last.Block, last.Radius90)
+	}
+	// Theoretical receptive field grows monotonically.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].TheoreticalRF < res.Points[i-1].TheoreticalRF {
+			t.Fatalf("theoretical RF must be monotone: %+v", res.Points)
+		}
+	}
+	// The empirical radius never exceeds the theoretical bound by much
+	// (it is a subset of the true receptive field).
+	for _, p := range res.Points {
+		if p.Radius90 > float64(p.TheoreticalRF)*1.6+1 {
+			t.Fatalf("block %d: empirical radius %.1f outside theoretical RF %d",
+				p.Block, p.Radius90, p.TheoreticalRF)
+		}
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}

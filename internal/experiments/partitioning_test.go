@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestComparePartitioningOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short")
+	}
+	res, err := ComparePartitioning(QuickAccuracySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := map[string]int64{}
+	exact := map[string]bool{}
+	for _, row := range res.Rows {
+		traffic[row.Strategy] = row.TrafficB
+		exact[row.Strategy] = row.Exact
+	}
+	// Paper Section 3's conclusions as an ordering:
+	// channel >> spatial+halo > FDSP boundary, batch = 0.
+	if traffic["channel"] <= traffic["spatial+halo"] {
+		t.Fatalf("channel %d must exceed halo exchange %d", traffic["channel"], traffic["spatial+halo"])
+	}
+	if traffic["spatial+halo"] <= traffic["FDSP (ADCNN)"] {
+		t.Fatalf("halo exchange %d must exceed FDSP's compressed boundary %d",
+			traffic["spatial+halo"], traffic["FDSP (ADCNN)"])
+	}
+	if traffic["batch"] != 0 {
+		t.Fatal("batch partitioning moves no inter-device data")
+	}
+	if !exact["spatial+halo"] || !exact["channel"] || !exact["batch"] {
+		t.Fatal("all strategies except FDSP are exact")
+	}
+	if exact["FDSP (ADCNN)"] {
+		t.Fatal("FDSP trades exactness for independence (restored by retraining)")
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty text output")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"io"
+
+	"adcnn/internal/models"
+)
+
+// StreamRow is one model's pipelined-stream behaviour.
+type StreamRow struct {
+	Model         string
+	ThroughputIPS float64 // images/second under pipelining
+	IsolatedMs    float64 // latency of a lone image
+	StreamedMs    float64 // mean per-image latency inside the stream
+	PipelineGain  float64 // throughput / (1/isolated latency)
+}
+
+// StreamResultSet is the cross-image pipelining experiment (an extension
+// quantifying Figure 9's overlap claim at the stream level).
+type StreamResultSet struct {
+	Rows   []StreamRow
+	Images int
+}
+
+// Throughput runs n images through each model's pipeline.
+func Throughput(n int, o SimOptions) (*StreamResultSet, error) {
+	res := &StreamResultSet{Images: n}
+	for _, cfg := range models.FullScale() {
+		probe, _, _, err := NewADCNNSim(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		isolated := probe.RunImage().Latency
+
+		sim, _, _, err := NewADCNNSim(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		st := sim.RunStream(n, nil)
+		res.Rows = append(res.Rows, StreamRow{
+			Model:         cfg.Name,
+			ThroughputIPS: st.Throughput,
+			IsolatedMs:    ms(isolated),
+			StreamedMs:    ms(st.AvgLatency),
+			PipelineGain:  st.Throughput * isolated.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// WriteText prints the table.
+func (r *StreamResultSet) WriteText(w io.Writer) {
+	fprintf(w, "Streaming throughput (extension): %d-image pipelined runs\n", r.Images)
+	fprintf(w, "  %-10s %12s %14s %14s %10s\n",
+		"model", "imgs/sec", "isolated(ms)", "streamed(ms)", "gain")
+	for _, row := range r.Rows {
+		fprintf(w, "  %-10s %12.2f %14.1f %14.1f %9.2fx\n",
+			row.Model, row.ThroughputIPS, row.IsolatedMs, row.StreamedMs, row.PipelineGain)
+	}
+}

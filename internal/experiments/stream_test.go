@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestThroughputBeatsInverseLatency(t *testing.T) {
+	r, err := Throughput(30, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.PipelineGain <= 1.0 {
+			t.Errorf("%s: pipelining gain %.2f must exceed 1", row.Model, row.PipelineGain)
+		}
+		// Bounded admission keeps streamed latency within a small factor
+		// of the isolated latency.
+		if row.StreamedMs > 4*row.IsolatedMs {
+			t.Errorf("%s: streamed latency %.1f grew unboundedly vs isolated %.1f",
+				row.Model, row.StreamedMs, row.IsolatedMs)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package fdsp_test
+
+import (
+	"fmt"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/tensor"
+)
+
+// Partition an image into a 2×2 grid and put it back together.
+func ExampleGrid_Layout() {
+	g := fdsp.Grid{Rows: 2, Cols: 2}
+	img := tensor.New(1, 3, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float32(i)
+	}
+	tiles := g.Layout(8, 8)
+	parts := make([]*tensor.Tensor, len(tiles))
+	for i, t := range tiles {
+		parts[i] = fdsp.ExtractTile(img, t)
+	}
+	back := fdsp.Reassemble(parts, g)
+	fmt.Println(g, len(tiles), "tiles, lossless:", back.Equal(img, 0))
+	// Output: 2x2 4 tiles, lossless: true
+}
+
+// Compute the data-halo margin the AOFL baseline needs for a fused
+// conv3x3 → pool2 → conv3x3 stack.
+func ExampleHaloMargin() {
+	stack := []fdsp.LayerGeom{{Kernel: 3, Stride: 1}, {Kernel: 2, Stride: 2}, {Kernel: 3, Stride: 1}}
+	fmt.Println("margin:", fdsp.HaloMargin(stack), "downsample:", fdsp.Downsample(stack))
+	// Output: margin: 3 downsample: 2
+}

@@ -1,0 +1,182 @@
+package fdsp
+
+import (
+	"fmt"
+
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// ExchangeBlock is one round of the naive spatial partition the paper's
+// Section 3.1 describes (Figure 4(c)): a stride-1 same-padding
+// convolutional part whose tile-border inputs (the data halo, Margin
+// pixels wide) must be fetched from neighbouring tiles, followed by an
+// optional pooling layer whose receptive fields stay inside the tile.
+type ExchangeBlock struct {
+	Conv   *nn.Sequential // conv/bn/relu (and residual) part, stride 1
+	Margin int            // halo width the Conv part needs
+	Pool   nn.Layer       // nil when the block has no pooling
+}
+
+// ExchangeStats accounts the communication of a halo-exchange run.
+type ExchangeStats struct {
+	// HaloBytes is the total halo data moved between devices (counted
+	// twice per strip: through the access point, as on a WiFi edge).
+	HaloBytes int64
+	// Rounds is the number of exchange rounds (blocks with Margin > 0).
+	Rounds int
+}
+
+// RunWithExchange executes blocks tile-parallel over an R×C partition,
+// reproducing the exact full-model computation by exchanging only the
+// data halos between rounds — the communication pattern FDSP eliminates.
+// The input spatial size must be divisible by the grid and every pooling
+// stage must keep tiles evenly divisible.
+func RunWithExchange(blocks []ExchangeBlock, x *tensor.Tensor, g Grid) (*tensor.Tensor, ExchangeStats, error) {
+	if err := g.Validate(); err != nil {
+		return nil, ExchangeStats{}, err
+	}
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if n != 1 {
+		return nil, ExchangeStats{}, fmt.Errorf("fdsp: exchange runs one image at a time")
+	}
+	if h%g.Rows != 0 || w%g.Cols != 0 {
+		return nil, ExchangeStats{}, fmt.Errorf("fdsp: %dx%d not divisible by %v", h, w, g)
+	}
+	_ = ch
+
+	// Current per-tile feature maps, row-major.
+	tiles := make([]*tensor.Tensor, g.Tiles())
+	for i, tl := range g.Layout(h, w) {
+		tiles[i] = ExtractTile(x, tl)
+	}
+
+	var st ExchangeStats
+	for bi, b := range blocks {
+		m := b.Margin
+		if m > 0 {
+			ext, bytes, err := exchangeRound(tiles, g, m)
+			if err != nil {
+				return nil, st, fmt.Errorf("fdsp: block %d: %w", bi, err)
+			}
+			st.HaloBytes += bytes
+			st.Rounds++
+			for i := range tiles {
+				th, tw := tiles[i].Shape[2], tiles[i].Shape[3]
+				y := b.Conv.Forward(ext[i].t, false)
+				if y.Shape[2] != ext[i].t.Shape[2] || y.Shape[3] != ext[i].t.Shape[3] {
+					return nil, st, fmt.Errorf("fdsp: block %d is not size-preserving (stride must be 1)", bi)
+				}
+				tiles[i] = Crop(y, ext[i].top, ext[i].left, th, tw)
+			}
+		} else {
+			for i := range tiles {
+				tiles[i] = b.Conv.Forward(tiles[i], false)
+			}
+		}
+		if b.Pool != nil {
+			for i := range tiles {
+				if tiles[i].Shape[2] < 2 && tiles[i].Shape[3] < 2 {
+					return nil, st, fmt.Errorf("fdsp: block %d: tile too small to pool", bi)
+				}
+				tiles[i] = b.Pool.Forward(tiles[i], false)
+			}
+		}
+	}
+	return Reassemble(tiles, g), st, nil
+}
+
+// extTile is a halo-extended tile with its per-side extension record.
+type extTile struct {
+	t         *tensor.Tensor
+	top, left int // extension actually applied on those sides
+}
+
+// exchangeRound builds each tile's halo-extended map from its
+// neighbours' borders and counts the strip bytes moved. Extensions are
+// clamped at true image borders so the network's own same-padding
+// applies there exactly as in a monolithic run — extending past the
+// border would let the convolution see virtual zeros as data and
+// diverge in the outermost ring.
+func exchangeRound(tiles []*tensor.Tensor, g Grid, m int) ([]extTile, int64, error) {
+	c := tiles[0].Shape[1]
+	th, tw := tiles[0].Shape[2], tiles[0].Shape[3]
+	if th < m || tw < m {
+		return nil, 0, fmt.Errorf("tile %dx%d smaller than margin %d", th, tw, m)
+	}
+	at := func(r, cc int) *tensor.Tensor {
+		if r < 0 || r >= g.Rows || cc < 0 || cc >= g.Cols {
+			return nil
+		}
+		return tiles[r*g.Cols+cc]
+	}
+	side := func(present bool) int {
+		if present {
+			return m
+		}
+		return 0
+	}
+	ext := make([]extTile, len(tiles))
+	var bytes int64
+	for r := 0; r < g.Rows; r++ {
+		for cc := 0; cc < g.Cols; cc++ {
+			top := side(r > 0)
+			bottom := side(r < g.Rows-1)
+			left := side(cc > 0)
+			right := side(cc < g.Cols-1)
+			eh, ew := top+th+bottom, left+tw+right
+			e := tensor.New(1, c, eh, ew)
+			// Copy from the 3×3 neighbourhood (including self).
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					src := at(r+dr, cc+dc)
+					if src == nil {
+						continue
+					}
+					h, w := copyRegion(e, src, dr, dc, m, top, left)
+					if dr != 0 || dc != 0 {
+						bytes += int64(c) * int64(h) * int64(w) * 4
+					}
+				}
+			}
+			ext[r*g.Cols+cc] = extTile{t: e, top: top, left: left}
+		}
+	}
+	// Strips traverse the shared medium twice (via the access point).
+	return ext, bytes * 2, nil
+}
+
+// copyRegion copies the border region of neighbour (dr,dc) into the
+// extended canvas e, whose own tile sits at offset (top, left). It
+// returns the copied region's height and width for traffic accounting.
+func copyRegion(e, src *tensor.Tensor, dr, dc, m, top, left int) (int, int) {
+	c := src.Shape[1]
+	th, tw := src.Shape[2], src.Shape[3]
+	eh, ew := e.Shape[2], e.Shape[3]
+	var sy, sx, h, w, dy, dx int
+	switch dr {
+	case -1:
+		sy, h, dy = th-m, m, top-m // top-m == 0 whenever the neighbour exists
+	case 0:
+		sy, h, dy = 0, th, top
+	case 1:
+		sy, h, dy = 0, m, top+th
+	}
+	switch dc {
+	case -1:
+		sx, w, dx = tw-m, m, left-m
+	case 0:
+		sx, w, dx = 0, tw, left
+	case 1:
+		sx, w, dx = 0, m, left+tw
+	}
+	_ = eh
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcOff := ch*th*tw + (sy+y)*tw + sx
+			dstOff := ch*eh*ew + (dy+y)*ew + dx
+			copy(e.Data[dstOff:dstOff+w], src.Data[srcOff:srcOff+w])
+		}
+	}
+	return h, w
+}

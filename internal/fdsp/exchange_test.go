@@ -1,0 +1,107 @@
+package fdsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+// Halo exchange must reproduce the monolithic Front bit-for-bit — it is
+// the exact-but-communicating strategy of paper Figure 4(c).
+func TestExchangeMatchesFullRun(t *testing.T) {
+	for _, cfg := range []models.Config{models.VGGSim(), models.ResNetSim(), models.FCNSim()} {
+		m, err := models.Build(cfg, models.Options{}, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks, err := m.ExchangeBlocks()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		rng := rand.New(rand.NewSource(18))
+		x := tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW)
+		x.RandN(rng, 1)
+		want := m.Front.Forward(x, false)
+		for _, g := range []fdsp.Grid{{Rows: 2, Cols: 2}, {Rows: 4, Cols: 4}} {
+			got, st, err := fdsp.RunWithExchange(blocks, x, g)
+			if err != nil {
+				t.Fatalf("%s %v: %v", cfg.Name, g, err)
+			}
+			if !got.Equal(want, 1e-4) {
+				t.Fatalf("%s %v: exchange output diverged from full run", cfg.Name, g)
+			}
+			if st.HaloBytes <= 0 || st.Rounds == 0 {
+				t.Fatalf("%s %v: no halo traffic recorded: %+v", cfg.Name, g, st)
+			}
+		}
+	}
+}
+
+// Halo traffic is far below shipping whole feature maps (the paper's
+// argument for spatial over channel partitioning), but nonzero — the
+// overhead FDSP then removes entirely.
+func TestExchangeTrafficBetweenFDSPAndChannel(t *testing.T) {
+	cfg := models.VGGSim()
+	m, err := models.Build(cfg, models.Options{}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := m.ExchangeBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	g := fdsp.Grid{Rows: 4, Cols: 4}
+	_, st, err := fdsp.RunWithExchange(blocks, x, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel partitioning would move each block's whole ofmap (K-1 times).
+	var channelBytes int64
+	for _, b := range cfg.Profile()[:cfg.Separable] {
+		channelBytes += b.OfmapBytes * int64(g.Tiles()-1)
+	}
+	if st.HaloBytes >= channelBytes {
+		t.Fatalf("halo traffic %d should be far below channel partitioning's %d",
+			st.HaloBytes, channelBytes)
+	}
+	if st.HaloBytes == 0 {
+		t.Fatal("naive spatial partitioning must still communicate (FDSP's advantage)")
+	}
+}
+
+func TestExchangeRejectsBadInputs(t *testing.T) {
+	m, err := models.Build(models.VGGSim(), models.Options{}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := m.ExchangeBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch > 1.
+	if _, _, err := fdsp.RunWithExchange(blocks, tensor.New(2, 3, 32, 32), fdsp.Grid{Rows: 2, Cols: 2}); err == nil {
+		t.Fatal("batch > 1 must be rejected")
+	}
+	// Indivisible grid.
+	if _, _, err := fdsp.RunWithExchange(blocks, tensor.New(1, 3, 32, 32), fdsp.Grid{Rows: 5, Cols: 5}); err == nil {
+		t.Fatal("indivisible grid must be rejected")
+	}
+}
+
+func TestExchangeBlocksRejectStride(t *testing.T) {
+	cfg := models.ResNet18() // stem has stride 2
+	cfg.Separable = 1
+	m, err := models.Build(cfg, models.Options{}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExchangeBlocks(); err == nil {
+		t.Fatal("stride-2 block must be rejected")
+	}
+}

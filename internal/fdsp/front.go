@@ -1,0 +1,154 @@
+package fdsp
+
+import (
+	"fmt"
+
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// FrontLayer wraps a model's separable layer blocks so that training sees
+// exactly the partitioned forward pass the distributed system will run:
+// the input is split into tiles, every tile flows through the blocks with
+// zero padding at its own borders (no cross-tile information), and the
+// per-tile outputs are stitched back together. This is the training-graph
+// modification of paper Figure 7(b) for the FDSP stage of Algorithm 1.
+//
+// Gradients flow tile-locally, matching the independence constraint.
+type FrontLayer struct {
+	label string
+	Grid  Grid
+	Inner *nn.Sequential
+
+	batch int
+}
+
+// NewFrontLayer builds the FDSP training wrapper.
+func NewFrontLayer(label string, g Grid, inner *nn.Sequential) *FrontLayer {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &FrontLayer{label: label, Grid: g, Inner: inner}
+}
+
+// Forward splits x into tiles, runs the inner blocks on the tile batch,
+// and merges the outputs.
+func (f *FrontLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	if train {
+		f.batch = n
+	}
+	tiles := SplitBatch(x, f.Grid)
+	y := f.Inner.Forward(tiles, train)
+	return MergeBatch(y, f.Grid, n)
+}
+
+// Backward splits the output gradient per tile, back-propagates through
+// the inner blocks, and merges the input gradients.
+func (f *FrontLayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := SplitBatch(grad, f.Grid)
+	dx := f.Inner.Backward(g)
+	return MergeBatch(dx, f.Grid, f.batch)
+}
+
+// Params exposes the inner blocks' parameters.
+func (f *FrontLayer) Params() []*nn.Param { return f.Inner.Params() }
+
+// Name returns the layer label.
+func (f *FrontLayer) Name() string { return f.label }
+
+// LayerGeom describes one sliding-window stage for halo-margin math.
+type LayerGeom struct {
+	Kernel int // window size
+	Stride int
+}
+
+// HaloMargin computes how many input pixels beyond a tile's border are
+// needed so a stack of stages produces the tile's exact output (the AOFL
+// fused-layer extension). The recursion runs back to front: a pooling or
+// strided stage multiplies the downstream requirement by its stride, and
+// every stage adds its own half-window reach.
+func HaloMargin(stack []LayerGeom) int {
+	need := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		g := stack[i]
+		need = need*g.Stride + (g.Kernel-1)/2
+	}
+	return need
+}
+
+// Downsample returns the total spatial downsampling factor of a stack.
+func Downsample(stack []LayerGeom) int {
+	d := 1
+	for _, g := range stack {
+		d *= g.Stride
+	}
+	return d
+}
+
+// HaloExtension returns the clamped extended region for tile t with the
+// given margin inside an h×w image. The extension stops at image borders
+// so the network's own same-padding applies there exactly as in a full
+// run (extending past the border with zeros would instead convolve real
+// pixels into the virtual region and diverge from the monolithic result).
+func HaloExtension(t Tile, margin, h, w int) Tile {
+	y0 := t.Y0 - margin
+	if y0 < 0 {
+		y0 = 0
+	}
+	x0 := t.X0 - margin
+	if x0 < 0 {
+		x0 = 0
+	}
+	y1 := t.Y0 + t.H + margin
+	if y1 > h {
+		y1 = h
+	}
+	x1 := t.X0 + t.W + margin
+	if x1 > w {
+		x1 = w
+	}
+	return Tile{Index: t.Index, Row: t.Row, Col: t.Col, Y0: y0, X0: x0, H: y1 - y0, W: x1 - x0}
+}
+
+// RunWithHalo executes the per-tile network exactly (no accuracy loss) by
+// extending each tile with the halo needed by the stack, running the
+// network, and cropping the contaminated border. stack must describe the
+// sliding-window geometry of net's layers in order; tile offsets and
+// sizes must be divisible by the stack's downsampling factor. The
+// reassembled result equals running net on the whole image — this is the
+// AOFL baseline's fused-layer execution.
+func RunWithHalo(net *nn.Sequential, x *tensor.Tensor, g Grid, stack []LayerGeom) *tensor.Tensor {
+	margin := HaloMargin(stack)
+	down := Downsample(stack)
+	// Round the margin up to a multiple of the downsampling factor so the
+	// output crop lands on whole pixels.
+	if margin%down != 0 {
+		margin += down - margin%down
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	tiles := g.Layout(h, w)
+	outs := make([]*tensor.Tensor, len(tiles))
+	for i, t := range tiles {
+		if t.Y0%down != 0 || t.X0%down != 0 || t.H%down != 0 || t.W%down != 0 {
+			panic(fmt.Sprintf("fdsp: tile %+v not aligned to downsample factor %d", t, down))
+		}
+		ext := HaloExtension(t, margin, h, w)
+		y := net.Forward(ExtractTile(x, ext), false)
+		outs[i] = Crop(y, (t.Y0-ext.Y0)/down, (t.X0-ext.X0)/down, t.H/down, t.W/down)
+	}
+	return Reassemble(outs, g)
+}
+
+// RunFDSP executes the per-tile network with FDSP (zero padding at tile
+// borders, tiles fully independent) and reassembles the outputs. This is
+// the approximate-but-communication-free execution the paper retrains
+// models to tolerate.
+func RunFDSP(net *nn.Sequential, x *tensor.Tensor, g Grid) *tensor.Tensor {
+	tiles := g.Layout(x.Shape[2], x.Shape[3])
+	outs := make([]*tensor.Tensor, len(tiles))
+	for i, t := range tiles {
+		outs[i] = net.Forward(ExtractTile(x, t), false)
+	}
+	return Reassemble(outs, g)
+}

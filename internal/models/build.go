@@ -1,0 +1,184 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adcnn/internal/compress"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/nn"
+)
+
+// Options selects the architecture modifications of paper Section 3-4.
+// The zero value builds the original, unpartitioned model (M_ori).
+type Options struct {
+	// Grid partitions the separable prefix with FDSP. Zero value = none.
+	Grid fdsp.Grid
+	// ClipLo/ClipHi insert a clipped ReLU at the Front/Back boundary when
+	// ClipHi > ClipLo (Algorithm 1 step 4).
+	ClipLo, ClipHi float32
+	// QuantBits inserts straight-through quantization after the clipped
+	// ReLU when > 0 (Algorithm 1 step 5). Requires a clipped ReLU.
+	QuantBits int
+}
+
+// Partitioned reports whether FDSP is enabled.
+func (o Options) Partitioned() bool { return o.Grid.Rows > 0 && o.Grid.Cols > 0 }
+
+// Clipped reports whether the boundary clipped ReLU is enabled.
+func (o Options) Clipped() bool { return o.ClipHi > o.ClipLo }
+
+// Model is an instantiated network split at the FDSP boundary.
+type Model struct {
+	Cfg Config
+	Opt Options
+
+	// Front holds the separable layer blocks — the weights every Conv
+	// node stores. It operates on one tile (or the whole image when
+	// unpartitioned).
+	Front *nn.Sequential
+	// Boundary holds the communication-reduction ops (clipped ReLU,
+	// quantization). Elementwise, so Conv nodes apply it per tile before
+	// transmitting.
+	Boundary *nn.Sequential
+	// Back holds the remaining blocks and the head — the Central node's
+	// share.
+	Back *nn.Sequential
+	// Net is the end-to-end training graph: FDSP wrapper around Front
+	// (when partitioned), then Boundary, then Back. It shares all layer
+	// objects (and therefore parameters) with Front/Boundary/Back.
+	Net *nn.Sequential
+}
+
+// Build instantiates a model from a config. Deterministic given seed.
+func Build(cfg Config, opt Options, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.QuantBits > 0 && !opt.Clipped() {
+		return nil, fmt.Errorf("models: quantization requires a clipped ReLU to bound the range")
+	}
+	if opt.Partitioned() {
+		if cfg.InputH%opt.Grid.Rows != 0 || cfg.InputW%opt.Grid.Cols != 0 {
+			return nil, fmt.Errorf("models: input %dx%d not divisible by grid %v",
+				cfg.InputH, cfg.InputW, opt.Grid)
+		}
+		dh, dw := cfg.FrontDownsample()
+		th, tw := cfg.InputH/opt.Grid.Rows, cfg.InputW/opt.Grid.Cols
+		if th%dh != 0 || tw%dw != 0 {
+			return nil, fmt.Errorf("models: tile %dx%d not divisible by front downsample %dx%d",
+				th, tw, dh, dw)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Each layer block becomes one nested Sequential so runtimes that
+	// step block-by-block (halo exchange) can address them individually.
+	front := nn.NewSequential(cfg.Name + ".front")
+	inC := cfg.InputC
+	for _, b := range cfg.Blocks[:cfg.Separable] {
+		front.Append(nn.NewSequential(cfg.Name+"."+b.Name, buildBlock(b, inC, rng)...))
+		inC = b.OutC
+	}
+
+	boundary := nn.NewSequential(cfg.Name + ".boundary")
+	if opt.Clipped() {
+		boundary.Append(nn.NewClippedReLU(cfg.Name+".clip", opt.ClipLo, opt.ClipHi))
+		if opt.QuantBits > 0 {
+			p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
+			boundary.Append(compress.NewSTQuant(cfg.Name+".quant", p))
+		}
+	}
+
+	back := nn.NewSequential(cfg.Name + ".back")
+	for _, b := range cfg.Blocks[cfg.Separable:] {
+		back.Append(nn.NewSequential(cfg.Name+"."+b.Name, buildBlock(b, inC, rng)...))
+		inC = b.OutC
+	}
+	appendHead(back, cfg, inC, rng)
+
+	net := nn.NewSequential(cfg.Name)
+	if opt.Partitioned() {
+		net.Append(fdsp.NewFrontLayer(cfg.Name+".fdsp", opt.Grid, front))
+	} else {
+		net.Append(front)
+	}
+	net.Append(boundary, back)
+	return &Model{Cfg: cfg, Opt: opt, Front: front, Boundary: boundary, Back: back, Net: net}, nil
+}
+
+// buildBlock creates the nn layers of one layer block.
+func buildBlock(b BlockSpec, inC int, rng *rand.Rand) []nn.Layer {
+	var layers []nn.Layer
+	if b.Residual {
+		body := nn.NewSequential(b.Name+".body",
+			nn.NewConv2D(b.Name+".conv1", inC, b.OutC, b.Kernel, b.kw(), b.Stride, (b.Kernel-1)/2, rng).NoBias(),
+			nn.NewBatchNorm2D(b.Name+".bn1", b.OutC),
+			nn.NewReLU(b.Name+".relu1"),
+			nn.NewConv2D(b.Name+".conv2", b.OutC, b.OutC, b.Kernel, b.kw(), 1, (b.Kernel-1)/2, rng).NoBias(),
+			nn.NewBatchNorm2D(b.Name+".bn2", b.OutC),
+		)
+		var shortcut *nn.Sequential
+		if b.Stride != 1 || inC != b.OutC {
+			shortcut = nn.NewSequential(b.Name+".short",
+				nn.NewConv2D(b.Name+".proj", inC, b.OutC, 1, 1, b.Stride, 0, rng).NoBias(),
+				nn.NewBatchNorm2D(b.Name+".projbn", b.OutC),
+			)
+		}
+		layers = append(layers, nn.NewResidual(b.Name, body, shortcut))
+	} else {
+		padH := (b.Kernel - 1) / 2
+		convLayer := nn.NewConv2D(b.Name+".conv", inC, b.OutC, b.Kernel, b.kw(), b.Stride, padH, rng).NoBias()
+		// Asymmetric padding for 1-D kernels: pad only along H.
+		convLayer.Geom.PadW = (b.kw() - 1) / 2
+		layers = append(layers,
+			convLayer,
+			nn.NewBatchNorm2D(b.Name+".bn", b.OutC),
+			nn.NewReLU(b.Name+".relu"),
+		)
+	}
+	if b.Pool > 0 {
+		if b.poolW() == b.Pool {
+			layers = append(layers, nn.NewMaxPool2D(b.Name+".pool", b.Pool, b.Pool))
+		} else {
+			layers = append(layers, nn.NewMaxPoolRect(b.Name+".pool", b.Pool, b.poolW(), b.Pool, b.poolW()))
+		}
+	}
+	return layers
+}
+
+// appendHead attaches the task head to back.
+func appendHead(back *nn.Sequential, cfg Config, inC int, rng *rand.Rand) {
+	dh, dw := cfg.TotalDownsample()
+	oh, ow := cfg.InputH/dh, cfg.InputW/dw
+	switch cfg.Head {
+	case HeadFC:
+		back.Append(
+			nn.NewFlatten(cfg.Name+".flatten"),
+			nn.NewLinear(cfg.Name+".fc1", inC*oh*ow, cfg.HiddenFC, rng),
+		)
+		back.Append(reluFC(cfg.Name), nn.NewLinear(cfg.Name+".fc2", cfg.HiddenFC, cfg.Classes, rng))
+	case HeadGAP:
+		back.Append(
+			nn.NewGlobalAvgPool2D(cfg.Name+".gap"),
+			nn.NewLinear(cfg.Name+".fc", inC, cfg.Classes, rng),
+		)
+	case HeadSegment:
+		hidden := cfg.HiddenFC
+		if hidden == 0 {
+			hidden = inC
+		}
+		back.Append(
+			nn.NewConv2D(cfg.Name+".score1", inC, hidden, 1, 1, 1, 0, rng),
+			nn.NewReLU(cfg.Name+".scorerelu"),
+			nn.NewConv2D(cfg.Name+".score2", hidden, cfg.Classes, 1, 1, 1, 0, rng),
+			nn.NewUpsample2D(cfg.Name+".up", dh),
+		)
+	case HeadCells:
+		back.Append(nn.NewConv2D(cfg.Name+".cells", inC, cfg.Classes, 1, 1, 1, 0, rng))
+	default:
+		panic(fmt.Sprintf("models: unknown head %d", cfg.Head))
+	}
+}
+
+func reluFC(name string) nn.Layer { return nn.NewReLU(name + ".fcrelu") }

@@ -1,0 +1,117 @@
+package models
+
+import (
+	"fmt"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// Forward runs the full network.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Net.Forward(x, train)
+}
+
+// Loss computes the task loss and gradient for a batch. labels is
+// class-per-sample for classify/text, class-per-pixel for segment, and
+// class-per-cell for detect.
+func (m *Model) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	switch m.Cfg.Task {
+	case TaskClassify, TaskText:
+		return nn.SoftmaxCrossEntropy(logits, labels)
+	case TaskSegment, TaskDetect:
+		return nn.PixelSoftmaxCrossEntropy(logits, labels)
+	}
+	panic(fmt.Sprintf("models: unknown task %v", m.Cfg.Task))
+}
+
+// Metric computes the paper's headline metric for the task: top-1
+// accuracy (classify/text), pixel accuracy (segment), or per-cell
+// accuracy (detect, the mAP stand-in).
+func (m *Model) Metric(logits *tensor.Tensor, labels []int) float64 {
+	switch m.Cfg.Task {
+	case TaskClassify, TaskText:
+		return nn.Accuracy(logits, labels)
+	case TaskSegment, TaskDetect:
+		return nn.PixelAccuracy(logits, labels)
+	}
+	panic(fmt.Sprintf("models: unknown task %v", m.Cfg.Task))
+}
+
+// SecondaryMetric returns mean IoU for segmentation and -1 otherwise.
+func (m *Model) SecondaryMetric(logits *tensor.Tensor, labels []int) float64 {
+	if m.Cfg.Task == TaskSegment {
+		return nn.MeanIoU(logits, labels)
+	}
+	return -1
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Net.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// FrontOutputShape returns the [C,H,W] shape of the separable prefix's
+// output for a full (unpartitioned) input.
+func (m *Model) FrontOutputShape() []int {
+	c := m.Cfg.InputC
+	h, w := m.Cfg.InputH, m.Cfg.InputW
+	for _, b := range m.Cfg.Blocks[:m.Cfg.Separable] {
+		c = b.OutC
+		dh, dw := b.Downsample()
+		h /= dh
+		w /= dw
+	}
+	return []int{c, h, w}
+}
+
+// ExchangeBlocks splits the separable prefix into per-round units for
+// fdsp.RunWithExchange — the naive spatial partition of paper
+// Section 3.1 that exchanges data halos instead of zero-padding. Only
+// stride-1 blocks are supported (every separable block of the sim-scale
+// zoo qualifies).
+func (m *Model) ExchangeBlocks() ([]fdsp.ExchangeBlock, error) {
+	out := make([]fdsp.ExchangeBlock, 0, m.Cfg.Separable)
+	for i, spec := range m.Cfg.Blocks[:m.Cfg.Separable] {
+		if spec.Stride != 1 {
+			return nil, fmt.Errorf("models: block %s has stride %d; halo exchange supports stride 1",
+				spec.Name, spec.Stride)
+		}
+		blockSeq, ok := m.Front.Layers[i].(*nn.Sequential)
+		if !ok {
+			return nil, fmt.Errorf("models: front block %d is not a Sequential", i)
+		}
+		margin := (spec.Kernel - 1) / 2
+		if spec.Residual {
+			margin *= 2 // two stacked convolutions
+		}
+		eb := fdsp.ExchangeBlock{Margin: margin}
+		layers := blockSeq.Layers
+		if spec.Pool > 0 {
+			eb.Pool = layers[len(layers)-1]
+			layers = layers[:len(layers)-1]
+		}
+		eb.Conv = nn.NewSequential(blockSeq.Name()+".conv", layers...)
+		out = append(out, eb)
+	}
+	return out, nil
+}
+
+// CopyWeightsFrom transfers all shared-architecture weights from src.
+// The two models must have identical Front/Back structure; boundary
+// layers carry no parameters, so any combination of Options works —
+// this is the warm start between progressive-retraining stages.
+func (m *Model) CopyWeightsFrom(src *Model) error {
+	if err := m.Front.CopyParamsFrom(src.Front); err != nil {
+		return fmt.Errorf("front: %w", err)
+	}
+	if err := m.Back.CopyParamsFrom(src.Back); err != nil {
+		return fmt.Errorf("back: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/tensor"
+)
+
+func TestFullScaleConfigsValidate(t *testing.T) {
+	for _, cfg := range append(FullScale(), ResNet18()) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestSimScaleConfigsValidate(t *testing.T) {
+	for _, cfg := range SimScale() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestVGG16ProfileMatchesKnownNumbers(t *testing.T) {
+	cfg := VGG16()
+	prof := cfg.Profile()
+	if len(prof) != 13 {
+		t.Fatalf("VGG16 has %d blocks, want 13", len(prof))
+	}
+	// First conv: 2*3*3*3*64*224*224 ≈ 173 MFLOPs.
+	want := int64(2 * 3 * 3 * 3 * 64 * 224 * 224)
+	if prof[0].FLOPs < want || prof[0].FLOPs > want+want/10 {
+		t.Fatalf("L1 FLOPs = %d, want ≈ %d", prof[0].FLOPs, want)
+	}
+	// Total VGG16 conv FLOPs ≈ 30.7 GFLOPs (15.3 GMACs).
+	total := cfg.TotalFLOPs()
+	if total < 29e9 || total > 33e9 {
+		t.Fatalf("VGG16 total FLOPs = %.2fe9, want ~30.7e9", float64(total)/1e9)
+	}
+	// Final feature map 512×7×7.
+	lastBlock := prof[12]
+	if lastBlock.OutC != 512 || lastBlock.OutH != 7 || lastBlock.OutW != 7 {
+		t.Fatalf("final fmap %dx%dx%d", lastBlock.OutC, lastBlock.OutH, lastBlock.OutW)
+	}
+}
+
+func TestIfmapPeaksEarlyLikeFigure3(t *testing.T) {
+	// Figure 3: ifmap size and per-block time grow after block 1 and later
+	// shrink; early blocks dominate.
+	for _, cfg := range []Config{VGG16(), ResNet18(), FCN()} {
+		prof := cfg.Profile()
+		peak, peakIdx := int64(0), 0
+		for i, p := range prof {
+			if p.IfmapBytes > peak {
+				peak, peakIdx = p.IfmapBytes, i
+			}
+		}
+		if peakIdx > len(prof)/2 {
+			t.Errorf("%s: ifmap peak at block %d of %d — should be in the first half",
+				cfg.Name, peakIdx, len(prof))
+		}
+		if prof[len(prof)-1].IfmapBytes >= peak {
+			t.Errorf("%s: last ifmap not smaller than the peak", cfg.Name)
+		}
+	}
+}
+
+func TestVGG16EarlyBlocksDominateCompute(t *testing.T) {
+	// Paper: first 4 blocks of VGG16 account for 41.4% of latency.
+	cfg := VGG16()
+	prof := cfg.Profile()
+	var first4, total int64
+	for i, p := range prof {
+		total += p.FLOPs
+		if i < 4 {
+			first4 += p.FLOPs
+		}
+	}
+	total += cfg.HeadProfile().FLOPs
+	share := float64(first4) / float64(total)
+	if share < 0.30 || share > 0.55 {
+		t.Fatalf("first-4-block share = %.3f, paper reports ≈ 0.414", share)
+	}
+}
+
+func TestChannelPartitionOverheadEstimate(t *testing.T) {
+	// Section 3.1: VGG16 block-1 ofmap is 224×224×64; half of it is
+	// 51.38 Mbits — 11× the input image.
+	cfg := VGG16()
+	of := cfg.Profile()[0].OfmapBytes // bytes, float32
+	bits := of * 8 / 2
+	if bits < 50e6 || bits > 53e6 {
+		t.Fatalf("half ofmap = %.2f Mbits, paper says 51.38", float64(bits)/1e6)
+	}
+	ratio := float64(bits) / float64(cfg.InputBytes()*8)
+	if ratio < 9 || ratio > 12 {
+		t.Fatalf("ratio to input = %.1f, paper says ≈ 11", ratio)
+	}
+}
+
+func TestFCNBoundaryTransmissionMatchesPaper(t *testing.T) {
+	// Section 4: FCN layer-7 ofmap is 28×28×512 and its transmission
+	// volume is 2.7× the input image. (The paper also quotes "25.7 Mbits",
+	// but 28·28·512·32 = 12.8 Mbits, and only 12.8 is consistent with the
+	// 2.7× ratio it states; we match the consistent pair.)
+	cfg := FCN()
+	shape := cfg.Profile()[cfg.Separable-1]
+	if shape.OutC != 512 || shape.OutH != 28 || shape.OutW != 28 {
+		t.Fatalf("front out %dx%dx%d, want 512x28x28", shape.OutC, shape.OutH, shape.OutW)
+	}
+	ratio := float64(cfg.FrontOutBytes()) / float64(cfg.InputBytes())
+	if ratio < 2.4 || ratio > 3.0 {
+		t.Fatalf("transmission ratio = %.2f, paper says 2.7", ratio)
+	}
+}
+
+func TestAlexNetProfile(t *testing.T) {
+	cfg := AlexNet()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// AlexNet is ≈ 0.7 GMACs = 1.4 GFLOPs of conv plus ≈ 0.12 GFLOPs of
+	// FC; our pool-2 approximation keeps it in that ballpark.
+	total := cfg.TotalFLOPs()
+	if total < 1.0e9 || total > 4e9 {
+		t.Fatalf("AlexNet total = %.2fe9 FLOPs, want ~1.5-3e9", float64(total)/1e9)
+	}
+	// The giant first-FC layer dominates the weights (paper-era trivia
+	// that the head profile must reflect).
+	if cfg.HeadProfile().WeightBytes < 100e6 {
+		t.Fatalf("AlexNet FC weights = %d bytes, expected > 100 MB", cfg.HeadProfile().WeightBytes)
+	}
+}
+
+func TestResNet34BlockCount(t *testing.T) {
+	cfg := ResNet34()
+	// stem + 3+4+6+3 residual units = 17 blocks.
+	if len(cfg.Blocks) != 17 {
+		t.Fatalf("ResNet34 has %d blocks, want 17", len(cfg.Blocks))
+	}
+	if cfg.Separable != 12 {
+		t.Fatalf("ResNet34 separable = %d, want 12 (paper)", cfg.Separable)
+	}
+}
+
+func TestCharCNNGeometryIs1D(t *testing.T) {
+	cfg := CharCNN()
+	if cfg.InputW != 1 {
+		t.Fatal("CharCNN width must be 1")
+	}
+	prof := cfg.Profile()
+	for _, p := range prof {
+		if p.OutW != 1 {
+			t.Fatalf("block %s widened the 1-D sequence: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestBuildAllSimModelsForward(t *testing.T) {
+	for _, cfg := range SimScale() {
+		m, err := Build(cfg, Options{}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		x := tensor.New(2, cfg.InputC, cfg.InputH, cfg.InputW)
+		rng := rand.New(rand.NewSource(2))
+		x.RandN(rng, 1)
+		y := m.Forward(x, false)
+		switch cfg.Task {
+		case TaskClassify, TaskText:
+			if y.Rank() != 2 || y.Shape[1] != cfg.Classes {
+				t.Fatalf("%s: logits %v", cfg.Name, y.Shape)
+			}
+		case TaskSegment:
+			if y.Shape[1] != cfg.Classes || y.Shape[2] != cfg.InputH || y.Shape[3] != cfg.InputW {
+				t.Fatalf("%s: seg logits %v", cfg.Name, y.Shape)
+			}
+		case TaskDetect:
+			if y.Shape[1] != cfg.Classes {
+				t.Fatalf("%s: cell logits %v", cfg.Name, y.Shape)
+			}
+		}
+	}
+}
+
+func TestBuildPartitionedMatchesUnpartitionedShapes(t *testing.T) {
+	for _, cfg := range SimScale() {
+		grid := fdsp.Grid{Rows: 2, Cols: 2}
+		if cfg.Task == TaskText {
+			grid = fdsp.Grid{Rows: 2, Cols: 1}
+		}
+		plain, err := Build(cfg, Options{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := Build(cfg, Options{Grid: grid}, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		x := tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW)
+		rng := rand.New(rand.NewSource(4))
+		x.RandN(rng, 1)
+		y1 := plain.Forward(x, false)
+		y2 := part.Forward(x, false)
+		if !y1.SameShape(y2) {
+			t.Fatalf("%s: partitioned output %v vs %v", cfg.Name, y2.Shape, y1.Shape)
+		}
+	}
+}
+
+func TestBuildWithSameSeedIsDeterministic(t *testing.T) {
+	cfg := VGGSim()
+	a, _ := Build(cfg, Options{}, 7)
+	b, _ := Build(cfg, Options{}, 7)
+	x := tensor.New(1, 3, 32, 32)
+	rng := rand.New(rand.NewSource(5))
+	x.RandN(rng, 1)
+	if !a.Forward(x, false).Equal(b.Forward(x, false), 0) {
+		t.Fatal("same seed must give identical models")
+	}
+}
+
+func TestBuildRejectsQuantWithoutClip(t *testing.T) {
+	if _, err := Build(VGGSim(), Options{QuantBits: 4}, 1); err == nil {
+		t.Fatal("quantization without clipped ReLU must be rejected")
+	}
+}
+
+func TestBuildRejectsBadGrid(t *testing.T) {
+	if _, err := Build(VGGSim(), Options{Grid: fdsp.Grid{Rows: 5, Cols: 5}}, 1); err == nil {
+		t.Fatal("32x32 is not divisible by 5x5")
+	}
+}
+
+func TestBoundaryOpsPresent(t *testing.T) {
+	m, err := Build(VGGSim(), Options{
+		Grid:   fdsp.Grid{Rows: 4, Cols: 4},
+		ClipLo: 0.1, ClipHi: 2.1, QuantBits: 4,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Boundary.Layers) != 2 {
+		t.Fatalf("boundary has %d layers, want clip+quant", len(m.Boundary.Layers))
+	}
+}
+
+func TestCopyWeightsAcrossOptions(t *testing.T) {
+	cfg := VGGSim()
+	ori, err := Build(cfg, Options{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Build(cfg, Options{
+		Grid:   fdsp.Grid{Rows: 2, Cols: 2},
+		ClipLo: 0, ClipHi: 4,
+	}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.CopyWeightsFrom(ori); err != nil {
+		t.Fatal(err)
+	}
+	// After copying, the FDSP model on a 1x1-equivalent should track the
+	// original closely: compare Front outputs directly on one tile.
+	x := tensor.New(1, 3, 16, 16)
+	rng := rand.New(rand.NewSource(6))
+	x.RandN(rng, 1)
+	y1 := ori.Front.Forward(x, false)
+	y2 := mod.Front.Forward(x, false)
+	if !y1.Equal(y2, 1e-6) {
+		t.Fatal("copied Front weights must reproduce source outputs")
+	}
+}
+
+func TestFrontOutputShape(t *testing.T) {
+	m, _ := Build(VGGSim(), Options{}, 1)
+	s := m.FrontOutputShape()
+	// VGGSim front: 7 blocks, pools at L2 and L4 → 32/4 = 8 spatial, 24 ch.
+	if s[0] != 24 || s[1] != 8 || s[2] != 8 {
+		t.Fatalf("front output shape %v", s)
+	}
+	// The analytic FrontOutBytes must agree.
+	if VGGSim().FrontOutBytes() != int64(4*24*8*8) {
+		t.Fatalf("FrontOutBytes = %d", VGGSim().FrontOutBytes())
+	}
+}
+
+func TestLossAndMetricPerTask(t *testing.T) {
+	for _, cfg := range SimScale() {
+		m, err := Build(cfg, Options{}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW)
+		rng := rand.New(rand.NewSource(10))
+		x.RandN(rng, 1)
+		y := m.Forward(x, true)
+		var labels []int
+		switch cfg.Task {
+		case TaskClassify, TaskText:
+			labels = []int{0}
+		case TaskSegment:
+			labels = make([]int, cfg.InputH*cfg.InputW)
+		case TaskDetect:
+			labels = make([]int, y.Shape[2]*y.Shape[3])
+		}
+		loss, grad := m.Loss(y, labels)
+		if loss <= 0 {
+			t.Fatalf("%s: loss %v", cfg.Name, loss)
+		}
+		if !grad.SameShape(y) {
+			t.Fatalf("%s: grad shape %v vs %v", cfg.Name, grad.Shape, y.Shape)
+		}
+		metric := m.Metric(y, labels)
+		if metric < 0 || metric > 1 {
+			t.Fatalf("%s: metric %v", cfg.Name, metric)
+		}
+		// gradient flows end to end
+		m.Net.Backward(grad)
+		var nz bool
+		for _, p := range m.Net.Params() {
+			for _, v := range p.Grad.Data {
+				if v != 0 {
+					nz = true
+					break
+				}
+			}
+		}
+		if !nz {
+			t.Fatalf("%s: no parameter received gradient", cfg.Name)
+		}
+	}
+}
+
+func TestHaloGeomsResNet(t *testing.T) {
+	cfg := ResNetSim()
+	g := cfg.HaloGeoms(3) // stem + 2 residual blocks
+	// stem conv + (conv,conv) ×2 = 5 stages.
+	if len(g) != 5 {
+		t.Fatalf("HaloGeoms = %v", g)
+	}
+}

@@ -1,0 +1,190 @@
+package models
+
+// BlockProfile is the analytic cost of one layer block: the numbers
+// behind Figure 3 (per-block execution time and ifmap size) and the
+// system latency model.
+type BlockProfile struct {
+	Name             string
+	InC, InH, InW    int
+	OutC, OutH, OutW int
+	FLOPs            int64 // forward multiply-add count ×2 plus elementwise work
+	IfmapBytes       int64 // float32 input feature-map size
+	OfmapBytes       int64 // float32 output feature-map size
+	WeightBytes      int64 // float32 parameter size
+}
+
+// Profile walks the blocks and computes each one's analytic cost for the
+// configured input resolution.
+func (c Config) Profile() []BlockProfile {
+	out := make([]BlockProfile, 0, len(c.Blocks))
+	inC, h, w := c.InputC, c.InputH, c.InputW
+	for _, b := range c.Blocks {
+		p := profileBlock(b, inC, h, w)
+		out = append(out, p)
+		inC, h, w = p.OutC, p.OutH, p.OutW
+	}
+	return out
+}
+
+func profileBlock(b BlockSpec, inC, h, w int) BlockProfile {
+	kw := b.kw()
+	convH := h / b.Stride
+	convW := w / b.Stride
+	var flops, weights int64
+	if b.Residual {
+		// conv1 (stride), conv2 (stride 1), optional projection, add.
+		flops += 2 * int64(b.Kernel) * int64(kw) * int64(inC) * int64(b.OutC) * int64(convH) * int64(convW)
+		flops += 2 * int64(b.Kernel) * int64(kw) * int64(b.OutC) * int64(b.OutC) * int64(convH) * int64(convW)
+		weights += int64(b.Kernel)*int64(kw)*int64(inC)*int64(b.OutC) + int64(b.Kernel)*int64(kw)*int64(b.OutC)*int64(b.OutC)
+		if b.Stride != 1 || inC != b.OutC {
+			flops += 2 * int64(inC) * int64(b.OutC) * int64(convH) * int64(convW)
+			weights += int64(inC) * int64(b.OutC)
+		}
+		flops += int64(b.OutC) * int64(convH) * int64(convW) // residual add
+		// two BN+ReLU passes
+		flops += 2 * 4 * int64(b.OutC) * int64(convH) * int64(convW)
+		weights += 4 * int64(b.OutC) // γ/β ×2
+	} else {
+		flops += 2 * int64(b.Kernel) * int64(kw) * int64(inC) * int64(b.OutC) * int64(convH) * int64(convW)
+		weights += int64(b.Kernel) * int64(kw) * int64(inC) * int64(b.OutC)
+		flops += 4 * int64(b.OutC) * int64(convH) * int64(convW) // BN + ReLU
+		weights += 2 * int64(b.OutC)
+	}
+	outH, outW := convH, convW
+	if b.Pool > 0 {
+		pw := b.poolW()
+		outH = convH / b.Pool
+		outW = convW / pw
+		flops += int64(b.Pool) * int64(pw) * int64(b.OutC) * int64(outH) * int64(outW)
+	}
+	return BlockProfile{
+		Name: b.Name,
+		InC:  inC, InH: h, InW: w,
+		OutC: b.OutC, OutH: outH, OutW: outW,
+		FLOPs:       flops,
+		IfmapBytes:  4 * int64(inC) * int64(h) * int64(w),
+		OfmapBytes:  4 * int64(b.OutC) * int64(outH) * int64(outW),
+		WeightBytes: 4 * weights,
+	}
+}
+
+// HeadProfile returns the analytic cost of the model head.
+func (c Config) HeadProfile() BlockProfile {
+	blocks := c.Profile()
+	last := blocks[len(blocks)-1]
+	inC, oh, ow := last.OutC, last.OutH, last.OutW
+	p := BlockProfile{
+		Name: "head",
+		InC:  inC, InH: oh, InW: ow,
+		IfmapBytes: 4 * int64(inC) * int64(oh) * int64(ow),
+	}
+	switch c.Head {
+	case HeadFC:
+		flat := int64(inC) * int64(oh) * int64(ow)
+		p.FLOPs = 2 * (flat*int64(c.HiddenFC) + int64(c.HiddenFC)*int64(c.Classes))
+		p.WeightBytes = 4 * (flat*int64(c.HiddenFC) + int64(c.HiddenFC)*int64(c.Classes))
+		p.OutC, p.OutH, p.OutW = c.Classes, 1, 1
+	case HeadGAP:
+		p.FLOPs = int64(inC)*int64(oh)*int64(ow) + 2*int64(inC)*int64(c.Classes)
+		p.WeightBytes = 4 * int64(inC) * int64(c.Classes)
+		p.OutC, p.OutH, p.OutW = c.Classes, 1, 1
+	case HeadSegment:
+		hidden := c.HiddenFC
+		if hidden == 0 {
+			hidden = inC
+		}
+		p.FLOPs = 2*int64(inC)*int64(hidden)*int64(oh)*int64(ow) +
+			2*int64(hidden)*int64(c.Classes)*int64(oh)*int64(ow)
+		p.WeightBytes = 4 * (int64(inC)*int64(hidden) + int64(hidden)*int64(c.Classes))
+		p.OutC, p.OutH, p.OutW = c.Classes, c.InputH, c.InputW
+	case HeadCells:
+		p.FLOPs = 2 * int64(inC) * int64(c.Classes) * int64(oh) * int64(ow)
+		p.WeightBytes = 4 * int64(inC) * int64(c.Classes)
+		p.OutC, p.OutH, p.OutW = c.Classes, oh, ow
+	}
+	p.OfmapBytes = 4 * int64(p.OutC) * int64(p.OutH) * int64(p.OutW)
+	return p
+}
+
+// TotalFLOPs returns the whole network's forward cost including the head.
+func (c Config) TotalFLOPs() int64 {
+	var s int64
+	for _, b := range c.Profile() {
+		s += b.FLOPs
+	}
+	return s + c.HeadProfile().FLOPs
+}
+
+// FrontFLOPs returns the separable prefix's forward cost for the full
+// image. Per-tile cost is FrontFLOPs / (grid tiles) because every
+// block's work is proportional to its spatial area.
+func (c Config) FrontFLOPs() int64 {
+	var s int64
+	for _, b := range c.Profile()[:c.Separable] {
+		s += b.FLOPs
+	}
+	return s
+}
+
+// BackFLOPs returns the Central node's share (non-separable blocks plus
+// the head).
+func (c Config) BackFLOPs() int64 { return c.TotalFLOPs() - c.FrontFLOPs() }
+
+// FrontOutBytes returns the float32 size of the separable prefix output
+// for the full image (the "before pruning" transmission volume).
+func (c Config) FrontOutBytes() int64 {
+	if c.Separable == 0 {
+		return c.InputBytes()
+	}
+	return c.Profile()[c.Separable-1].OfmapBytes
+}
+
+// FrontWeightBytes returns the parameter bytes each Conv node stores.
+func (c Config) FrontWeightBytes() int64 {
+	var s int64
+	for _, b := range c.Profile()[:c.Separable] {
+		s += b.WeightBytes
+	}
+	return s
+}
+
+// FrontMemBytes returns the feature-map traffic (ifmap + ofmap bytes) of
+// the separable prefix — the memory-bound component of edge-device
+// execution time.
+func (c Config) FrontMemBytes() int64 {
+	var s int64
+	for _, b := range c.Profile()[:c.Separable] {
+		s += b.IfmapBytes + b.OfmapBytes
+	}
+	return s
+}
+
+// TotalMemBytes returns the feature-map traffic of all blocks plus the
+// head's input and output maps.
+func (c Config) TotalMemBytes() int64 {
+	var s int64
+	for _, b := range c.Profile() {
+		s += b.IfmapBytes + b.OfmapBytes
+	}
+	h := c.HeadProfile()
+	return s + h.IfmapBytes + h.OfmapBytes
+}
+
+// BackMemBytes returns the Central node's feature-map traffic.
+func (c Config) BackMemBytes() int64 { return c.TotalMemBytes() - c.FrontMemBytes() }
+
+// HaloGeoms returns the sliding-window geometry of the first n blocks
+// for the AOFL halo-margin computation (conv stages followed by pools).
+func (c Config) HaloGeoms(n int) [][2]int {
+	var out [][2]int
+	for _, b := range c.Blocks[:n] {
+		out = append(out, [2]int{b.Kernel, b.Stride})
+		if b.Residual {
+			out = append(out, [2]int{b.Kernel, 1})
+		}
+		if b.Pool > 0 {
+			out = append(out, [2]int{b.Pool, b.Pool})
+		}
+	}
+	return out
+}

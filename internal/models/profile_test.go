@@ -1,0 +1,140 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestProfileAggregatesConsistent(t *testing.T) {
+	for _, cfg := range append(FullScale(), AlexNet(), ResNet18()) {
+		total := cfg.TotalFLOPs()
+		front := cfg.FrontFLOPs()
+		back := cfg.BackFLOPs()
+		if front+back != total {
+			t.Errorf("%s: front %d + back %d != total %d", cfg.Name, front, back, total)
+		}
+		if front <= 0 || back <= 0 {
+			t.Errorf("%s: degenerate split %d/%d", cfg.Name, front, back)
+		}
+		if cfg.FrontMemBytes()+cfg.BackMemBytes() != cfg.TotalMemBytes() {
+			t.Errorf("%s: memory aggregates inconsistent", cfg.Name)
+		}
+		if cfg.FrontWeightBytes() <= 0 {
+			t.Errorf("%s: front weights must be positive", cfg.Name)
+		}
+		if cfg.FrontOutBytes() <= 0 {
+			t.Errorf("%s: front output must be positive", cfg.Name)
+		}
+	}
+}
+
+func TestSystemizedDeepensPrefix(t *testing.T) {
+	cfg := VGG16()
+	sys := cfg.Systemized()
+	if sys.Separable != 12 {
+		t.Fatalf("systemized separable = %d, want 12", sys.Separable)
+	}
+	if cfg.Separable != 7 {
+		t.Fatal("Systemized must not mutate the receiver")
+	}
+	// A config without SystemSeparable stays unchanged.
+	plain := VGGSim()
+	if plain.Systemized().Separable != plain.Separable {
+		t.Fatal("zero SystemSeparable must be a no-op")
+	}
+	// The deeper prefix shifts work from Back to Front.
+	if sys.FrontFLOPs() <= cfg.FrontFLOPs() {
+		t.Fatal("systemized front must carry more work")
+	}
+}
+
+func TestTaskStrings(t *testing.T) {
+	for task, want := range map[Task]string{
+		TaskClassify: "classify", TaskSegment: "segment",
+		TaskDetect: "detect", TaskText: "text", Task(99): "task(99)",
+	} {
+		if task.String() != want {
+			t.Fatalf("%d.String() = %q", int(task), task.String())
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := VGGSim()
+	bad := good
+	bad.Blocks = nil
+	if bad.Validate() == nil {
+		t.Fatal("no blocks must fail")
+	}
+	bad = good
+	bad.Separable = 99
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range separable must fail")
+	}
+	bad = good
+	bad.Classes = 1
+	if bad.Validate() == nil {
+		t.Fatal("single class must fail")
+	}
+}
+
+func TestParamCountAndSecondaryMetric(t *testing.T) {
+	m, err := Build(FCNSim(), Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParamCount() <= 0 {
+		t.Fatal("param count must be positive")
+	}
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	y := m.Forward(x, false)
+	labels := make([]int, 32*32)
+	iou := m.SecondaryMetric(y, labels)
+	if iou < 0 || iou > 1 {
+		t.Fatalf("FCN mean IoU = %v", iou)
+	}
+	cls, err := Build(VGGSim(), Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.SecondaryMetric(nil, nil) != -1 {
+		t.Fatal("classification has no secondary metric")
+	}
+}
+
+func TestHeadProfileVariants(t *testing.T) {
+	// Every head kind produces positive FLOPs and a sane output shape.
+	for _, cfg := range []Config{VGG16(), ResNet34(), YOLO(), FCN()} {
+		h := cfg.HeadProfile()
+		if h.FLOPs <= 0 || h.OutC <= 0 {
+			t.Errorf("%s head profile degenerate: %+v", cfg.Name, h)
+		}
+	}
+	// Segmentation head restores input resolution.
+	fh := FCN().HeadProfile()
+	if fh.OutH != 224 || fh.OutW != 224 {
+		t.Fatalf("FCN head output %dx%d, want input resolution", fh.OutH, fh.OutW)
+	}
+	// GAP head collapses to a vector.
+	rh := ResNet34().HeadProfile()
+	if rh.OutH != 1 || rh.OutW != 1 || rh.OutC != 1000 {
+		t.Fatalf("ResNet head output %+v", rh)
+	}
+}
+
+func TestBlockSpecDownsample(t *testing.T) {
+	b := BlockSpec{Kernel: 3, Stride: 2, Pool: 2}
+	dh, dw := b.Downsample()
+	if dh != 4 || dw != 4 {
+		t.Fatalf("downsample %d,%d want 4,4", dh, dw)
+	}
+	b1d := BlockSpec{Kernel: 3, KernelW: 1, Stride: 1, Pool: 3, PoolW: 1}
+	dh, dw = b1d.Downsample()
+	if dh != 3 || dw != 1 {
+		t.Fatalf("1-D downsample %d,%d want 3,1", dh, dw)
+	}
+}

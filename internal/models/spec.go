@@ -1,0 +1,154 @@
+// Package models defines the CNN architectures the paper evaluates
+// (VGG16, ResNet18/34, YOLO, FCN, CharCNN) as declarative layer-block
+// specs. Full-scale configs drive the analytic performance model
+// (Figure 3 and the system experiments); proportionally scaled-down
+// "sim" configs are actually built and trained on synthetic data for
+// the accuracy experiments (Figure 10, Tables 1-2).
+package models
+
+import "fmt"
+
+// Task is the model's prediction task, which selects loss and metric.
+type Task int
+
+// Task values.
+const (
+	TaskClassify Task = iota // image classification (top-1 accuracy)
+	TaskSegment              // semantic segmentation (pixel acc, mean IoU)
+	TaskDetect               // detection proxy: per-cell class prediction (cell accuracy ~ mAP shape)
+	TaskText                 // text classification (accuracy)
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case TaskClassify:
+		return "classify"
+	case TaskSegment:
+		return "segment"
+	case TaskDetect:
+		return "detect"
+	case TaskText:
+		return "text"
+	}
+	return fmt.Sprintf("task(%d)", int(t))
+}
+
+// HeadKind selects the model head attached after the layer blocks.
+type HeadKind int
+
+// HeadKind values.
+const (
+	HeadFC      HeadKind = iota // flatten → FC(hidden) → ReLU → FC(classes)
+	HeadGAP                     // global average pool → FC(classes)
+	HeadSegment                 // 1×1 conv hidden → 1×1 conv classes → upsample to input res
+	HeadCells                   // 1×1 conv to classes at the final spatial resolution
+)
+
+// BlockSpec describes one "layer block" in the paper's sense: a
+// convolution + batch norm + ReLU, optionally followed by a pooling
+// layer — or a two-conv residual unit when Residual is set.
+type BlockSpec struct {
+	Name     string
+	OutC     int
+	Kernel   int // conv kernel height (and width unless KernelW > 0)
+	KernelW  int // 0 → square kernel; 1 for 1-D (text) convolutions
+	Stride   int // conv stride (first conv of a residual unit)
+	Pool     int // trailing max-pool window=stride (0 = none)
+	PoolW    int // 0 → square pool; 1 for 1-D pooling
+	Residual bool
+}
+
+func (b BlockSpec) kw() int {
+	if b.KernelW > 0 {
+		return b.KernelW
+	}
+	return b.Kernel
+}
+
+func (b BlockSpec) poolW() int {
+	if b.PoolW > 0 {
+		return b.PoolW
+	}
+	return b.Pool
+}
+
+// Downsample returns the spatial shrink factor of the block in (H, W).
+func (b BlockSpec) Downsample() (dh, dw int) {
+	dh, dw = b.Stride, b.Stride
+	if b.Pool > 0 {
+		dh *= b.Pool
+		dw *= b.poolW()
+	}
+	return
+}
+
+// Config is a complete architecture description.
+type Config struct {
+	Name      string
+	Task      Task
+	InputC    int
+	InputH    int
+	InputW    int
+	Classes   int
+	Blocks    []BlockSpec
+	Separable int // number of leading blocks FDSP is applied to
+	// SystemSeparable is the deeper prefix used in the system/testbed
+	// experiments (0 = same as Separable). Table 3's latency breakdown is
+	// only reachable when nearly all convolutional work is distributed,
+	// so the system runs partition every block whose pooling geometry
+	// survives the tile size.
+	SystemSeparable int
+	Head            HeadKind
+	HiddenFC        int // hidden width for HeadFC / hidden channels for HeadSegment
+}
+
+// Systemized returns a copy of the config with the separable prefix set
+// to SystemSeparable, for use in the system-latency experiments.
+func (c Config) Systemized() Config {
+	if c.SystemSeparable > 0 {
+		c.Separable = c.SystemSeparable
+	}
+	return c
+}
+
+// Validate performs basic sanity checks.
+func (c Config) Validate() error {
+	if len(c.Blocks) == 0 {
+		return fmt.Errorf("models: %s has no blocks", c.Name)
+	}
+	if c.Separable < 0 || c.Separable > len(c.Blocks) {
+		return fmt.Errorf("models: %s separable prefix %d out of range", c.Name, c.Separable)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("models: %s needs >= 2 classes", c.Name)
+	}
+	return nil
+}
+
+// FrontDownsample returns the (H, W) downsampling of the separable prefix.
+func (c Config) FrontDownsample() (dh, dw int) {
+	dh, dw = 1, 1
+	for _, b := range c.Blocks[:c.Separable] {
+		bh, bw := b.Downsample()
+		dh *= bh
+		dw *= bw
+	}
+	return
+}
+
+// TotalDownsample returns the (H, W) downsampling of all blocks.
+func (c Config) TotalDownsample() (dh, dw int) {
+	dh, dw = 1, 1
+	for _, b := range c.Blocks {
+		bh, bw := b.Downsample()
+		dh *= bh
+		dw *= bw
+	}
+	return
+}
+
+// InputBytes returns the raw float32 size of one input sample.
+func (c Config) InputBytes() int64 {
+	return 4 * int64(c.InputC) * int64(c.InputH) * int64(c.InputW)
+}

@@ -1,0 +1,272 @@
+package models
+
+// Full-scale architecture configs. These are never instantiated as
+// trainable networks (VGG16 alone has 138M parameters); they feed the
+// analytic performance model that reproduces the paper's system-side
+// numbers. The separable prefix lengths (7/7/4/12/12) come from the
+// paper's Figure 10 caption.
+
+// conv is a shorthand BlockSpec constructor.
+func conv(name string, outC, k, stride, pool int) BlockSpec {
+	return BlockSpec{Name: name, OutC: outC, Kernel: k, Stride: stride, Pool: pool}
+}
+
+// res is a residual-unit shorthand.
+func res(name string, outC, stride int) BlockSpec {
+	return BlockSpec{Name: name, OutC: outC, Kernel: 3, Stride: stride, Residual: true}
+}
+
+// VGG16 is the 13-conv-block ImageNet VGG16 (Simonyan & Zisserman).
+func VGG16() Config {
+	return Config{
+		Name: "VGG16", Task: TaskClassify,
+		InputC: 3, InputH: 224, InputW: 224, Classes: 1000,
+		Blocks: []BlockSpec{
+			conv("L1", 64, 3, 1, 0), conv("L2", 64, 3, 1, 2),
+			conv("L3", 128, 3, 1, 0), conv("L4", 128, 3, 1, 2),
+			conv("L5", 256, 3, 1, 0), conv("L6", 256, 3, 1, 0), conv("L7", 256, 3, 1, 2),
+			conv("L8", 512, 3, 1, 0), conv("L9", 512, 3, 1, 0), conv("L10", 512, 3, 1, 2),
+			conv("L11", 512, 3, 1, 0), conv("L12", 512, 3, 1, 0), conv("L13", 512, 3, 1, 2),
+		},
+		Separable: 7, SystemSeparable: 12,
+		Head: HeadFC, HiddenFC: 4096,
+	}
+}
+
+// ResNet18 is the 18-layer residual network used in Figure 3.
+func ResNet18() Config {
+	return Config{
+		Name: "ResNet18", Task: TaskClassify,
+		InputC: 3, InputH: 224, InputW: 224, Classes: 1000,
+		Blocks: []BlockSpec{
+			conv("stem", 64, 7, 2, 2),
+			res("L1", 64, 1), res("L2", 64, 1),
+			res("L3", 128, 2), res("L4", 128, 1),
+			res("L5", 256, 2), res("L6", 256, 1),
+			res("L7", 512, 2), res("L8", 512, 1),
+		},
+		Separable: 5,
+		Head:      HeadGAP,
+	}
+}
+
+// ResNet34 is the 34-layer residual network (paper: 12 separable blocks).
+func ResNet34() Config {
+	blocks := []BlockSpec{conv("stem", 64, 7, 2, 2)}
+	stage := func(prefix string, n, c, firstStride int) {
+		for i := 0; i < n; i++ {
+			s := 1
+			if i == 0 {
+				s = firstStride
+			}
+			blocks = append(blocks, res(prefix+string(rune('a'+i)), c, s))
+		}
+	}
+	stage("L1", 3, 64, 1)
+	stage("L2", 4, 128, 2)
+	stage("L3", 6, 256, 2)
+	stage("L4", 3, 512, 2)
+	return Config{
+		Name: "ResNet34", Task: TaskClassify,
+		InputC: 3, InputH: 224, InputW: 224, Classes: 1000,
+		Blocks:          blocks,
+		Separable:       12,
+		SystemSeparable: 17,
+		Head:            HeadGAP,
+	}
+}
+
+// YOLO is a Darknet-19 style detector backbone (YOLO9000) on 416×416
+// VOC input; the paper applies FDSP to its first 12 blocks.
+func YOLO() Config {
+	return Config{
+		Name: "YOLO", Task: TaskDetect,
+		InputC: 3, InputH: 416, InputW: 416, Classes: 20,
+		Blocks: []BlockSpec{
+			conv("L1", 32, 3, 1, 2),
+			conv("L2", 64, 3, 1, 2),
+			conv("L3", 128, 3, 1, 0), BlockSpec{Name: "L4", OutC: 64, Kernel: 1, Stride: 1},
+			conv("L5", 128, 3, 1, 2),
+			conv("L6", 256, 3, 1, 0), BlockSpec{Name: "L7", OutC: 128, Kernel: 1, Stride: 1},
+			conv("L8", 256, 3, 1, 2),
+			conv("L9", 512, 3, 1, 0), BlockSpec{Name: "L10", OutC: 256, Kernel: 1, Stride: 1},
+			conv("L11", 512, 3, 1, 0), BlockSpec{Name: "L12", OutC: 256, Kernel: 1, Stride: 1},
+			conv("L13", 512, 3, 1, 2),
+			conv("L14", 1024, 3, 1, 0), BlockSpec{Name: "L15", OutC: 512, Kernel: 1, Stride: 1},
+			conv("L16", 1024, 3, 1, 0), BlockSpec{Name: "L17", OutC: 512, Kernel: 1, Stride: 1},
+			conv("L18", 1024, 3, 1, 0),
+		},
+		Separable: 12, SystemSeparable: 18,
+		Head: HeadCells,
+	}
+}
+
+// FCN is the fully convolutional segmentation network evaluated on
+// CamVid (11 classes + void). Its block list is chosen so the seventh
+// (last separable) block outputs 512×28×28 — Section 4's example, whose
+// transmission volume is 2.7× the input image.
+func FCN() Config {
+	return Config{
+		Name: "FCN", Task: TaskSegment,
+		InputC: 3, InputH: 224, InputW: 224, Classes: 12,
+		Blocks: []BlockSpec{
+			conv("L1", 64, 3, 1, 0), conv("L2", 64, 3, 1, 2),
+			conv("L3", 128, 3, 1, 2),
+			conv("L4", 256, 3, 1, 0), conv("L5", 256, 3, 1, 2),
+			conv("L6", 512, 3, 1, 0), conv("L7", 512, 3, 1, 0),
+			conv("L8", 512, 3, 1, 2),
+			conv("L9", 512, 3, 1, 0), conv("L10", 512, 3, 1, 0),
+		},
+		Separable: 7, SystemSeparable: 10,
+		Head: HeadSegment, HiddenFC: 1024,
+	}
+}
+
+// CharCNN is the character-level text classifier of Zhang et al. (2015):
+// 1-D convolutions over a 70-symbol alphabet and 1014-character frames.
+// The sequence runs along H with W fixed to 1.
+func CharCNN() Config {
+	char := func(name string, k, pool int) BlockSpec {
+		return BlockSpec{Name: name, OutC: 256, Kernel: k, KernelW: 1, Stride: 1, Pool: pool, PoolW: 1}
+	}
+	return Config{
+		Name: "CharCNN", Task: TaskText,
+		InputC: 70, InputH: 1014, InputW: 1, Classes: 4,
+		Blocks: []BlockSpec{
+			char("L1", 7, 3),
+			char("L2", 7, 3),
+			char("L3", 3, 0),
+			char("L4", 3, 0),
+			char("L5", 3, 0),
+			char("L6", 3, 3),
+		},
+		Separable: 4, SystemSeparable: 5,
+		Head: HeadFC, HiddenFC: 1024,
+	}
+}
+
+// AlexNet is the classic Krizhevsky et al. network the paper's
+// Figure 2(d) analyses (early layers detect edges/textures, late layers
+// shapes/objects). Its overlapping 3×3-stride-2 pools are approximated
+// by 2×2-stride-2 pools, which the profile treats identically up to one
+// output row.
+func AlexNet() Config {
+	return Config{
+		Name: "AlexNet", Task: TaskClassify,
+		InputC: 3, InputH: 224, InputW: 224, Classes: 1000,
+		Blocks: []BlockSpec{
+			{Name: "L1", OutC: 96, Kernel: 11, Stride: 4, Pool: 2},
+			{Name: "L2", OutC: 256, Kernel: 5, Stride: 1, Pool: 2},
+			conv("L3", 384, 3, 1, 0),
+			conv("L4", 384, 3, 1, 0),
+			conv("L5", 256, 3, 1, 2),
+		},
+		Separable: 2,
+		Head:      HeadFC, HiddenFC: 4096,
+	}
+}
+
+// FullScale returns the five evaluation models plus ResNet18 (used only
+// in the workload-characteristics figure).
+func FullScale() []Config {
+	return []Config{VGG16(), ResNet34(), YOLO(), FCN(), CharCNN()}
+}
+
+// --- Sim-scale configs -------------------------------------------------
+//
+// These keep each architecture's layer-block *structure* (pool placement,
+// channel growth, residual shortcuts, 1-D text geometry, separable prefix
+// proportion) while shrinking channels and resolution enough that the
+// progressive-retraining experiments run in seconds. Input sizes are
+// chosen so every evaluated grid divides them and pooling receptive
+// fields stay inside tiles (the paper's own constraint).
+
+// VGGSim is the scaled-down VGG-style classifier.
+func VGGSim() Config {
+	return Config{
+		Name: "VGG16-sim", Task: TaskClassify,
+		InputC: 3, InputH: 32, InputW: 32, Classes: 8,
+		Blocks: []BlockSpec{
+			conv("L1", 12, 3, 1, 0), conv("L2", 12, 3, 1, 2),
+			conv("L3", 16, 3, 1, 0), conv("L4", 16, 3, 1, 2),
+			conv("L5", 24, 3, 1, 0), conv("L6", 24, 3, 1, 0), conv("L7", 24, 3, 1, 0),
+			conv("L8", 32, 3, 1, 2), conv("L9", 32, 3, 1, 0),
+		},
+		Separable: 7,
+		Head:      HeadFC, HiddenFC: 48,
+	}
+}
+
+// ResNetSim is the scaled-down residual classifier.
+func ResNetSim() Config {
+	return Config{
+		Name: "ResNet34-sim", Task: TaskClassify,
+		InputC: 3, InputH: 32, InputW: 32, Classes: 8,
+		Blocks: []BlockSpec{
+			conv("stem", 12, 3, 1, 0),
+			res("L1", 12, 1), res("L2", 12, 1),
+			res("L3", 24, 2), res("L4", 24, 1),
+			res("L5", 32, 2),
+		},
+		Separable: 3,
+		Head:      HeadGAP,
+	}
+}
+
+// YOLOSim is the scaled-down detection proxy (per-cell classification on
+// an 8×8 output grid).
+func YOLOSim() Config {
+	return Config{
+		Name: "YOLO-sim", Task: TaskDetect,
+		InputC: 3, InputH: 32, InputW: 32, Classes: 6,
+		Blocks: []BlockSpec{
+			conv("L1", 12, 3, 1, 2),
+			conv("L2", 16, 3, 1, 2),
+			conv("L3", 24, 3, 1, 0),
+			BlockSpec{Name: "L4", OutC: 16, Kernel: 1, Stride: 1},
+			conv("L5", 24, 3, 1, 0),
+		},
+		Separable: 4,
+		Head:      HeadCells,
+	}
+}
+
+// FCNSim is the scaled-down segmentation network.
+func FCNSim() Config {
+	return Config{
+		Name: "FCN-sim", Task: TaskSegment,
+		InputC: 3, InputH: 32, InputW: 32, Classes: 5,
+		Blocks: []BlockSpec{
+			conv("L1", 12, 3, 1, 0), conv("L2", 12, 3, 1, 2),
+			conv("L3", 16, 3, 1, 0), conv("L4", 16, 3, 1, 2),
+			conv("L5", 24, 3, 1, 0), conv("L6", 24, 3, 1, 0), conv("L7", 24, 3, 1, 0),
+		},
+		Separable: 7,
+		Head:      HeadSegment, HiddenFC: 32,
+	}
+}
+
+// CharCNNSim is the scaled-down character-level text classifier.
+func CharCNNSim() Config {
+	char := func(name string, c, k, pool int) BlockSpec {
+		return BlockSpec{Name: name, OutC: c, Kernel: k, KernelW: 1, Stride: 1, Pool: pool, PoolW: 1}
+	}
+	return Config{
+		Name: "CharCNN-sim", Task: TaskText,
+		InputC: 16, InputH: 64, InputW: 1, Classes: 4,
+		Blocks: []BlockSpec{
+			char("L1", 16, 5, 2),
+			char("L2", 24, 3, 2),
+			char("L3", 32, 3, 0),
+			char("L4", 32, 3, 0),
+		},
+		Separable: 4,
+		Head:      HeadFC, HiddenFC: 32,
+	}
+}
+
+// SimScale returns the five sim-scale models in the paper's Figure 10
+// order.
+func SimScale() []Config {
+	return []Config{VGGSim(), FCNSim(), CharCNNSim(), ResNetSim(), YOLOSim()}
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+
+	"adcnn/internal/tensor"
+)
+
+// LeakyReLU is max(αx, x) — the activation the YOLO/Darknet family uses.
+type LeakyReLU struct {
+	label string
+	Alpha float32
+	mask  []bool // true where x > 0
+}
+
+// NewLeakyReLU creates a leaky rectifier (Darknet uses α = 0.1).
+func NewLeakyReLU(label string, alpha float32) *LeakyReLU {
+	if alpha < 0 || alpha >= 1 {
+		panic("nn: LeakyReLU alpha out of [0,1)")
+	}
+	return &LeakyReLU{label: label, Alpha: alpha}
+}
+
+// Forward computes x for x>0 and αx otherwise.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if train {
+		l.mask = make([]bool, len(x.Data))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			if train {
+				l.mask[i] = true
+			}
+		} else {
+			y.Data[i] = l.Alpha * v
+		}
+	}
+	return y
+}
+
+// Backward scales the gradient by 1 or α per element.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		panic("nn: LeakyReLU.Backward before Forward(train=true)")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if l.mask[i] {
+			dx.Data[i] = v
+		} else {
+			dx.Data[i] = l.Alpha * v
+		}
+	}
+	l.mask = nil
+	return dx
+}
+
+// Params returns nil.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Name returns the layer label.
+func (l *LeakyReLU) Name() string { return l.label }
+
+// Sigmoid is the logistic activation (the paper's background contrasts
+// its saturating gradient with ReLU's).
+type Sigmoid struct {
+	label string
+	out   *tensor.Tensor
+}
+
+// NewSigmoid creates a sigmoid layer.
+func NewSigmoid(label string) *Sigmoid { return &Sigmoid{label: label} }
+
+// Forward computes 1/(1+e^{-x}).
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	if train {
+		s.out = y.Clone()
+	}
+	return y
+}
+
+// Backward uses dy/dx = y(1−y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.out == nil {
+		panic("nn: Sigmoid.Backward before Forward(train=true)")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := s.out.Data[i]
+		dx.Data[i] = g * y * (1 - y)
+	}
+	s.out = nil
+	return dx
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Name returns the layer label.
+func (s *Sigmoid) Name() string { return s.label }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	label string
+	out   *tensor.Tensor
+}
+
+// NewTanh creates a tanh layer.
+func NewTanh(label string) *Tanh { return &Tanh{label: label} }
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	if train {
+		t.out = y.Clone()
+	}
+	return y
+}
+
+// Backward uses dy/dx = 1 − y².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if t.out == nil {
+		panic("nn: Tanh.Backward before Forward(train=true)")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := t.out.Data[i]
+		dx.Data[i] = g * (1 - y*y)
+	}
+	t.out = nil
+	return dx
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Name returns the layer label.
+func (t *Tanh) Name() string { return t.label }

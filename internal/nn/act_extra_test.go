@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestLeakyReLUForward(t *testing.T) {
+	l := NewLeakyReLU("lr", 0.1)
+	x := tensor.FromSlice([]float32{-2, 0, 3}, 3)
+	y := l.Forward(x, false)
+	want := []float32{-0.2, 0, 3}
+	for i := range want {
+		if math.Abs(float64(y.Data[i]-want[i])) > 1e-6 {
+			t.Fatalf("leaky = %v", y.Data)
+		}
+	}
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	l := NewLeakyReLU("lr", 0.1)
+	x := randInput(2, 3, 3)
+	for i := range x.Data {
+		if math.Abs(float64(x.Data[i])) < 0.05 {
+			x.Data[i] = 0.4
+		}
+	}
+	checkInputGrad(t, l, x, 1e-2)
+}
+
+func TestLeakyReLUBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLeakyReLU("bad", 1.5)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	s := NewSigmoid("sig")
+	x := randInput(2, 4)
+	checkInputGrad(t, s, x, 1e-2)
+}
+
+func TestSigmoidRange(t *testing.T) {
+	s := NewSigmoid("sig")
+	x := tensor.FromSlice([]float32{-100, 0, 100}, 3)
+	y := s.Forward(x, false)
+	if y.Data[0] > 1e-6 || math.Abs(float64(y.Data[1]-0.5)) > 1e-6 || y.Data[2] < 1-1e-6 {
+		t.Fatalf("sigmoid values %v", y.Data)
+	}
+}
+
+func TestTanhGradients(t *testing.T) {
+	th := NewTanh("tanh")
+	x := randInput(2, 4)
+	checkInputGrad(t, th, x, 1e-2)
+}
+
+func TestTanhOddFunction(t *testing.T) {
+	th := NewTanh("tanh")
+	x := tensor.FromSlice([]float32{-1.5, 1.5}, 2)
+	y := th.Forward(x, false)
+	if math.Abs(float64(y.Data[0]+y.Data[1])) > 1e-6 {
+		t.Fatalf("tanh must be odd: %v", y.Data)
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+// TestConvParallelDeterminism: batch-parallel execution must produce the
+// same numbers as single-threaded execution (the reduction order of the
+// weight-gradient shards is fixed).
+func TestConvParallelDeterminism(t *testing.T) {
+	run := func(procs int) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		rng := rand.New(rand.NewSource(77))
+		conv := NewConv2D("c", 3, 5, 3, 3, 1, 1, rng)
+		x := tensor.New(8, 3, 10, 10)
+		x.RandN(rng, 1)
+		y := conv.Forward(x, true)
+		g := tensor.New(y.Shape...)
+		g.Fill(0.5)
+		dx := conv.Backward(g)
+		return y, dx, conv.Weight.Grad
+	}
+	y1, dx1, dw1 := run(1)
+	y2, dx2, dw2 := run(runtime.NumCPU())
+	if !y1.Equal(y2, 0) {
+		t.Fatal("forward output differs between 1 and N workers")
+	}
+	if !dx1.Equal(dx2, 0) {
+		t.Fatal("input gradient differs between 1 and N workers")
+	}
+	if !dw1.Equal(dw2, 0) {
+		t.Fatal("weight gradient differs between 1 and N workers")
+	}
+}
+
+// The 1×1 fast path must agree with the generic im2col path in both
+// directions (it shares Backward with the generic code).
+func TestConv1x1FastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	fast := NewConv2D("fast", 6, 4, 1, 1, 1, 0, rng)
+	// A 1×1 conv with artificial padding disables the fast path but is
+	// numerically different, so instead compare against a 1×1 expressed
+	// through the generic path by forcing a fake 1×1 geometry via Im2Col:
+	// the reference is a hand-rolled per-pixel matmul.
+	x := tensor.New(2, 6, 5, 5)
+	x.RandN(rng, 1)
+	y := fast.Forward(x, true)
+	for i := 0; i < 2; i++ {
+		for oc := 0; oc < 4; oc++ {
+			for p := 0; p < 25; p++ {
+				var want float32
+				for ic := 0; ic < 6; ic++ {
+					want += fast.Weight.Value.At(oc, ic, 0, 0) * x.Data[i*6*25+ic*25+p]
+				}
+				want += fast.Bias.Value.Data[oc]
+				got := y.Data[i*4*25+oc*25+p]
+				if d := got - want; d > 1e-4 || d < -1e-4 {
+					t.Fatalf("1x1 mismatch at (%d,%d,%d): %v vs %v", i, oc, p, got, want)
+				}
+			}
+		}
+	}
+	// Backward through the cached view must produce finite gradients.
+	g := tensor.New(y.Shape...)
+	g.Fill(1)
+	dx := fast.Backward(g)
+	if !dx.SameShape(x) {
+		t.Fatal("backward shape")
+	}
+}
+
+func BenchmarkConvForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D("c", 16, 32, 3, 3, 1, 1, rng)
+	x := tensor.New(16, 16, 32, 32)
+	x.RandN(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+func BenchmarkConvTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D("c", 8, 16, 3, 3, 1, 1, rng)
+	x := tensor.New(8, 8, 16, 16)
+	x.RandN(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := conv.Forward(x, true)
+		conv.Backward(y)
+	}
+}

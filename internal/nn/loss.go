@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adcnn/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, K] against integer class labels, and the gradient w.r.t. the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [N K] logits, got %v", logits.Shape))
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, k)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		// stable softmax
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		loss += logSum - float64(row[y]-maxv)
+		g := grad.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxv)) / sum
+			g[j] = float32(p) / float32(n)
+		}
+		g[y] -= 1 / float32(n)
+	}
+	return loss / float64(n), grad
+}
+
+// PixelSoftmaxCrossEntropy computes the mean per-pixel cross-entropy for
+// dense-prediction (segmentation) logits [N, K, H, W] against labels
+// [N, H, W] stored as a flat int slice. It returns loss and gradient.
+func PixelSoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 4 {
+		panic(fmt.Sprintf("nn: PixelSoftmaxCrossEntropy expects [N K H W], got %v", logits.Shape))
+	}
+	n, k, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]
+	if len(labels) != n*h*w {
+		panic(fmt.Sprintf("nn: %d labels for %d pixels", len(labels), n*h*w))
+	}
+	grad := tensor.New(n, k, h, w)
+	plane := h * w
+	sample := k * plane
+	total := float64(n * plane)
+	var loss float64
+	for i := 0; i < n; i++ {
+		for px := 0; px < plane; px++ {
+			maxv := float32(math.Inf(-1))
+			for c := 0; c < k; c++ {
+				v := logits.Data[i*sample+c*plane+px]
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				sum += math.Exp(float64(logits.Data[i*sample+c*plane+px] - maxv))
+			}
+			logSum := math.Log(sum)
+			y := labels[i*plane+px]
+			loss += logSum - float64(logits.Data[i*sample+y*plane+px]-maxv)
+			for c := 0; c < k; c++ {
+				p := math.Exp(float64(logits.Data[i*sample+c*plane+px]-maxv)) / sum
+				grad.Data[i*sample+c*plane+px] = float32(p / total)
+			}
+			grad.Data[i*sample+y*plane+px] -= float32(1 / total)
+		}
+	}
+	return loss / total, grad
+}
+
+// Accuracy returns the fraction of rows of logits [N,K] whose argmax
+// equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// PixelAccuracy returns the per-pixel argmax accuracy for segmentation
+// logits [N,K,H,W].
+func PixelAccuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]
+	plane := h * w
+	sample := k * plane
+	correct := 0
+	for i := 0; i < n; i++ {
+		for px := 0; px < plane; px++ {
+			best, bi := logits.Data[i*sample+px], 0
+			for c := 1; c < k; c++ {
+				v := logits.Data[i*sample+c*plane+px]
+				if v > best {
+					best, bi = v, c
+				}
+			}
+			if bi == labels[i*plane+px] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n*plane)
+}
+
+// MeanIoU returns the mean intersection-over-union across k classes for
+// segmentation logits [N,K,H,W], the paper's FCN metric.
+func MeanIoU(logits *tensor.Tensor, labels []int) float64 {
+	n, k, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]
+	plane := h * w
+	sample := k * plane
+	inter := make([]int, k)
+	union := make([]int, k)
+	for i := 0; i < n; i++ {
+		for px := 0; px < plane; px++ {
+			best, bi := logits.Data[i*sample+px], 0
+			for c := 1; c < k; c++ {
+				v := logits.Data[i*sample+c*plane+px]
+				if v > best {
+					best, bi = v, c
+				}
+			}
+			y := labels[i*plane+px]
+			if bi == y {
+				inter[y]++
+				union[y]++
+			} else {
+				union[y]++
+				union[bi]++
+			}
+		}
+	}
+	var sum float64
+	classes := 0
+	for c := 0; c < k; c++ {
+		if union[c] > 0 {
+			sum += float64(inter[c]) / float64(union[c])
+			classes++
+		}
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sum / float64(classes)
+}

@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := tensor.New(2, 4) // all-zero logits → uniform distribution
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	want := math.Log(4)
+	if math.Abs(loss-want) > 1e-6 {
+		t.Fatalf("loss = %v, want ln(4)=%v", loss, want)
+	}
+	// gradient rows sum to zero
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += float64(grad.At(i, j))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	logits := tensor.New(3, 5)
+	logits.RandN(rng, 1)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-3
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("grad[%d]: numeric %v vs analytic %v", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestPixelSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := tensor.New(1, 3, 2, 2)
+	logits.RandN(rng, 1)
+	labels := []int{0, 1, 2, 1}
+	_, grad := PixelSoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-3
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := PixelSoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := PixelSoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("grad[%d]: numeric %v vs analytic %v", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 2, 0, // argmax 1
+		5, 0, 0, // argmax 0
+		0, 0, 9, // argmax 2
+	}, 3, 3)
+	if got := Accuracy(logits, []int{1, 0, 0}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestPixelAccuracyAndIoU(t *testing.T) {
+	// 2 classes, 1x(2x2): predictions = class of max logit per pixel.
+	logits := tensor.FromSlice([]float32{
+		// class 0 plane
+		1, 0,
+		0, 1,
+		// class 1 plane
+		0, 1,
+		1, 0,
+	}, 1, 2, 2, 2)
+	labels := []int{0, 1, 0, 0} // predicted: 0,1,1,0 → 3/4 pixel acc
+	if got := PixelAccuracy(logits, labels); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("PixelAccuracy = %v", got)
+	}
+	iou := MeanIoU(logits, labels)
+	// class0: inter=2, union=3 → 2/3; class1: inter=1, union=2 → 1/2; mean=7/12
+	if math.Abs(iou-7.0/12) > 1e-9 {
+		t.Fatalf("MeanIoU = %v, want %v", iou, 7.0/12)
+	}
+}
+
+func TestSGDConvergesOnLinearProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Learn a separable 2-class problem with one linear layer.
+	l := NewLinear("fc", 2, 2, rng)
+	opt := NewSGD(0.5, 0.9, 0)
+	n := 64
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float32()*2-1, rng.Float32()*2-1
+		x.Set(a, i, 0)
+		x.Set(b, i, 1)
+		if a+b > 0 {
+			labels[i] = 1
+		}
+	}
+	var last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		y := l.Forward(x, true)
+		loss, g := SoftmaxCrossEntropy(y, labels)
+		l.Backward(g)
+		opt.Step(l.Params())
+		last = loss
+	}
+	y := l.Forward(x, false)
+	if acc := Accuracy(y, labels); acc < 0.95 {
+		t.Fatalf("SGD failed to fit linear problem: acc %v, last loss %v", acc, last)
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLinear("fc", 4, 4, rng)
+	before := l.Weight.Value.Clone()
+	opt := NewSGD(0.1, 0, 0.5)
+	// zero gradient + weight decay → pure shrink
+	opt.Step(l.Params())
+	for i := range before.Data {
+		want := before.Data[i] * (1 - 0.1*0.5)
+		if math.Abs(float64(l.Weight.Value.Data[i]-want)) > 1e-5 {
+			t.Fatalf("weight decay wrong at %d: %v vs %v", i, l.Weight.Value.Data[i], want)
+		}
+	}
+}
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(999))
+		return NewSequential("m",
+			NewConv2D("c", 1, 2, 3, 3, 1, 1, r),
+			NewBatchNorm2D("bn", 2),
+			NewReLU("r"),
+			NewFlatten("f"),
+			NewLinear("fc", 2*4*4, 3, r),
+		)
+	}
+	m1 := build()
+	for _, p := range m1.Params() {
+		p.Value.RandN(rng, 1)
+	}
+	// push some batch stats through
+	x := tensor.New(2, 1, 4, 4)
+	x.RandN(rng, 1)
+	m1.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := m1.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := build()
+	if err := m2.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y1 := m1.Forward(x, false)
+	y2 := m2.Forward(x, false)
+	if !y1.Equal(y2, 1e-6) {
+		t.Fatal("loaded model must reproduce original outputs")
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	build := func(seed int64) *Sequential {
+		r := rand.New(rand.NewSource(seed))
+		return NewSequential("m",
+			NewConv2D("c", 1, 2, 3, 3, 1, 1, r),
+			NewBatchNorm2D("bn", 2),
+			NewFlatten("f"),
+			NewLinear("fc", 2*3*3, 2, r),
+		)
+	}
+	src := build(1)
+	dst := build(2)
+	x := tensor.New(1, 1, 3, 3)
+	x.RandN(rng, 1)
+	src.Forward(x, true) // make running stats non-trivial
+	if err := dst.CopyParamsFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	y1 := src.Forward(x, false)
+	y2 := dst.Forward(x, false)
+	if !y1.Equal(y2, 1e-6) {
+		t.Fatal("CopyParamsFrom must make models functionally identical")
+	}
+}
+
+func TestCopyParamsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := NewSequential("a", NewLinear("fc", 2, 2, rng))
+	b := NewSequential("b", NewLinear("fc", 2, 3, rng))
+	if err := a.CopyParamsFrom(b); err == nil {
+		t.Fatal("size mismatch must be reported")
+	}
+	c := NewSequential("c", NewLinear("fc", 2, 2, rng), NewLinear("fc2", 2, 2, rng))
+	if err := a.CopyParamsFrom(c); err == nil {
+		t.Fatal("count mismatch must be reported")
+	}
+}
+
+func TestForwardUpToFromSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	seq := NewSequential("net",
+		NewConv2D("c1", 1, 2, 3, 3, 1, 1, rng),
+		NewReLU("r1"),
+		NewFlatten("f"),
+		NewLinear("fc", 2*4*4, 3, rng),
+	)
+	x := tensor.New(1, 1, 4, 4)
+	x.RandN(rng, 1)
+	full := seq.Forward(x, false)
+	for split := 0; split <= len(seq.Layers); split++ {
+		mid := seq.ForwardUpTo(x, split, false)
+		out := seq.ForwardFrom(mid, split, false)
+		if !out.Equal(full, 1e-6) {
+			t.Fatalf("split at %d changes the output", split)
+		}
+	}
+}

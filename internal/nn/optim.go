@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+
+	"adcnn/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step(params []*Param)
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float32)
+}
+
+// SGD is stochastic gradient descent with momentum and L2 weight decay,
+// matching the default PyTorch recipe the paper's retraining uses.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter and clears the gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if o.WeightDecay != 0 {
+			g.AddScaled(o.WeightDecay, p.Value)
+		}
+		if o.Momentum != 0 {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape...)
+				o.velocity[p] = v
+			}
+			v.Scale(o.Momentum).Add(g)
+			p.Value.AddScaled(-o.LR, v)
+		} else {
+			p.Value.AddScaled(-o.LR, g)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (o *SGD) SetLR(lr float32) { o.LR = lr }
+
+var _ Optimizer = (*SGD)(nil)
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional decoupled-style
+// L2 weight decay folded into the gradient.
+type Adam struct {
+	LR           float32
+	Beta1, Beta2 float32
+	Eps          float32
+	WeightDecay  float32
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with the standard β defaults.
+func NewAdam(lr, weightDecay float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update and clears the gradients.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range params {
+		g := p.Grad
+		if o.WeightDecay != 0 {
+			g.AddScaled(o.WeightDecay, p.Value)
+		}
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape...)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Value.Shape...)
+		}
+		v := o.v[p]
+		for i, gi := range g.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*gi
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*gi*gi
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (o *Adam) SetLR(lr float32) { o.LR = lr }
+
+var _ Optimizer = (*Adam)(nil)
+
+// StepDecay returns the learning rate for an epoch under step decay:
+// base · factor^(epoch/every) — the classic ImageNet-recipe schedule.
+func StepDecay(base float32, epoch, every int, factor float32) float32 {
+	if every <= 0 {
+		return base
+	}
+	lr := base
+	for k := 0; k < epoch/every; k++ {
+		lr *= factor
+	}
+	return lr
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestAdamConvergesOnLinearProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	l := NewLinear("fc", 2, 2, rng)
+	opt := NewAdam(0.05, 0)
+	n := 64
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float32()*2-1, rng.Float32()*2-1
+		x.Set(a, i, 0)
+		x.Set(b, i, 1)
+		if a-b > 0 {
+			labels[i] = 1
+		}
+	}
+	for epoch := 0; epoch < 80; epoch++ {
+		y := l.Forward(x, true)
+		_, g := SoftmaxCrossEntropy(y, labels)
+		l.Backward(g)
+		opt.Step(l.Params())
+	}
+	if acc := Accuracy(l.Forward(x, false), labels); acc < 0.95 {
+		t.Fatalf("Adam failed to fit linear problem: acc %v", acc)
+	}
+}
+
+func TestAdamFirstStepIsBounded(t *testing.T) {
+	// Bias correction keeps the very first update ≈ LR in magnitude.
+	rng := rand.New(rand.NewSource(62))
+	l := NewLinear("fc", 3, 3, rng)
+	before := l.Weight.Value.Clone()
+	for i := range l.Weight.Grad.Data {
+		l.Weight.Grad.Data[i] = 1
+	}
+	opt := NewAdam(0.01, 0)
+	opt.Step(l.Params())
+	for i := range before.Data {
+		d := math.Abs(float64(l.Weight.Value.Data[i] - before.Data[i]))
+		if d > 0.011 {
+			t.Fatalf("first Adam step moved %v, want ≈ LR", d)
+		}
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	if StepDecay(0.1, 0, 10, 0.5) != 0.1 {
+		t.Fatal("epoch 0 keeps base LR")
+	}
+	if got := StepDecay(0.1, 10, 10, 0.5); math.Abs(float64(got)-0.05) > 1e-7 {
+		t.Fatalf("epoch 10: %v", got)
+	}
+	if got := StepDecay(0.1, 25, 10, 0.5); math.Abs(float64(got)-0.025) > 1e-7 {
+		t.Fatalf("epoch 25: %v", got)
+	}
+	if StepDecay(0.1, 100, 0, 0.5) != 0.1 {
+		t.Fatal("every=0 disables decay")
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	s.SetLR(0.01)
+	if s.LR != 0.01 {
+		t.Fatal("SGD SetLR failed")
+	}
+	a := NewAdam(0.1, 0)
+	a.SetLR(0.02)
+	if a.LR != 0.02 {
+		t.Fatal("Adam SetLR failed")
+	}
+}

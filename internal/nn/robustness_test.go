@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestResidualWithBatchNormGradients(t *testing.T) {
+	// The real ResNet unit: conv-bn-relu-conv-bn with identity shortcut.
+	rng := rand.New(rand.NewSource(71))
+	body := NewSequential("body",
+		NewConv2D("c1", 2, 2, 3, 3, 1, 1, rng).NoBias(),
+		NewBatchNorm2D("bn1", 2),
+		NewReLU("r1"),
+		NewConv2D("c2", 2, 2, 3, 3, 1, 1, rng).NoBias(),
+		NewBatchNorm2D("bn2", 2),
+	)
+	res := NewResidual("res", body, nil)
+	x := randInput(2, 2, 4, 4)
+	checkInputGrad(t, res, x, 8e-2)
+}
+
+func TestForwardUpToOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	seq := NewSequential("s", NewReLU("r"), NewLinear("fc", 4, 4, rng))
+	x := tensor.New(1, 4)
+	for _, f := range []func(){
+		func() { seq.ForwardUpTo(x, -1, false) },
+		func() { seq.ForwardUpTo(x, 3, false) },
+		func() { seq.ForwardFrom(x, -1, false) },
+		func() { seq.ForwardFrom(x, 3, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLoadParamsRejectsCorruptStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := NewSequential("m", NewLinear("fc", 2, 2, rng))
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if err := m.LoadParams(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+	// Truncated stream.
+	if err := m.LoadParams(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("truncation not rejected")
+	}
+	// Wrong architecture (different tensor count).
+	other := NewSequential("o", NewLinear("fc", 2, 2, rng), NewLinear("fc2", 2, 2, rng))
+	if err := other.LoadParams(bytes.NewReader(good)); err == nil {
+		t.Fatal("tensor-count mismatch not rejected")
+	}
+	// Wrong tensor size.
+	small := NewSequential("s", NewLinear("fc", 2, 1, rng))
+	if err := small.LoadParams(bytes.NewReader(good)); err == nil {
+		t.Fatal("tensor-size mismatch not rejected")
+	}
+	// The pristine stream still loads.
+	if err := m.LoadParams(bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrozenBatchNormMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	bn := NewBatchNorm2D("bn", 3)
+	bn.RunningMean.RandN(rng, 1)
+	bn.RunningVar.RandU(rng, 0.5, 2)
+	x := randInput(2, 3, 4, 4)
+	evalOut := bn.Forward(x, false)
+	bn.Frozen = true
+	frozenTrainOut := bn.Forward(x, true)
+	if !evalOut.Equal(frozenTrainOut, 1e-5) {
+		t.Fatal("frozen train-mode forward must equal eval forward")
+	}
+	// And gradients flow elementwise (no batch coupling): perturbing one
+	// input changes only that output position.
+	g := tensor.New(frozenTrainOut.Shape...)
+	g.Set(1, 0, 0, 0, 0)
+	dx := bn.Backward(g)
+	nonzero := 0
+	for _, v := range dx.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("frozen BN must be elementwise: %d nonzero gradient entries", nonzero)
+	}
+}
+
+func TestSequentialZeroGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	seq := NewSequential("s", NewLinear("fc", 3, 3, rng))
+	x := tensor.New(2, 3)
+	x.RandN(rng, 1)
+	y := seq.Forward(x, true)
+	seq.Backward(y)
+	seq.ZeroGrad()
+	for _, p := range seq.Params() {
+		for _, v := range p.Grad.Data {
+			if v != 0 {
+				t.Fatal("ZeroGrad left residue")
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// CopyParamsFrom copies parameter values (not gradients) from src into s.
+// Both models must have identical parameter lists — this is how
+// progressive retraining seeds each stage with the previous stage's
+// weights.
+func (s *Sequential) CopyParamsFrom(src *Sequential) error {
+	dst := s.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(from))
+	}
+	for i, p := range dst {
+		if p.Value.Len() != from[i].Value.Len() {
+			return fmt.Errorf("nn: parameter %q size mismatch %v vs %v", p.Name, p.Value.Shape, from[i].Value.Shape)
+		}
+		copy(p.Value.Data, from[i].Value.Data)
+	}
+	// Copy batch-norm running statistics too; they are state, not params.
+	db := collectBN(s)
+	sb := collectBN(src)
+	if len(db) == len(sb) {
+		for i, bn := range db {
+			copy(bn.RunningMean.Data, sb[i].RunningMean.Data)
+			copy(bn.RunningVar.Data, sb[i].RunningVar.Data)
+		}
+	}
+	return nil
+}
+
+// FreezeBatchNorm sets the Frozen flag on every BatchNorm2D nested in s.
+func FreezeBatchNorm(s *Sequential, frozen bool) {
+	for _, bn := range collectBN(s) {
+		bn.Frozen = frozen
+	}
+}
+
+func collectBN(s *Sequential) []*BatchNorm2D {
+	var out []*BatchNorm2D
+	for _, l := range s.Layers {
+		switch v := l.(type) {
+		case *BatchNorm2D:
+			out = append(out, v)
+		case *Sequential:
+			out = append(out, collectBN(v)...)
+		case *Residual:
+			out = append(out, collectBN(v.Body)...)
+			if v.Shortcut != nil {
+				out = append(out, collectBN(v.Shortcut)...)
+			}
+		}
+	}
+	return out
+}
+
+const stateMagic = 0x41444e4e // "ADNN"
+
+// SaveParams writes every parameter value (and batch-norm running stats)
+// to w in a simple length-prefixed little-endian format.
+func (s *Sequential) SaveParams(w io.Writer) error {
+	var tensors [][]float32
+	for _, p := range s.Params() {
+		tensors = append(tensors, p.Value.Data)
+	}
+	for _, bn := range collectBN(s) {
+		tensors = append(tensors, bn.RunningMean.Data, bn.RunningVar.Data)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(stateMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(tensors))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, t := range tensors {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(t))); err != nil {
+			return err
+		}
+		for _, v := range t {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadParams restores parameters previously written by SaveParams. The
+// model architecture must match exactly.
+func (s *Sequential) LoadParams(r io.Reader) error {
+	var tensors [][]float32
+	for _, p := range s.Params() {
+		tensors = append(tensors, p.Value.Data)
+	}
+	for _, bn := range collectBN(s) {
+		tensors = append(tensors, bn.RunningMean.Data, bn.RunningVar.Data)
+	}
+	var magic, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != stateMagic {
+		return fmt.Errorf("nn: bad state magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(tensors) {
+		return fmt.Errorf("nn: state has %d tensors, model expects %d", count, len(tensors))
+	}
+	buf := make([]byte, 4)
+	for _, t := range tensors {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != len(t) {
+			return fmt.Errorf("nn: tensor length %d, model expects %d", n, len(t))
+		}
+		for i := range t {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return err
+			}
+			t[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+func TestUpsampleForwardKnown(t *testing.T) {
+	u := NewUpsample2D("up", 2)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := u.Forward(x, false)
+	want := []float32{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("upsample = %v", y.Data)
+		}
+	}
+}
+
+func TestUpsampleGradients(t *testing.T) {
+	u := NewUpsample2D("up", 3)
+	x := randInput(1, 2, 2, 2)
+	checkInputGrad(t, u, x, 1e-2)
+}
+
+func TestUpsampleFactor1Identity(t *testing.T) {
+	u := NewUpsample2D("up", 1)
+	x := randInput(2, 2, 3, 3)
+	if !u.Forward(x, false).Equal(x, 0) {
+		t.Fatal("factor-1 upsample must be identity")
+	}
+}
+
+func TestUpsampleBadFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUpsample2D("up", 0)
+}
+
+func TestMaxPoolRectMatchesSquare(t *testing.T) {
+	sq := NewMaxPool2D("sq", 2, 2)
+	rc := NewMaxPoolRect("rc", 2, 2, 2, 2)
+	x := randInput(2, 2, 4, 4)
+	if !sq.Forward(x, false).Equal(rc.Forward(x, false), 0) {
+		t.Fatal("rect pool with square window must equal square pool")
+	}
+}
+
+func TestMaxPoolRect1D(t *testing.T) {
+	p := NewMaxPoolRect("p1d", 3, 1, 3, 1)
+	x := tensor.FromSlice([]float32{1, 5, 2, 9, 0, 3}, 1, 1, 6, 1)
+	y := p.Forward(x, false)
+	if y.Shape[2] != 2 || y.Shape[3] != 1 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	if y.Data[0] != 5 || y.Data[1] != 9 {
+		t.Fatalf("values %v", y.Data)
+	}
+}
+
+func TestMaxPoolRectGradients(t *testing.T) {
+	p := NewMaxPoolRect("p", 2, 1, 2, 1)
+	x := randInput(1, 2, 6, 3)
+	// Separate values so finite differences never flip a window's argmax.
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) + float32(i)*0.1
+	}
+	checkInputGrad(t, p, x, 1e-2)
+}

@@ -1,0 +1,50 @@
+// Package parallel provides the small data-parallel helpers the compute
+// kernels use: a parallel for-loop over an index range with bounded
+// workers. Stdlib-only (sync + runtime).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), spreading iterations over up to
+// GOMAXPROCS goroutines. It returns when all iterations finish. For tiny
+// n it runs inline to avoid goroutine overhead. fn must be safe to call
+// concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForWorkers is For with an explicit worker bound.
+func ForWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

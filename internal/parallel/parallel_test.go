@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(uint64(seed) % 500)
+		counts := make([]int64, n)
+		For(n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-3, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestForWorkersSingle(t *testing.T) {
+	order := make([]int, 0, 5)
+	ForWorkers(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker must run in order: %v", order)
+		}
+	}
+}
+
+func TestForWorkersMoreWorkersThanWork(t *testing.T) {
+	var sum int64
+	ForWorkers(3, 64, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 3 {
+		t.Fatalf("sum = %d, want 3", sum)
+	}
+}

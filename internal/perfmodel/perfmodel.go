@@ -1,0 +1,128 @@
+// Package perfmodel provides the analytic device and link models that
+// substitute for the paper's physical testbed (Raspberry Pi 3B+ cluster,
+// WiFi links, EC2 p3.2xlarge cloud). Devices are characterised by an
+// effective FLOP/s rate calibrated so that full VGG16 inference takes
+// ≈1586 ms on a Pi and ≈99 ms on the cloud server — the paper's Table 3
+// measurements — and links by bandwidth, per-message latency and a
+// protocol-efficiency factor.
+package perfmodel
+
+import "time"
+
+// DeviceModel describes a compute node by a two-term roofline-style
+// cost: t = FLOPs/FLOPS + featureMapBytes/MemBPS. The memory term
+// captures what the paper's Figure 3 measures on the Raspberry Pi —
+// early CNN blocks with huge feature maps are memory-bound and take far
+// longer than their FLOP count suggests, while late blocks with small,
+// cache-resident maps are fast.
+type DeviceModel struct {
+	Name string
+	// FLOPS is the effective sustained floating-point rate (a
+	// calibration constant folding in framework overhead, not a
+	// hardware peak).
+	FLOPS float64
+	// MemBPS is the effective feature-map bandwidth; 0 disables the
+	// memory term (appropriate for the GPU cloud server).
+	MemBPS float64
+}
+
+// Time returns how long a workload of flops compute and memBytes of
+// feature-map traffic takes on the device.
+func (d DeviceModel) Time(flops, memBytes int64) time.Duration {
+	var seconds float64
+	if flops > 0 {
+		seconds += float64(flops) / d.FLOPS
+	}
+	if memBytes > 0 && d.MemBPS > 0 {
+		seconds += float64(memBytes) / d.MemBPS
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// ComputeTime returns the pure-compute time (no memory term).
+func (d DeviceModel) ComputeTime(flops int64) time.Duration {
+	return d.Time(flops, 0)
+}
+
+// LinkModel describes a network connection.
+type LinkModel struct {
+	Name          string
+	BandwidthMbps float64
+	LatencyMs     float64 // fixed per-message cost
+	// Efficiency is the goodput fraction of the nominal bandwidth
+	// (protocol overhead, TCP dynamics over long RTTs). 0 means 1.
+	Efficiency float64
+}
+
+// TransferTime returns the wire time for a message of the given size.
+func (l LinkModel) TransferTime(bytes int64) time.Duration {
+	eff := l.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	seconds := l.LatencyMs/1e3 + float64(bytes)*8/(l.BandwidthMbps*1e6*eff)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// GoodputBps returns the effective bytes-per-second rate (no latency).
+func (l LinkModel) GoodputBps() float64 {
+	eff := l.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	return l.BandwidthMbps * 1e6 * eff / 8
+}
+
+// RaspberryPi is the edge device model. The pair (FLOPS, MemBPS) is
+// calibrated so full VGG16 (≈31 GFLOPs, ≈72 MB of feature-map traffic)
+// takes 1586.53 ms — Table 3's single-device measurement — with the
+// memory term dominating the early blocks, matching Figure 3's
+// early-block-heavy latency profile.
+func RaspberryPi() DeviceModel {
+	return DeviceModel{Name: "raspberry-pi-3b+", FLOPS: 100e9, MemBPS: 56.6e6}
+}
+
+// CloudServer is the EC2 p3.2xlarge model. VGG16 takes 98.94 ms
+// (Table 3), giving ≈310 effective GFLOP/s; the V100's HBM makes the
+// memory term negligible.
+func CloudServer() DeviceModel {
+	return DeviceModel{Name: "ec2-p3.2xlarge", FLOPS: 310e9}
+}
+
+// WiFi is the edge LAN (paper: measured 87.72 Mbps).
+func WiFi() LinkModel {
+	return LinkModel{Name: "wifi-87.72", BandwidthMbps: 87.72, LatencyMs: 0.5, Efficiency: 0.85}
+}
+
+// WiFiSlow is the degraded edge LAN used in Figure 12 (12.66 Mbps).
+func WiFiSlow() LinkModel {
+	return LinkModel{Name: "wifi-12.66", BandwidthMbps: 12.66, LatencyMs: 0.5, Efficiency: 0.85}
+}
+
+// WAN is the edge→cloud uplink (paper: 61.30 Mbps). The low efficiency
+// models TCP goodput over a high-RTT path; it is calibrated so uploading
+// one 224×224×3 float32 image ≈ 480 ms, matching Table 3's 502 ms
+// input/output transmission for the remote-cloud scheme.
+func WAN() LinkModel {
+	return LinkModel{Name: "wan-61.30", BandwidthMbps: 61.30, LatencyMs: 25, Efficiency: 0.17}
+}
+
+// EnergyModel converts busy/idle time into joules (Figure 13's meter).
+type EnergyModel struct {
+	ActiveWatts float64
+	IdleWatts   float64
+}
+
+// PiEnergy returns Raspberry Pi 3B+ style power constants.
+func PiEnergy() EnergyModel {
+	return EnergyModel{ActiveWatts: 3.7, IdleWatts: 1.9}
+}
+
+// Energy returns joules consumed over a window with the given busy time.
+func (e EnergyModel) Energy(busy, total time.Duration) float64 {
+	idle := total - busy
+	if idle < 0 {
+		idle = 0
+	}
+	return e.ActiveWatts*busy.Seconds() + e.IdleWatts*idle.Seconds()
+}

@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"adcnn/internal/models"
+)
+
+func TestPiRunsVGG16NearTable3(t *testing.T) {
+	// Table 3: single-device VGG16 computation = 1586.53 ms.
+	d := RaspberryPi()
+	got := d.Time(models.VGG16().TotalFLOPs(), models.VGG16().TotalMemBytes())
+	if got < 1400*time.Millisecond || got > 1750*time.Millisecond {
+		t.Fatalf("Pi VGG16 = %v, want ≈1586 ms", got)
+	}
+}
+
+func TestCloudRunsVGG16NearTable3(t *testing.T) {
+	// Table 3: remote-cloud VGG16 computation = 98.94 ms.
+	d := CloudServer()
+	got := d.ComputeTime(models.VGG16().TotalFLOPs())
+	if got < 85*time.Millisecond || got > 115*time.Millisecond {
+		t.Fatalf("cloud VGG16 = %v, want ≈99 ms", got)
+	}
+}
+
+func TestWANUploadNearTable3(t *testing.T) {
+	// Table 3: remote-cloud input/output transmission = 502.21 ms,
+	// dominated by uploading the input image.
+	up := WAN().TransferTime(models.VGG16().InputBytes())
+	if up < 400*time.Millisecond || up > 600*time.Millisecond {
+		t.Fatalf("WAN upload = %v, want ≈500 ms", up)
+	}
+}
+
+func TestComputeTimeZeroAndNegative(t *testing.T) {
+	d := RaspberryPi()
+	if d.ComputeTime(0) != 0 || d.ComputeTime(-5) != 0 {
+		t.Fatal("non-positive work must cost zero time")
+	}
+}
+
+func TestTransferTimeScalesWithBytes(t *testing.T) {
+	l := WiFi()
+	small := l.TransferTime(1000)
+	big := l.TransferTime(1000000)
+	if big <= small {
+		t.Fatal("more bytes must take longer")
+	}
+	// Latency floor applies to tiny messages.
+	if l.TransferTime(1) < 400*time.Microsecond {
+		t.Fatal("per-message latency must apply")
+	}
+}
+
+func TestSlowWiFiSlower(t *testing.T) {
+	b := int64(1 << 20)
+	if WiFiSlow().TransferTime(b) <= WiFi().TransferTime(b) {
+		t.Fatal("12.66 Mbps must be slower than 87.72 Mbps")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	e := PiEnergy()
+	// 1s busy + 1s idle.
+	j := e.Energy(time.Second, 2*time.Second)
+	want := e.ActiveWatts + e.IdleWatts
+	if j < want-1e-9 || j > want+1e-9 {
+		t.Fatalf("Energy = %v, want %v", j, want)
+	}
+	// busy > total clamps idle at zero.
+	if e.Energy(2*time.Second, time.Second) != 2*e.ActiveWatts {
+		t.Fatal("idle clamp failed")
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	l := LinkModel{BandwidthMbps: 80, Efficiency: 0.5}
+	if l.GoodputBps() != 80*1e6*0.5/8 {
+		t.Fatalf("GoodputBps = %v", l.GoodputBps())
+	}
+	l2 := LinkModel{BandwidthMbps: 8}
+	if l2.GoodputBps() != 1e6 {
+		t.Fatalf("default efficiency wrong: %v", l2.GoodputBps())
+	}
+}

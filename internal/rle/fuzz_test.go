@@ -1,0 +1,76 @@
+package rle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic and any accepted payload
+// must re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode([]uint16{0, 0, 5, 7, 0, 1}, 4)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 4})
+	f.Add([]byte{255, 255, 255, 255, 4, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		levels, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Round-trip what was accepted.
+		bits := int(data[4])
+		re, err := Encode(levels, bits)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		if len(back) != len(levels) {
+			t.Fatal("length changed across round trip")
+		}
+		for i := range levels {
+			if back[i] != levels[i] {
+				t.Fatal("value changed across round trip")
+			}
+		}
+	})
+}
+
+// FuzzEncode: any level stream within the bit width must round-trip.
+func FuzzEncode(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 15}, 4)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, bits int) {
+		if bits < 1 || bits > 16 {
+			return
+		}
+		mask := uint16(1<<bits - 1)
+		levels := make([]uint16, len(raw))
+		for i, b := range raw {
+			levels[i] = uint16(b) & mask
+		}
+		enc, err := Encode(levels, bits)
+		if err != nil {
+			t.Fatalf("in-range levels rejected: %v", err)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(back) != len(levels) {
+			t.Fatal("length mismatch")
+		}
+		for i := range levels {
+			if back[i] != levels[i] {
+				t.Fatal("mismatch")
+			}
+		}
+		if CompressedSize(levels, bits) != len(enc) {
+			t.Fatal("CompressedSize disagrees with Encode")
+		}
+	})
+	_ = bytes.MinRead
+}

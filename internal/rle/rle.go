@@ -1,0 +1,170 @@
+// Package rle implements the run-length encoding ADCNN uses to compress
+// sparse, quantized Conv-node outputs (paper Section 4.3): runs of zero
+// levels are replaced by a single counter, and non-zero 4-bit levels are
+// packed densely.
+//
+// Wire format (little-endian):
+//
+//	u32  number of symbols (original length)
+//	u8   bits per non-zero value
+//	then a token stream; each token starts with a control byte:
+//	  0x00       — a zero run follows as uvarint count
+//	  0x01       — a literal run follows: uvarint count, then packed levels
+package rle
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	tokZeroRun = 0x00
+	tokLiteral = 0x01
+)
+
+// Encode compresses a stream of quantization levels. bits is the width of
+// each level (1..16); levels above the width are rejected.
+func Encode(levels []uint16, bits int) ([]byte, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("rle: bits %d out of [1,16]", bits)
+	}
+	maxLevel := uint16(1<<bits - 1)
+	out := make([]byte, 0, len(levels)/2+16)
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(levels)))
+	hdr[4] = byte(bits)
+	out = append(out, hdr[:]...)
+
+	i := 0
+	var tmp [binary.MaxVarintLen64]byte
+	for i < len(levels) {
+		if levels[i] == 0 {
+			j := i
+			for j < len(levels) && levels[j] == 0 {
+				j++
+			}
+			out = append(out, tokZeroRun)
+			n := binary.PutUvarint(tmp[:], uint64(j-i))
+			out = append(out, tmp[:n]...)
+			i = j
+			continue
+		}
+		j := i
+		for j < len(levels) && levels[j] != 0 {
+			if levels[j] > maxLevel {
+				return nil, fmt.Errorf("rle: level %d exceeds %d-bit width", levels[j], bits)
+			}
+			j++
+		}
+		out = append(out, tokLiteral)
+		n := binary.PutUvarint(tmp[:], uint64(j-i))
+		out = append(out, tmp[:n]...)
+		out = appendPacked(out, levels[i:j], bits)
+		i = j
+	}
+	return out, nil
+}
+
+// appendPacked bit-packs levels (each `bits` wide) onto out, LSB first.
+func appendPacked(out []byte, levels []uint16, bits int) []byte {
+	var acc uint32
+	var nbits int
+	for _, l := range levels {
+		acc |= uint32(l) << nbits
+		nbits += bits
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+// Decode reverses Encode, returning the original level stream.
+func Decode(data []byte) ([]uint16, error) {
+	if len(data) < 5 {
+		return nil, errors.New("rle: truncated header")
+	}
+	total := int(binary.LittleEndian.Uint32(data[:4]))
+	bits := int(data[4])
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("rle: corrupt bits field %d", bits)
+	}
+	pos := 5
+	out := make([]uint16, 0, total)
+	for len(out) < total {
+		if pos >= len(data) {
+			return nil, errors.New("rle: truncated token stream")
+		}
+		tok := data[pos]
+		pos++
+		count, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, errors.New("rle: bad run length")
+		}
+		pos += n
+		if int(count) > total-len(out) {
+			return nil, errors.New("rle: run overflows declared length")
+		}
+		switch tok {
+		case tokZeroRun:
+			for k := uint64(0); k < count; k++ {
+				out = append(out, 0)
+			}
+		case tokLiteral:
+			need := (int(count)*bits + 7) / 8
+			if pos+need > len(data) {
+				return nil, errors.New("rle: truncated literal run")
+			}
+			out = appendUnpacked(out, data[pos:pos+need], int(count), bits)
+			pos += need
+		default:
+			return nil, fmt.Errorf("rle: unknown token %#x", tok)
+		}
+	}
+	return out, nil
+}
+
+// appendUnpacked reverses appendPacked for count levels.
+func appendUnpacked(out []uint16, data []byte, count, bits int) []uint16 {
+	var acc uint32
+	var nbits, di int
+	mask := uint32(1<<bits - 1)
+	for k := 0; k < count; k++ {
+		for nbits < bits {
+			acc |= uint32(data[di]) << nbits
+			di++
+			nbits += 8
+		}
+		out = append(out, uint16(acc&mask))
+		acc >>= bits
+		nbits -= bits
+	}
+	return out
+}
+
+// CompressedSize returns what Encode would produce in bytes without
+// building the buffer (used by the analytic communication model).
+func CompressedSize(levels []uint16, bits int) int {
+	size := 5
+	var tmp [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(levels) {
+		zero := levels[i] == 0
+		j := i
+		for j < len(levels) && (levels[j] == 0) == zero {
+			j++
+		}
+		size += 1 + binary.PutUvarint(tmp[:], uint64(j-i))
+		if !zero {
+			size += ((j-i)*bits + 7) / 8
+		}
+		i = j
+	}
+	return size
+}

@@ -1,0 +1,27 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"adcnn/internal/sched"
+)
+
+// Allocate 16 tiles across three nodes whose measured throughputs are
+// 8, 4 and 4 results per deadline window (Algorithm 3).
+func ExampleAllocate() {
+	alloc, err := sched.Allocate(16, []float64{8, 4, 4}, 0, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alloc, "bottleneck:", alloc.Bottleneck([]float64{8, 4, 4}))
+	// Output: [8 4 4] bottleneck: 1
+}
+
+// Track node throughput with the EWMA of Algorithm 2: a node that stops
+// returning results decays toward zero and stops receiving work.
+func ExampleStats() {
+	st := sched.NewStats(2, 0.9, 8)
+	st.Update([]int{8, 0}) // node 2 returned nothing this image
+	fmt.Printf("%.2f %.2f\n", st.Speed(0), st.Speed(1))
+	// Output: 8.00 0.80
+}

@@ -1,0 +1,81 @@
+package tensor
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	KH, KW     int // kernel height/width
+	StrideH    int
+	StrideW    int
+	PadH, PadW int // symmetric zero padding
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*g.PadH-g.KH)/g.StrideH + 1
+	ow = (w+2*g.PadW-g.KW)/g.StrideW + 1
+	return
+}
+
+// Im2Col unfolds one image x[C,H,W] into a matrix of shape
+// [C*KH*KW, OH*OW] so convolution becomes a matrix product with the
+// flattened filters. Out-of-bounds positions read as zero (the padding).
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := g.OutSize(h, w)
+	cols := New(c*g.KH*g.KW, oh*ow)
+	for ch := 0; ch < c; ch++ {
+		src := x.Data[ch*h*w : (ch+1)*h*w]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := ((ch*g.KH+kh)*g.KW + kw) * oh * ow
+				dst := cols.Data[row : row+oh*ow]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= h {
+						continue // leave zeros
+					}
+					srow := src[iy*w:]
+					drow := dst[oy*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < w {
+							drow[ox] = srow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a column matrix (as produced by Im2Col) back into an image
+// of shape [C,H,W], accumulating overlapping contributions. It is the
+// adjoint of Im2Col and is used for convolution input gradients.
+func Col2Im(cols *Tensor, c, h, w int, g ConvGeom) *Tensor {
+	oh, ow := g.OutSize(h, w)
+	x := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		dst := x.Data[ch*h*w : (ch+1)*h*w]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := ((ch*g.KH+kh)*g.KW + kw) * oh * ow
+				src := cols.Data[row : row+oh*ow]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= h {
+						continue
+					}
+					drow := dst[iy*w:]
+					srow := src[oy*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < w {
+							drow[ix] += srow[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}

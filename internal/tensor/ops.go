@@ -1,0 +1,182 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Add computes t += o elementwise. Shapes must match.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+	return t
+}
+
+// Sub computes t -= o elementwise. Shapes must match.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] -= o.Data[i]
+	}
+	return t
+}
+
+// Mul computes t *= o elementwise (Hadamard product). Shapes must match.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] *= o.Data[i]
+	}
+	return t
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+	return t
+}
+
+// AddScaled computes t += a*o elementwise (axpy). Shapes must match.
+func (t *Tensor) AddScaled(a float32, o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += a * o.Data[i]
+	}
+	return t
+}
+
+// MatMul computes C = A·B for 2-D tensors A[m,k] and B[k,n], writing into a
+// freshly allocated C[m,n]. The inner loops are ordered (i,k,j) so the B row
+// is streamed sequentially, which is the cache-friendly order for row-major
+// data.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes c = a·b, reusing c's storage. c must be [m,n].
+// Large products parallelise over row blocks (rows of c are independent).
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	c.Zero()
+	rowWork := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	const parallelThreshold = 1 << 20 // flops below this run inline
+	if int64(m)*int64(k)*int64(n) < parallelThreshold || m < 4 {
+		rowWork(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowWork(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulTransA computes C = Aᵀ·B for A[k,m], B[k,n] → C[m,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA mismatch %v x %v", a.Shape, b.Shape))
+	}
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A[m,k], B[n,k] → C[m,n].
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) *Tensor {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+	return t
+}

@@ -1,0 +1,352 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Rank() != 3 || x.Dim(1) != 3 {
+		t.Fatalf("bad shape bookkeeping: %v", x.Shape)
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if got := x.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", got)
+	}
+	// Row-major layout: index (1,2) of a 2x3 tensor is flat offset 5.
+	if x.Data[5] != 7 {
+		t.Fatalf("flat offset wrong: %v", x.Data)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[0] = 42
+	if x.Data[0] != 42 {
+		t.Fatal("reshape must share underlying storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for volume mismatch")
+		}
+	}()
+	x.Reshape(5)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("clone must not alias original storage")
+	}
+}
+
+func TestSumMeanMaxMinArgMax(t *testing.T) {
+	x := FromSlice([]float32{3, -1, 4, 1, 5, -9}, 6)
+	if x.Sum() != 3 {
+		t.Fatalf("Sum = %v, want 3", x.Sum())
+	}
+	if math.Abs(x.Mean()-0.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 0.5", x.Mean())
+	}
+	if x.Max() != 5 || x.Min() != -9 || x.ArgMax() != 4 {
+		t.Fatalf("Max/Min/ArgMax wrong: %v %v %v", x.Max(), x.Min(), x.ArgMax())
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	x := FromSlice([]float32{0, 1, 0, 0}, 4)
+	if x.Sparsity() != 0.75 {
+		t.Fatalf("Sparsity = %v, want 0.75", x.Sparsity())
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Add: %v", a.Data)
+		}
+	}
+	a.Sub(b)
+	for i, w := range []float32{1, 2, 3} {
+		if a.Data[i] != w {
+			t.Fatalf("Sub: %v", a.Data)
+		}
+	}
+	a.Mul(b)
+	for i, w := range []float32{4, 10, 18} {
+		if a.Data[i] != w {
+			t.Fatalf("Mul: %v", a.Data)
+		}
+	}
+	a.Scale(0.5)
+	for i, w := range []float32{2, 5, 9} {
+		if a.Data[i] != w {
+			t.Fatalf("Scale: %v", a.Data)
+		}
+	}
+	a.AddScaled(2, b)
+	for i, w := range []float32{10, 15, 21} {
+		if a.Data[i] != w {
+			t.Fatalf("AddScaled: %v", a.Data)
+		}
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	New(2).Add(New(3))
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 3)
+	b := New(4, 5)
+	a.RandN(rng, 1)
+	b.RandN(rng, 1)
+	// Aᵀ·B via MatMulTransA must equal materialised transpose product.
+	at := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	got := MatMulTransA(a, b)
+	want := MatMul(at, b)
+	if !got.Equal(want, 1e-5) {
+		t.Fatal("MatMulTransA disagrees with explicit transpose")
+	}
+
+	c := New(5, 3)
+	c.RandN(rng, 1)
+	ct := New(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			ct.Set(c.At(i, j), j, i)
+		}
+	}
+	gotB := MatMulTransB(a, c) // A[4,3]·Cᵀ[3,5] → [4,5]
+	wantB := MatMul(a, ct)
+	if !gotB.Equal(wantB, 1e-5) {
+		t.Fatal("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dim mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+// Property: (A+B) elementwise sum commutes.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := New(n)
+		b := New(n)
+		a.RandN(rng, 1)
+		b.RandN(rng, 1)
+		x := a.Clone().Add(b)
+		y := b.Clone().Add(a)
+		return x.Equal(y, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul is linear in its first argument.
+func TestMatMulLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a1, a2, b := New(m, k), New(m, k), New(k, n)
+		a1.RandN(rng, 1)
+		a2.RandN(rng, 1)
+		b.RandN(rng, 1)
+		lhs := MatMul(a1.Clone().Add(a2), b)
+		rhs := MatMul(a1, b).Add(MatMul(a2, b))
+		return lhs.Equal(rhs, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: Im2Col is the identity on the flattened image.
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	cols := Im2Col(x, ConvGeom{KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+	if cols.Shape[0] != 1 || cols.Shape[1] != 4 {
+		t.Fatalf("shape = %v", cols.Shape)
+	}
+	for i := range x.Data {
+		if cols.Data[i] != x.Data[i] {
+			t.Fatalf("cols = %v", cols.Data)
+		}
+	}
+}
+
+func TestIm2ColKnown3x3(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1, no padding → 2x2 output, 4 columns.
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	g := ConvGeom{KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	cols := Im2Col(x, g)
+	// Row r of cols corresponds to kernel offset (kh,kw); column c to output pos.
+	// Output positions in order: (0,0),(0,1),(1,0),(1,1).
+	want := [][]float32{
+		{1, 2, 4, 5}, // kh=0,kw=0
+		{2, 3, 5, 6}, // kh=0,kw=1
+		{4, 5, 7, 8}, // kh=1,kw=0
+		{5, 6, 8, 9}, // kh=1,kw=1
+	}
+	for r := range want {
+		for c := range want[r] {
+			if got := cols.At(r, c); got != want[r][c] {
+				t.Fatalf("cols[%d,%d] = %v, want %v", r, c, got, want[r][c])
+			}
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	x := FromSlice([]float32{5}, 1, 1, 1)
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	oh, ow := g.OutSize(1, 1)
+	if oh != 1 || ow != 1 {
+		t.Fatalf("OutSize = %d,%d", oh, ow)
+	}
+	cols := Im2Col(x, g)
+	// Only the centre tap (kh=1,kw=1) sees the pixel; the rest is padding.
+	for r := 0; r < 9; r++ {
+		want := float32(0)
+		if r == 4 {
+			want = 5
+		}
+		if cols.At(r, 0) != want {
+			t.Fatalf("cols[%d] = %v, want %v", r, cols.At(r, 0), want)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(3)
+		h := 2 + rng.Intn(5)
+		w := 2 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		if k > h || k > w {
+			k = 1
+		}
+		g := ConvGeom{KH: k, KW: k, StrideH: 1, StrideW: 1, PadH: rng.Intn(2), PadW: rng.Intn(2)}
+		x := New(c, h, w)
+		x.RandN(rng, 1)
+		cx := Im2Col(x, g)
+		y := New(cx.Shape...)
+		y.RandN(rng, 1)
+		// <Im2Col(x), y>
+		var lhs float64
+		for i := range cx.Data {
+			lhs += float64(cx.Data[i]) * float64(y.Data[i])
+		}
+		// <x, Col2Im(y)>
+		z := Col2Im(y, c, h, w, g)
+		var rhs float64
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(z.Data[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	if Volume([]int{2, 3, 4}) != 24 || Volume(nil) != 1 {
+		t.Fatal("Volume wrong")
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float32{-1, 2}, 2)
+	x.Apply(func(v float32) float32 { return v * v })
+	if x.Data[0] != 1 || x.Data[1] != 4 {
+		t.Fatalf("Apply: %v", x.Data)
+	}
+}

@@ -1,0 +1,66 @@
+package trainer
+
+import (
+	"math"
+	"sort"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+)
+
+// SearchClipBounds implements the paper's two-step bound selection
+// (Section 7.1): "first search for a coarse parameter range based on
+// separable layer block output statistics, and then perform grid search
+// to produce expected output sparsity". It collects the Front output
+// distribution on a few samples, builds candidate (lo, hi) pairs from
+// its quantiles, and returns the pair whose clipped-ReLU output sparsity
+// is closest to target.
+func SearchClipBounds(m *models.Model, set *dataset.Set, samples int, target float64) (lo, hi float32) {
+	if samples > set.Len() {
+		samples = set.Len()
+	}
+	var vals []float32
+	total := 0
+	for i := 0; i < samples; i++ {
+		x, _ := set.Batch(i, 1)
+		y := m.Front.Forward(x, false)
+		total += y.Len()
+		for _, v := range y.Data {
+			if v > 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 || total == 0 {
+		return 0, 1
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	q := func(p float64) float32 {
+		idx := int(p * float64(len(vals)-1))
+		return vals[idx]
+	}
+	baseZero := float64(total-len(vals)) / float64(total) // ReLU sparsity floor
+
+	loCands := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95}
+	hiCands := []float64{0.9, 0.95, 0.99, 0.999}
+	best := math.Inf(1)
+	lo, hi = 0, q(0.999)
+	for _, lq := range loCands {
+		for _, hq := range hiCands {
+			l, h := q(lq), q(hq)
+			if h <= l {
+				continue
+			}
+			// Sparsity after ReLU[l,h]: zeros = base zeros + values below l.
+			sparsity := baseZero + lq*(1-baseZero)
+			if d := math.Abs(sparsity - target); d < best {
+				best = d
+				lo, hi = l, h
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}

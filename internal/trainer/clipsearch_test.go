@@ -1,0 +1,49 @@
+package trainer
+
+import (
+	"testing"
+
+	"adcnn/internal/models"
+	"adcnn/internal/nn"
+)
+
+func TestSearchClipBoundsHitsTargetSparsity(t *testing.T) {
+	m, train, _ := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 51})
+	tr.Train(m, train, 4)
+
+	for _, target := range []float64{0.7, 0.9} {
+		lo, hi := SearchClipBounds(m, train, 8, target)
+		if !(hi > lo) || lo < 0 {
+			t.Fatalf("bad bounds lo=%v hi=%v", lo, hi)
+		}
+		// Measure the actual sparsity those bounds produce.
+		clip := nn.NewClippedReLU("probe", lo, hi)
+		var zeros, total int
+		for i := 0; i < 8; i++ {
+			x, _ := train.Batch(i, 1)
+			y := clip.Forward(m.Front.Forward(x, false), false)
+			total += y.Len()
+			for _, v := range y.Data {
+				if v == 0 {
+					zeros++
+				}
+			}
+		}
+		got := float64(zeros) / float64(total)
+		if got < target-0.2 || got > target+0.2 {
+			t.Fatalf("target sparsity %.2f: bounds [%.3f, %.3f] gave %.3f", target, lo, hi, got)
+		}
+	}
+}
+
+func TestSearchClipBoundsMonotoneInTarget(t *testing.T) {
+	m, train, _ := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 52})
+	tr.Train(m, train, 4)
+	lo1, _ := SearchClipBounds(m, train, 8, 0.6)
+	lo2, _ := SearchClipBounds(m, train, 8, 0.95)
+	if lo2 < lo1 {
+		t.Fatalf("higher target sparsity needs a higher lower bound: %.3f vs %.3f", lo1, lo2)
+	}
+}

@@ -1,0 +1,122 @@
+package trainer
+
+import (
+	"fmt"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+)
+
+// StageResult records one step of Algorithm 1.
+type StageResult struct {
+	Name   string // "fdsp", "clipped-relu", "quantization"
+	Epochs int    // retraining epochs needed to recover accuracy
+	Metric float64
+}
+
+// ProgressiveResult is the outcome of the full Algorithm 1 run.
+type ProgressiveResult struct {
+	OriginalMetric float64
+	Stages         []StageResult
+	Final          *models.Model
+}
+
+// TotalEpochs sums the per-stage retraining epochs (Table 1's "Total").
+func (r *ProgressiveResult) TotalEpochs() int {
+	n := 0
+	for _, s := range r.Stages {
+		n += s.Epochs
+	}
+	return n
+}
+
+// FinalMetric returns the last stage's metric.
+func (r *ProgressiveResult) FinalMetric() float64 {
+	if len(r.Stages) == 0 {
+		return r.OriginalMetric
+	}
+	return r.Stages[len(r.Stages)-1].Metric
+}
+
+// ProgressiveConfig tunes Algorithm 1.
+type ProgressiveConfig struct {
+	Target models.Options // the final architecture modifications
+	// Tolerance is the acceptable accuracy drop from the original model
+	// (the paper allows up to 1%).
+	Tolerance float64
+	// MaxEpochsPerStage caps each stage's retraining.
+	MaxEpochsPerStage int
+	Seed              int64
+}
+
+// ProgressiveRetrain implements Algorithm 1. ori must be a trained
+// original model (M_ori). Each stage builds a model with one more
+// modification, warm-starts it from the previous stage, and retrains
+// until the test metric recovers to (original − tolerance).
+func ProgressiveRetrain(tr *Trainer, cfg models.Config, ori *models.Model,
+	train, test *dataset.Set, pc ProgressiveConfig) (*ProgressiveResult, error) {
+
+	if !pc.Target.Partitioned() {
+		return nil, fmt.Errorf("trainer: progressive retraining needs a partition grid")
+	}
+	res := &ProgressiveResult{OriginalMetric: Evaluate(ori, test, tr.P.BatchSize)}
+	target := res.OriginalMetric - pc.Tolerance
+
+	// Stage 1 (Algorithm 1 step 3): apply FDSP, retrain to recover.
+	prev := ori
+	stageOpts := []struct {
+		name string
+		opt  models.Options
+	}{
+		{"fdsp", models.Options{Grid: pc.Target.Grid}},
+	}
+	if pc.Target.Clipped() {
+		stageOpts = append(stageOpts, struct {
+			name string
+			opt  models.Options
+		}{"clipped-relu", models.Options{Grid: pc.Target.Grid, ClipLo: pc.Target.ClipLo, ClipHi: pc.Target.ClipHi}})
+	}
+	if pc.Target.QuantBits > 0 {
+		stageOpts = append(stageOpts, struct {
+			name string
+			opt  models.Options
+		}{"quantization", pc.Target})
+	}
+
+	for _, st := range stageOpts {
+		m, err := models.Build(cfg, st.opt, pc.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: stage %s: %w", st.name, err)
+		}
+		if err := m.CopyWeightsFrom(prev); err != nil {
+			return nil, fmt.Errorf("trainer: stage %s warm start: %w", st.name, err)
+		}
+		epochs, metric := tr.TrainUntil(m, train, test, target, pc.MaxEpochsPerStage)
+		res.Stages = append(res.Stages, StageResult{Name: st.name, Epochs: epochs, Metric: metric})
+		prev = m
+	}
+	res.Final = prev
+	return res, nil
+}
+
+// OneShotRetrain is the ablation baseline the paper motivates Algorithm 1
+// against: build the fully modified model directly from M_ori's weights
+// and retrain it in a single stage for the same epoch budget.
+func OneShotRetrain(tr *Trainer, cfg models.Config, ori *models.Model,
+	train, test *dataset.Set, pc ProgressiveConfig) (*ProgressiveResult, error) {
+
+	res := &ProgressiveResult{OriginalMetric: Evaluate(ori, test, tr.P.BatchSize)}
+	target := res.OriginalMetric - pc.Tolerance
+	m, err := models.Build(cfg, pc.Target, pc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CopyWeightsFrom(ori); err != nil {
+		return nil, err
+	}
+	budget := pc.MaxEpochsPerStage * 3
+	epochs, metric := tr.TrainUntil(m, train, test, target, budget)
+	res.Stages = append(res.Stages, StageResult{Name: "one-shot", Epochs: epochs, Metric: metric})
+	res.Final = m
+	return res, nil
+}

@@ -1,0 +1,204 @@
+// Package trainer implements model training, evaluation, and the
+// paper's progressive retraining procedure (Algorithm 1): the original
+// model's weights seed an FDSP-partitioned model, which is retrained
+// until accuracy recovers; the result seeds the clipped-ReLU model; and
+// that seeds the quantized model. Each stage makes one small training-
+// graph modification, keeping forward/backward disparity low.
+package trainer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// Params holds the optimization hyperparameters (PyTorch-default style).
+type Params struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	BatchSize   int
+	Seed        int64
+	// Optimizer selects "sgd" (default) or "adam".
+	Optimizer string
+	// LRDecayEvery/LRDecayFactor apply step decay to the learning rate
+	// every N epochs (0 disables).
+	LRDecayEvery  int
+	LRDecayFactor float32
+}
+
+// DefaultParams returns sensible defaults for the sim-scale models.
+func DefaultParams() Params {
+	return Params{LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, BatchSize: 16, Seed: 1}
+}
+
+// Trainer runs SGD epochs over a dataset.
+type Trainer struct {
+	P   Params
+	rng *rand.Rand
+}
+
+// New creates a trainer.
+func New(p Params) *Trainer {
+	if p.BatchSize < 1 {
+		p.BatchSize = 16
+	}
+	return &Trainer{P: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Epoch runs one pass over the training set and returns the mean loss.
+func (t *Trainer) Epoch(m *models.Model, set *dataset.Set, opt *optState) float64 {
+	n := set.Len()
+	order := t.rng.Perm(n)
+	var total float64
+	batches := 0
+	for start := 0; start < n; start += t.P.BatchSize {
+		end := start + t.P.BatchSize
+		if end > n {
+			end = n
+		}
+		x, labels := gatherBatch(set, order[start:end])
+		logits := m.Net.Forward(x, true)
+		loss, grad := m.Loss(logits, labels)
+		m.Net.Backward(grad)
+		opt.step(m)
+		total += loss
+		batches++
+	}
+	return total / float64(batches)
+}
+
+// Train runs epochs and returns the per-epoch training losses.
+func (t *Trainer) Train(m *models.Model, set *dataset.Set, epochs int) []float64 {
+	opt := newOptState(t.P)
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		opt.setEpoch(t.P, e)
+		losses = append(losses, t.Epoch(m, set, opt))
+	}
+	return losses
+}
+
+// TrainUntil trains until Evaluate(test) >= target or maxEpochs is
+// reached, returning the epochs used and the final metric. This is how
+// Table 1's "epochs needed for each modification" is measured.
+func (t *Trainer) TrainUntil(m *models.Model, train, test *dataset.Set, target float64, maxEpochs int) (int, float64) {
+	opt := newOptState(t.P)
+	best := Evaluate(m, test, t.P.BatchSize)
+	if best >= target {
+		return 0, best
+	}
+	for e := 1; e <= maxEpochs; e++ {
+		opt.setEpoch(t.P, e-1)
+		t.Epoch(m, train, opt)
+		metric := Evaluate(m, test, t.P.BatchSize)
+		if metric > best {
+			best = metric
+		}
+		if metric >= target {
+			return e, metric
+		}
+	}
+	return maxEpochs, best
+}
+
+// Evaluate returns the model's task metric over a set.
+func Evaluate(m *models.Model, set *dataset.Set, batchSize int) float64 {
+	if batchSize < 1 {
+		batchSize = 16
+	}
+	n := set.Len()
+	var weighted float64
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		x, labels := set.Batch(start, end-start)
+		logits := m.Net.Forward(x, false)
+		weighted += m.Metric(logits, labels) * float64(end-start)
+	}
+	return weighted / float64(n)
+}
+
+// gatherBatch assembles a shuffled mini-batch by copying sample rows.
+func gatherBatch(set *dataset.Set, idx []int) (x *tensor.Tensor, labels []int) {
+	c, h, w := set.X.Shape[1], set.X.Shape[2], set.X.Shape[3]
+	sample := c * h * w
+	per := set.LabelH * set.LabelW
+	out := tensor.New(len(idx), c, h, w)
+	labels = make([]int, 0, len(idx)*per)
+	for bi, i := range idx {
+		copy(out.Data[bi*sample:(bi+1)*sample], set.X.Data[i*sample:(i+1)*sample])
+		labels = append(labels, set.Labels[i*per:(i+1)*per]...)
+	}
+	return out, labels
+}
+
+// SuggestClipBounds inspects the Front output distribution on a few
+// samples and returns clipped-ReLU bounds covering [loQ, hiQ] quantiles
+// of the non-zero activations — the paper's "coarse parameter range based
+// on separable layer block output statistics".
+func SuggestClipBounds(m *models.Model, set *dataset.Set, samples int, loQ, hiQ float64) (lo, hi float32) {
+	if samples > set.Len() {
+		samples = set.Len()
+	}
+	var vals []float32
+	for i := 0; i < samples; i++ {
+		x, _ := set.Batch(i, 1)
+		y := m.Front.Forward(x, false)
+		for _, v := range y.Data {
+			if v > 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 1
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	lo = vals[int(loQ*float64(len(vals)-1))]
+	hi = vals[int(hiQ*float64(len(vals)-1))]
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// String implements a compact description of Params for logs.
+func (p Params) String() string {
+	return fmt.Sprintf("lr=%g mom=%g wd=%g bs=%d", p.LR, p.Momentum, p.WeightDecay, p.BatchSize)
+}
+
+// optState wraps the optimizer so its state (momentum / Adam moments)
+// persists across epochs of one training run but never leaks between
+// runs.
+type optState struct {
+	opt nn.Optimizer
+}
+
+func newOptState(p Params) *optState {
+	switch p.Optimizer {
+	case "", "sgd":
+		return &optState{opt: nn.NewSGD(p.LR, p.Momentum, p.WeightDecay)}
+	case "adam":
+		return &optState{opt: nn.NewAdam(p.LR, p.WeightDecay)}
+	}
+	panic(fmt.Sprintf("trainer: unknown optimizer %q", p.Optimizer))
+}
+
+// setEpoch applies the step-decay learning-rate schedule.
+func (o *optState) setEpoch(p Params, epoch int) {
+	if p.LRDecayEvery > 0 && p.LRDecayFactor > 0 {
+		o.opt.SetLR(nn.StepDecay(p.LR, epoch, p.LRDecayEvery, p.LRDecayFactor))
+	}
+}
+
+func (o *optState) step(m *models.Model) {
+	o.opt.Step(m.Net.Params())
+}

@@ -1,0 +1,145 @@
+package trainer
+
+import (
+	"testing"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+)
+
+// smallClassifyModel builds a tiny classifier + dataset that trains in
+// well under a second.
+func smallClassifySetup(t *testing.T, opt models.Options) (*models.Model, *dataset.Set, *dataset.Set) {
+	t.Helper()
+	cfg := models.Config{
+		Name: "tiny", Task: models.TaskClassify,
+		InputC: 1, InputH: 16, InputW: 16, Classes: 3,
+		Blocks: []models.BlockSpec{
+			{Name: "b1", OutC: 6, Kernel: 3, Stride: 1, Pool: 2},
+			{Name: "b2", OutC: 8, Kernel: 3, Stride: 1, Pool: 2},
+		},
+		Separable: 1,
+		Head:      models.HeadFC, HiddenFC: 16,
+	}
+	m, err := models.Build(cfg, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.Classification(144, 3, 1, 16, 16, 0.15, 10)
+	train, test := all.Split(96)
+	return m, train, test
+}
+
+func TestTrainingImprovesAccuracy(t *testing.T) {
+	m, train, test := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 1})
+	before := Evaluate(m, test, 16)
+	losses := tr.Train(m, train, 8)
+	after := Evaluate(m, test, 16)
+	if after <= before+0.1 {
+		t.Fatalf("training did not help: %.3f -> %.3f", before, after)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	if after < 0.8 {
+		t.Fatalf("tiny separable problem should reach >80%%, got %.3f", after)
+	}
+}
+
+func TestTrainUntilStopsEarly(t *testing.T) {
+	m, train, test := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 2})
+	tr.Train(m, train, 8) // pre-train to high accuracy
+	target := Evaluate(m, test, 16) - 0.05
+	epochs, metric := tr.TrainUntil(m, train, test, target, 10)
+	if epochs != 0 {
+		t.Fatalf("already above target but used %d epochs", epochs)
+	}
+	if metric < target {
+		t.Fatalf("metric %v below target %v", metric, target)
+	}
+}
+
+func TestSuggestClipBounds(t *testing.T) {
+	m, train, _ := smallClassifySetup(t, models.Options{})
+	lo, hi := SuggestClipBounds(m, train, 8, 0.05, 0.95)
+	if !(hi > lo) {
+		t.Fatalf("bounds lo=%v hi=%v", lo, hi)
+	}
+	if lo < 0 {
+		t.Fatalf("front output is post-ReLU, lo must be >= 0, got %v", lo)
+	}
+}
+
+func TestProgressiveRetrainRecoversAccuracy(t *testing.T) {
+	m, train, test := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 3})
+	tr.Train(m, train, 10)
+	ori := Evaluate(m, test, 16)
+	if ori < 0.8 {
+		t.Fatalf("original model too weak (%.3f) for the experiment to be meaningful", ori)
+	}
+	lo, hi := SuggestClipBounds(m, train, 8, 0.02, 0.98)
+	pc := ProgressiveConfig{
+		Target: models.Options{
+			Grid:   fdsp.Grid{Rows: 2, Cols: 2},
+			ClipLo: lo, ClipHi: hi, QuantBits: 4,
+		},
+		Tolerance:         0.05,
+		MaxEpochsPerStage: 8,
+		Seed:              4,
+	}
+	res, err := ProgressiveRetrain(tr, modelCfg(m), m, train, test, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("expected 3 stages, got %d", len(res.Stages))
+	}
+	if res.FinalMetric() < ori-0.1 {
+		t.Fatalf("progressive retraining failed to recover: original %.3f, final %.3f",
+			ori, res.FinalMetric())
+	}
+	if res.TotalEpochs() < 0 || res.TotalEpochs() > 24 {
+		t.Fatalf("TotalEpochs = %d", res.TotalEpochs())
+	}
+	if res.Final == nil || !res.Final.Opt.Partitioned() {
+		t.Fatal("final model must carry the target options")
+	}
+}
+
+func TestProgressiveRequiresGrid(t *testing.T) {
+	m, train, test := smallClassifySetup(t, models.Options{})
+	tr := New(DefaultParams())
+	_, err := ProgressiveRetrain(tr, modelCfg(m), m, train, test, ProgressiveConfig{})
+	if err == nil {
+		t.Fatal("missing grid must be rejected")
+	}
+}
+
+func TestOneShotRetrainRuns(t *testing.T) {
+	m, train, test := smallClassifySetup(t, models.Options{})
+	tr := New(Params{LR: 0.05, Momentum: 0.9, BatchSize: 16, Seed: 5})
+	tr.Train(m, train, 6)
+	lo, hi := SuggestClipBounds(m, train, 4, 0.02, 0.98)
+	pc := ProgressiveConfig{
+		Target: models.Options{
+			Grid: fdsp.Grid{Rows: 2, Cols: 2}, ClipLo: lo, ClipHi: hi, QuantBits: 4,
+		},
+		Tolerance:         0.05,
+		MaxEpochsPerStage: 3,
+		Seed:              6,
+	}
+	res, err := OneShotRetrain(tr, modelCfg(m), m, train, test, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 1 || res.Stages[0].Name != "one-shot" {
+		t.Fatalf("stages: %+v", res.Stages)
+	}
+}
+
+// modelCfg recovers the Config from a model (test helper).
+func modelCfg(m *models.Model) models.Config { return m.Cfg }

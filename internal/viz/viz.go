@@ -1,0 +1,177 @@
+// Package viz reproduces the paper's Section 2.3 / Figure 2(d)
+// feature-interpretation experiment: for a filter at a given layer-block
+// depth, find the input fragments across a dataset that yield the
+// largest response, crop them at the filter's receptive field, and
+// render them as a grayscale image grid. Early blocks should surface
+// small texture-like fragments and deeper blocks larger, shape-like
+// ones — the observation that motivates FDSP.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// Patch is one top-activating input fragment.
+type Patch struct {
+	Sample   int            // dataset index
+	Response float32        // filter activation
+	Y, X     int            // receptive-field top-left in the input
+	Size     int            // receptive-field side length
+	Pixels   *tensor.Tensor // [1,C,Size,Size] crop (zero-padded at borders)
+}
+
+// TopPatches scans up to samples dataset items, runs the first `block`
+// blocks of the model's Front, and returns the k patches with the
+// strongest response of the given output channel.
+func TopPatches(m *models.Model, set *dataset.Set, block, channel, k, samples int) ([]Patch, error) {
+	if block < 1 || block > m.Cfg.Separable {
+		return nil, fmt.Errorf("viz: block %d out of [1,%d]", block, m.Cfg.Separable)
+	}
+	if samples > set.Len() {
+		samples = set.Len()
+	}
+	prefix := nn.NewSequential("prefix", m.Front.Layers[:block]...)
+	rf := receptiveField(m.Cfg, block)
+	stride := strideAt(m.Cfg, block)
+
+	var patches []Patch
+	for i := 0; i < samples; i++ {
+		x, _ := set.Batch(i, 1)
+		y := prefix.Forward(x, false)
+		if channel >= y.Shape[1] {
+			return nil, fmt.Errorf("viz: channel %d out of range (%d)", channel, y.Shape[1])
+		}
+		oh, ow := y.Shape[2], y.Shape[3]
+		// Strongest position of this channel in this sample.
+		best, by, bx := y.At(0, channel, 0, 0), 0, 0
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				if v := y.At(0, channel, yy, xx); v > best {
+					best, by, bx = v, yy, xx
+				}
+			}
+		}
+		// Map the unit back to its input receptive field.
+		cy := by*stride + stride/2
+		cx := bx*stride + stride/2
+		y0 := cy - rf
+		x0 := cx - rf
+		patches = append(patches, Patch{
+			Sample: i, Response: best,
+			Y: y0, X: x0, Size: 2*rf + 1,
+			Pixels: cropPadded(x, y0, x0, 2*rf+1),
+		})
+	}
+	sort.Slice(patches, func(a, b int) bool { return patches[a].Response > patches[b].Response })
+	if k < len(patches) {
+		patches = patches[:k]
+	}
+	return patches, nil
+}
+
+// receptiveField returns the half-width of block `b`'s receptive field.
+func receptiveField(cfg models.Config, b int) int {
+	need := 0
+	geoms := cfg.HaloGeoms(b)
+	for i := len(geoms) - 1; i >= 0; i-- {
+		need = need*geoms[i][1] + (geoms[i][0]-1)/2
+	}
+	return need
+}
+
+// strideAt returns the cumulative input stride of block b's output.
+func strideAt(cfg models.Config, b int) int {
+	s := 1
+	for _, blk := range cfg.Blocks[:b] {
+		dh, _ := blk.Downsample()
+		s *= dh
+	}
+	return s
+}
+
+// cropPadded extracts a size×size crop at (y0,x0), zero-padding outside
+// the image.
+func cropPadded(x *tensor.Tensor, y0, x0, size int) *tensor.Tensor {
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(1, c, size, size)
+	for ch := 0; ch < c; ch++ {
+		for dy := 0; dy < size; dy++ {
+			sy := y0 + dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for dx := 0; dx < size; dx++ {
+				sx := x0 + dx
+				if sx >= 0 && sx < w {
+					out.Set(x.At(0, ch, sy, sx), 0, ch, dy, dx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WritePGM renders a tensor's first channel (or the channel mean) as a
+// binary PGM image, normalised to the 0-255 range. PGM needs no
+// third-party codecs and every image viewer opens it.
+func WritePGM(w io.Writer, t *tensor.Tensor) error {
+	c, h, wd := t.Shape[1], t.Shape[2], t.Shape[3]
+	gray := make([]float32, h*wd)
+	for ch := 0; ch < c; ch++ {
+		for i := 0; i < h*wd; i++ {
+			gray[i] += t.Data[ch*h*wd+i] / float32(c)
+		}
+	}
+	lo, hi := gray[0], gray[0]
+	for _, v := range gray {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, len(gray))
+	for i, v := range gray {
+		buf[i] = byte(255 * (v - lo) / (hi - lo))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// PatchGrid arranges patches into one image (row-major, 1px separators).
+func PatchGrid(patches []Patch, cols int) *tensor.Tensor {
+	if len(patches) == 0 {
+		return tensor.New(1, 1, 1, 1)
+	}
+	size := patches[0].Size
+	c := patches[0].Pixels.Shape[1]
+	rows := (len(patches) + cols - 1) / cols
+	h := rows*size + rows - 1
+	w := cols*size + cols - 1
+	out := tensor.New(1, c, h, w)
+	for i, p := range patches {
+		r, cc := i/cols, i%cols
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					out.Set(p.Pixels.At(0, ch, y, x), 0, ch, r*(size+1)+y, cc*(size+1)+x)
+				}
+			}
+		}
+	}
+	return out
+}

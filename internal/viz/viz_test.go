@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"bytes"
+	"testing"
+
+	"adcnn/internal/dataset"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+func setup(t *testing.T) (*models.Model, *dataset.Set) {
+	t.Helper()
+	cfg := models.VGGSim()
+	m, err := models.Build(cfg, models.Options{}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := dataset.Classification(24, cfg.Classes, cfg.InputC, cfg.InputH, cfg.InputW, 0.2, 34)
+	return m, set
+}
+
+func TestTopPatchesSizesGrowWithDepth(t *testing.T) {
+	m, set := setup(t)
+	p1, err := TopPatches(m, set, 1, 0, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := TopPatches(m, set, 5, 0, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 4 || len(p5) != 4 {
+		t.Fatalf("patch counts %d %d", len(p1), len(p5))
+	}
+	// Figure 2(d): deeper filters respond to larger fragments.
+	if p5[0].Size <= p1[0].Size {
+		t.Fatalf("block-5 fragments (%dpx) must exceed block-1 fragments (%dpx)",
+			p5[0].Size, p1[0].Size)
+	}
+	// Responses are sorted strongest first.
+	for i := 1; i < len(p1); i++ {
+		if p1[i].Response > p1[i-1].Response {
+			t.Fatal("patches must be sorted by response")
+		}
+	}
+	// Block-1 fragment size = its 3x3 receptive field.
+	if p1[0].Size != 3 {
+		t.Fatalf("block-1 patch size = %d, want 3 (one 3x3 conv)", p1[0].Size)
+	}
+}
+
+func TestTopPatchesValidation(t *testing.T) {
+	m, set := setup(t)
+	if _, err := TopPatches(m, set, 0, 0, 2, 4); err == nil {
+		t.Fatal("block 0 must be rejected")
+	}
+	if _, err := TopPatches(m, set, 1, 999, 2, 4); err == nil {
+		t.Fatal("out-of-range channel must be rejected")
+	}
+}
+
+func TestWritePGMFormat(t *testing.T) {
+	x := tensor.New(1, 3, 4, 5)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n5 4\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	if len(out) != len("P5\n5 4\n255\n")+20 {
+		t.Fatalf("PGM body length %d", len(out))
+	}
+	// Constant image must not divide by zero.
+	flat := tensor.New(1, 1, 2, 2)
+	if err := WritePGM(&buf, flat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatchGridGeometry(t *testing.T) {
+	m, set := setup(t)
+	ps, err := TopPatches(m, set, 2, 1, 6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := PatchGrid(ps, 3)
+	size := ps[0].Size
+	wantH := 2*size + 1 // 2 rows with separator
+	wantW := 3*size + 2 // 3 cols with separators
+	if grid.Shape[2] != wantH || grid.Shape[3] != wantW {
+		t.Fatalf("grid %dx%d, want %dx%d", grid.Shape[2], grid.Shape[3], wantH, wantW)
+	}
+	if PatchGrid(nil, 3).Len() != 1 {
+		t.Fatal("empty patch list must yield a placeholder")
+	}
+}
