@@ -19,13 +19,15 @@ import (
 	"adcnn/internal/core"
 	"adcnn/internal/experiments"
 	"adcnn/internal/models"
+	"adcnn/internal/tensor/kernelbench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
+	exp := flag.String("exp", "all", "experiment to run (kernels|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
 	images := flag.Int("images", 50, "images per latency measurement")
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
+	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernel microbenchmark report (-exp kernels)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -41,6 +43,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+
+	// The kernel suite is deliberately not part of -exp all: it pins
+	// GOMAXPROCS while calibrating and takes ~a minute on its own.
+	if *exp == "kernels" {
+		rep := kernelbench.Run()
+		rep.WriteText(w)
+		if err := rep.WriteJSON(*kernelsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "kernels: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *kernelsOut)
+		return
 	}
 
 	run("fig3", func() error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"adcnn/internal/parallel"
 	"adcnn/internal/tensor"
@@ -52,8 +53,29 @@ func (c *Conv2D) OutShape(in []int) []int {
 	return []int{in[0], c.OutC, oh, ow}
 }
 
+// oneByOne reports whether the layer is a pure 1×1 stride-1 convolution,
+// for which the input plane already is the column matrix (YOLO's
+// bottleneck layers hit this path) and im2col is skipped entirely.
+func (c *Conv2D) oneByOne() bool {
+	return c.Geom.KH == 1 && c.Geom.KW == 1 &&
+		c.Geom.StrideH == 1 && c.Geom.StrideW == 1 &&
+		c.Geom.PadH == 0 && c.Geom.PadW == 0
+}
+
 // Forward computes y[n] = W·im2col(x[n]) + b for each sample n.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.Geom.OutSize(h, w)
+	y := tensor.New(n, c.OutC, oh, ow)
+	c.ForwardInto(y, x, train)
+	return y
+}
+
+// ForwardInto is Forward writing into a caller-owned output of shape
+// [N, OutC, OH, OW]. In inference mode (train=false) the im2col scratch
+// comes from the tensor buffer pool, so the call is allocation-free — the
+// hot path for FDSP tile serving.
+func (c *Conv2D) ForwardInto(y, x *tensor.Tensor, train bool) {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", c.label, x.Shape))
 	}
@@ -62,49 +84,67 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := c.Geom.OutSize(h, w)
-	y := tensor.New(n, c.OutC, oh, ow)
-	w2 := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
+	if y.Rank() != 4 || y.Shape[0] != n || y.Shape[1] != c.OutC || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("nn: %s output shape %v, want [%d %d %d %d]", c.label, y.Shape, n, c.OutC, oh, ow))
+	}
 	if train {
 		c.inShape = []int{n, c.InC, h, w}
 		c.cols = make([]*tensor.Tensor, n)
 	}
-	sample := c.InC * h * w
-	outSample := c.OutC * oh * ow
-	// 1×1 stride-1 convolutions need no im2col: the input plane already
-	// is the column matrix (YOLO's bottleneck layers hit this path).
-	oneByOne := c.Geom.KH == 1 && c.Geom.KW == 1 &&
-		c.Geom.StrideH == 1 && c.Geom.StrideW == 1 &&
-		c.Geom.PadH == 0 && c.Geom.PadW == 0
-	// Samples are independent, so the im2col + matmul work parallelises
-	// cleanly across the batch.
-	parallel.For(n, func(i int) {
-		var cols *tensor.Tensor
-		if oneByOne {
-			cols = tensor.FromSlice(x.Data[i*sample:(i+1)*sample], c.InC, h*w)
-		} else {
-			xi := tensor.FromSlice(x.Data[i*sample:(i+1)*sample], c.InC, h, w)
-			cols = tensor.Im2Col(xi, c.Geom)
-		}
-		yi := tensor.FromSlice(y.Data[i*outSample:(i+1)*outSample], c.OutC, oh*ow)
-		tensor.MatMulInto(yi, w2, cols)
-		if train {
-			c.cols[i] = cols
-		}
-	})
-	if c.UseBias {
-		plane := oh * ow
+	// Samples are independent, so the im2col + matmul + bias work
+	// parallelises cleanly across the batch. Single-sample (and
+	// single-proc) calls take the direct loop: no closure, no goroutines,
+	// no allocations.
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i := 0; i < n; i++ {
-			base := i * outSample
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.Bias.Value.Data[oc]
-				row := y.Data[base+oc*plane : base+(oc+1)*plane]
-				for j := range row {
-					row[j] += b
-				}
+			c.forwardSample(y.Data, x.Data, i, h, w, oh, ow, train)
+		}
+		return
+	}
+	parallel.For(n, func(i int) {
+		c.forwardSample(y.Data, x.Data, i, h, w, oh, ow, train)
+	})
+}
+
+// forwardSample computes one sample's output plane stack, including the
+// per-channel bias, so large batches never serialise on a post-pass.
+func (c *Conv2D) forwardSample(yd, xd []float32, i, h, w, oh, ow int, train bool) {
+	kdim := c.InC * c.Geom.KH * c.Geom.KW
+	plane := oh * ow
+	sample := c.InC * h * w
+	outSample := c.OutC * plane
+	xs := xd[i*sample : (i+1)*sample]
+	ys := yd[i*outSample : (i+1)*outSample]
+	wd := c.Weight.Value.Data
+	switch {
+	case c.oneByOne():
+		if train {
+			c.cols[i] = tensor.FromSlice(xs, c.InC, h*w)
+		}
+		tensor.GemmInto(ys, wd, xs, c.OutC, kdim, plane)
+	case train:
+		// Training keeps the column matrix for Backward; its storage is
+		// pooled and recycled there.
+		cols := tensor.GetTensor(kdim, plane)
+		tensor.Im2ColSlice(cols.Data, xs, c.InC, h, w, c.Geom)
+		c.cols[i] = cols
+		tensor.GemmInto(ys, wd, cols.Data, c.OutC, kdim, plane)
+	default:
+		buf := tensor.GetBuf(kdim * plane)
+		tensor.Im2ColSlice(buf, xs, c.InC, h, w, c.Geom)
+		tensor.GemmInto(ys, wd, buf, c.OutC, kdim, plane)
+		tensor.PutBuf(buf)
+	}
+	if c.UseBias {
+		bias := c.Bias.Value.Data
+		for oc := 0; oc < c.OutC; oc++ {
+			b := bias[oc]
+			row := ys[oc*plane : (oc+1)*plane]
+			for j := range row {
+				row[j] += b
 			}
 		}
 	}
-	return y
 }
 
 // Backward accumulates dW, db and returns dx.
@@ -124,14 +164,19 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// they are reduced sequentially below.
 	dwShards := make([]*tensor.Tensor, n)
 	dbShards := make([][]float32, n)
+	pooledCols := !c.oneByOne() // 1×1 cols are views into x, not pool-owned
 	parallel.For(n, func(i int) {
 		gi := tensor.FromSlice(grad.Data[i*outSample:(i+1)*outSample], c.OutC, plane)
 		// dW_i = g · colsᵀ
 		dwShards[i] = tensor.MatMulTransB(gi, c.cols[i])
 		// dcols = Wᵀ · g, then fold back into image space.
-		dcols := tensor.MatMulTransA(w2, gi)
-		dxi := tensor.Col2Im(dcols, c.InC, h, w, c.Geom)
-		copy(dx.Data[i*inSample:(i+1)*inSample], dxi.Data)
+		dcols := tensor.GetTensor(c.InC*c.Geom.KH*c.Geom.KW, plane)
+		tensor.MatMulTransAInto(dcols, w2, gi)
+		tensor.Col2ImSlice(dx.Data[i*inSample:(i+1)*inSample], dcols.Data, c.InC, h, w, c.Geom)
+		tensor.PutTensor(dcols)
+		if pooledCols {
+			tensor.PutTensor(c.cols[i])
+		}
 		if c.UseBias {
 			db := make([]float32, c.OutC)
 			for oc := 0; oc < c.OutC; oc++ {

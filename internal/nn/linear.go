@@ -69,21 +69,33 @@ func NewLinear(label string, in, out int, rng *rand.Rand) *Linear {
 
 // Forward computes the affine transform.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape[0], l.Out)
+	l.ForwardInto(y, x, train)
+	return y
+}
+
+// ForwardInto is Forward writing into a caller-owned [N, Out] output. In
+// inference mode (train=false) the call is allocation-free: the GEMM runs
+// either in the small-batch dot kernel or against pooled repack scratch.
+func (l *Linear) ForwardInto(y, x *tensor.Tensor, train bool) {
 	if x.Rank() != 2 || x.Shape[1] != l.In {
 		panic(fmt.Sprintf("nn: %s expects [N %d], got %v", l.label, l.In, x.Shape))
 	}
-	y := tensor.MatMulTransB(x, l.Weight.Value) // [N,In]·[Out,In]ᵀ = [N,Out]
 	n := x.Shape[0]
+	if y.Rank() != 2 || y.Shape[0] != n || y.Shape[1] != l.Out {
+		panic(fmt.Sprintf("nn: %s output shape %v, want [%d %d]", l.label, y.Shape, n, l.Out))
+	}
+	tensor.MatMulTransBInto(y, x, l.Weight.Value) // [N,In]·[Out,In]ᵀ = [N,Out]
+	bias := l.Bias.Value.Data
 	for i := 0; i < n; i++ {
 		row := y.Data[i*l.Out : (i+1)*l.Out]
 		for j := range row {
-			row[j] += l.Bias.Value.Data[j]
+			row[j] += bias[j]
 		}
 	}
 	if train {
 		l.x = x.Clone()
 	}
-	return y
 }
 
 // Backward accumulates dW = gᵀ·x, db = Σg and returns dx = g·W.
@@ -91,8 +103,12 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward(train=true)")
 	}
-	// dW[Out,In] += gradᵀ[Out,N] · x[N,In]
-	l.Weight.Grad.Add(tensor.MatMulTransA(grad, l.x))
+	// dW[Out,In] += gradᵀ[Out,N] · x[N,In]; the temporary product lives in
+	// pooled storage.
+	dw := tensor.GetTensor(l.Out, l.In)
+	tensor.MatMulTransAInto(dw, grad, l.x)
+	l.Weight.Grad.Add(dw)
+	tensor.PutTensor(dw)
 	n := grad.Shape[0]
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*l.Out : (i+1)*l.Out]

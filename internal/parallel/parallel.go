@@ -17,6 +17,65 @@ func For(n int, fn func(i int)) {
 	ForWorkers(n, runtime.GOMAXPROCS(0), fn)
 }
 
+// ForChunked runs fn(lo, hi) over disjoint index ranges that cover
+// [0, n), each at most chunk wide. Handing workers a range instead of a
+// single index amortises the atomic work-stealing counter over chunk
+// iterations, which matters when the loop body is tiny (a few hundred
+// nanoseconds) — the GEMM row scheduler is the canonical caller. A
+// non-positive chunk defaults to ceil(n/GOMAXPROCS). fn must be safe to
+// call concurrently for disjoint ranges.
+func ForChunked(n, chunk int, fn func(lo, hi int)) {
+	ForChunkedWorkers(n, chunk, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForChunkedWorkers is ForChunked with an explicit worker bound.
+func ForChunkedWorkers(n, chunk, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		if workers < 1 {
+			workers = 1
+		}
+		chunk = (n + workers - 1) / workers
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 || nChunks == 1 {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(atomic.AddInt64(&next, 1))
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ForWorkers is For with an explicit worker bound.
 func ForWorkers(n, workers int, fn func(i int)) {
 	if n <= 0 {

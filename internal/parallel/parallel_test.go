@@ -49,3 +49,85 @@ func TestForWorkersMoreWorkersThanWork(t *testing.T) {
 		t.Fatalf("sum = %d, want 3", sum)
 	}
 }
+
+func TestForChunkedCoversEveryIndexOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(uint64(seed) % 500)
+		chunk := 1 + int(uint64(seed)%17)
+		counts := make([]int64, n)
+		ForChunked(n, chunk, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			if hi-lo > chunk {
+				t.Errorf("range [%d,%d) wider than chunk %d", lo, hi, chunk)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&counts[i], 1)
+			}
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunkedZeroAndNegative(t *testing.T) {
+	called := false
+	ForChunked(0, 4, func(int, int) { called = true })
+	ForChunked(-7, 4, func(int, int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestForChunkedDefaultChunk(t *testing.T) {
+	// chunk <= 0 defaults to an even split; every index still covered once.
+	counts := make([]int64, 1000)
+	ForChunked(1000, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestForChunkedWorkersConcurrent(t *testing.T) {
+	// Explicit worker count so goroutines actually spawn even on a
+	// single-CPU box; the race detector then sees the concurrent paths.
+	counts := make([]int64, 333)
+	ForChunkedWorkers(len(counts), 7, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestForChunkedWorkersSingleInOrder(t *testing.T) {
+	var ranges [][2]int
+	ForChunkedWorkers(10, 3, 1, func(lo, hi int) { ranges = append(ranges, [2]int{lo, hi}) })
+	want := [][2]int{{0, 3}, {3, 6}, {6, 9}, {9, 10}}
+	if len(ranges) != len(want) {
+		t.Fatalf("ranges = %v, want %v", ranges, want)
+	}
+	for i, r := range ranges {
+		if r != want[i] {
+			t.Fatalf("ranges = %v, want %v", ranges, want)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package tensor
+
+import (
+	"runtime"
+
+	"adcnn/internal/parallel"
+)
+
+// Blocked GEMM engine. All three matmul entry points (MatMulInto,
+// MatMulTransA, MatMulTransB) funnel into one row-major C = A·B kernel
+// that is cache-blocked and register-tiled:
+//
+//   - the k dimension is blocked by gemmKC and the j dimension by gemmNC,
+//     so the active B panel (gemmKC×gemmNC floats) stays resident in L2
+//     while it is swept once per 4-row group of A;
+//   - the inner kernel processes a 4×4 (rows × k) register tile per
+//     j-sweep through the gemmAxpy2x4 micro-kernel — 4-wide SSE assembly
+//     on amd64 (gemm_kernel_amd64.s), an unrolled Go loop elsewhere — so
+//     each step retires 32 multiply-adds where the naive kernels issue one
+//     latency-bound chain;
+//   - transposed operands are repacked into scratch from the buffer pool
+//     (GetBuf/PutBuf) so both GEMM inputs stream contiguously.
+//
+// Row ranges are scheduled over goroutines with parallel.ForChunked; a
+// flop threshold keeps small products inline. The pre-engine serial
+// kernels are retained verbatim as RefMatMulInto / RefMatMulTransA /
+// RefMatMulTransB — they are the oracle for the property tests and the
+// baseline for the kernel benchmarks.
+
+const (
+	gemmKC            = 128     // k-block: B panel height
+	gemmNC            = 512     // j-block: B panel width
+	gemmMR            = 4       // register tile rows
+	gemmParallelFlops = 1 << 20 // 2·m·k·n below this runs inline
+)
+
+// GemmInto computes C = A·B on raw row-major slices: c[m*n] is
+// overwritten with a[m*k]·b[k*n]. It is the slice-level core behind the
+// tensor matmul API; hot paths that must not allocate call it directly.
+func GemmInto(c, a, b []float32, m, k, n int) {
+	if len(c) < m*n || len(a) < m*k || len(b) < k*n {
+		panic("tensor: GemmInto operand shorter than its shape")
+	}
+	c = c[:m*n]
+	for i := range c {
+		c[i] = 0
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if 2*int64(m)*int64(k)*int64(n) < gemmParallelFlops || workers <= 1 || m < 2*gemmMR {
+		gemmRows(c, a, b, 0, m, k, n)
+		return
+	}
+	// Chunks are multiples of the register-tile height so only the last
+	// range per worker hits the remainder kernel.
+	chunk := (m + 4*workers - 1) / (4 * workers)
+	chunk = (chunk + gemmMR - 1) / gemmMR * gemmMR
+	parallel.ForChunked(m, chunk, func(lo, hi int) {
+		gemmRows(c, a, b, lo, hi, k, n)
+	})
+}
+
+// gemmRows accumulates C[lo:hi] += A[lo:hi]·B with cache blocking. C rows
+// in the range must already hold the desired initial value (GemmInto
+// zeroes them).
+func gemmRows(c, a, b []float32, lo, hi, k, n int) {
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		p1 := min(p0+gemmKC, k)
+		for j0 := 0; j0 < n; j0 += gemmNC {
+			j1 := min(j0+gemmNC, n)
+			i := lo
+			for ; i+gemmMR <= hi; i += gemmMR {
+				gemm4Rows(c, a, b, i, k, n, p0, p1, j0, j1)
+			}
+			for ; i < hi; i++ {
+				gemm1Row(c, a, b, i, k, n, p0, p1, j0, j1)
+			}
+		}
+	}
+}
+
+// gemm4Rows is the register-tiled micro-kernel: rows i..i+3 of C over
+// columns [j0,j1), accumulating A·B over the k range [p0,p1). Each pass of
+// the inner loop retires 16 multiply-adds against 4 B loads and 4 C
+// load/store pairs.
+func gemm4Rows(c, a, b []float32, i, k, n, p0, p1, j0, j1 int) {
+	jw := j1 - j0
+	a0 := a[(i+0)*k : (i+0)*k+k]
+	a1 := a[(i+1)*k : (i+1)*k+k]
+	a2 := a[(i+2)*k : (i+2)*k+k]
+	a3 := a[(i+3)*k : (i+3)*k+k]
+	c0 := c[(i+0)*n+j0 : (i+0)*n+j1]
+	c1 := c[(i+1)*n+j0 : (i+1)*n+j1]
+	c2 := c[(i+2)*n+j0 : (i+2)*n+j1]
+	c3 := c[(i+3)*n+j0 : (i+3)*n+j1]
+	p := p0
+	for ; p+4 <= p1; p += 4 {
+		aq0 := [8]float32{
+			a0[p], a0[p+1], a0[p+2], a0[p+3],
+			a1[p], a1[p+1], a1[p+2], a1[p+3],
+		}
+		aq1 := [8]float32{
+			a2[p], a2[p+1], a2[p+2], a2[p+3],
+			a3[p], a3[p+1], a3[p+2], a3[p+3],
+		}
+		b0 := b[(p+0)*n+j0 : (p+0)*n+j0+jw]
+		b1 := b[(p+1)*n+j0:][:jw]
+		b2 := b[(p+2)*n+j0:][:jw]
+		b3 := b[(p+3)*n+j0:][:jw]
+		// Vectorised body (SSE on amd64, unrolled Go elsewhere), then a
+		// scalar tail for the jw%4 columns.
+		jv := jw &^ 3
+		if jv > 0 {
+			gemmAxpy2x4(c0, c1, b0, b1, b2, b3, &aq0, jv)
+			gemmAxpy2x4(c2, c3, b0, b1, b2, b3, &aq1, jv)
+		}
+		for j := jv; j < jw; j++ {
+			bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+			c0[j] += aq0[0]*bv0 + aq0[1]*bv1 + aq0[2]*bv2 + aq0[3]*bv3
+			c1[j] += aq0[4]*bv0 + aq0[5]*bv1 + aq0[6]*bv2 + aq0[7]*bv3
+			c2[j] += aq1[0]*bv0 + aq1[1]*bv1 + aq1[2]*bv2 + aq1[3]*bv3
+			c3[j] += aq1[4]*bv0 + aq1[5]*bv1 + aq1[6]*bv2 + aq1[7]*bv3
+		}
+	}
+	for ; p < p1; p++ {
+		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		brow := b[p*n+j0 : p*n+j0+jw]
+		for j, bv := range brow {
+			c0[j] += av0 * bv
+			c1[j] += av1 * bv
+			c2[j] += av2 * bv
+			c3[j] += av3 * bv
+		}
+	}
+}
+
+// gemm1Row handles the m%4 remainder rows with a 4-way k unroll.
+func gemm1Row(c, a, b []float32, i, k, n, p0, p1, j0, j1 int) {
+	jw := j1 - j0
+	arow := a[i*k : i*k+k]
+	crow := c[i*n+j0 : i*n+j1]
+	p := p0
+	for ; p+4 <= p1; p += 4 {
+		av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		b0 := b[(p+0)*n+j0 : (p+0)*n+j0+jw]
+		b1 := b[(p+1)*n+j0 : (p+1)*n+j0+jw]
+		b2 := b[(p+2)*n+j0 : (p+2)*n+j0+jw]
+		b3 := b[(p+3)*n+j0 : (p+3)*n+j0+jw]
+		for j := 0; j < jw; j++ {
+			crow[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+		}
+	}
+	for ; p < p1; p++ {
+		av := arow[p]
+		if av == 0 {
+			continue
+		}
+		brow := b[p*n+j0 : p*n+j0+jw]
+		for j, bv := range brow {
+			crow[j] += av * bv
+		}
+	}
+}
+
+// GemmTransBInto computes C = A·Bᵀ on raw slices: a is [m,k] row-major,
+// b is [n,k] row-major, c receives [m,n]. Small m stays in a dot-product
+// kernel (both operands already stream contiguously and a transpose would
+// double the memory traffic); larger products repack Bᵀ into pooled
+// scratch and reuse the blocked engine.
+func GemmTransBInto(c, a, b []float32, m, k, n int) {
+	if len(c) < m*n || len(a) < m*k || len(b) < n*k {
+		panic("tensor: GemmTransBInto operand shorter than its shape")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+		return
+	}
+	if m <= 8 {
+		dotRows(c, a, b, 0, m, k, n)
+		return
+	}
+	bt := GetBuf(k * n)
+	transposeInto(bt, b, n, k)
+	GemmInto(c, a, bt, m, k, n)
+	PutBuf(bt)
+}
+
+// dotRows computes C[lo:hi] = A[lo:hi]·Bᵀ with four independent
+// accumulator chains per A row (j unrolled by 4).
+func dotRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			crow[j+0] = s0
+			crow[j+1] = s1
+			crow[j+2] = s2
+			crow[j+3] = s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// GemmTransAInto computes C = Aᵀ·B on raw slices: a is [k,m] row-major,
+// b is [k,n] row-major, c receives [m,n]. A is repacked transposed into
+// pooled scratch (cost m·k, negligible against 2·m·k·n) and the blocked
+// engine does the rest.
+func GemmTransAInto(c, a, b []float32, m, k, n int) {
+	if len(c) < m*n || len(a) < k*m || len(b) < k*n {
+		panic("tensor: GemmTransAInto operand shorter than its shape")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+		return
+	}
+	at := GetBuf(m * k)
+	transposeInto(at, a, k, m)
+	GemmInto(c, at, b, m, k, n)
+	PutBuf(at)
+}
+
+// transposeInto writes src (r×c row-major) into dst as its c×r transpose,
+// tiled so both sides stay within a few cache lines per step.
+func transposeInto(dst, src []float32, r, c int) {
+	const tb = 32
+	for i0 := 0; i0 < r; i0 += tb {
+		i1 := min(i0+tb, r)
+		for j0 := 0; j0 < c; j0 += tb {
+			j1 := min(j0+tb, c)
+			for i := i0; i < i1; i++ {
+				srow := src[i*c : i*c+c]
+				for j := j0; j < j1; j++ {
+					dst[j*r+i] = srow[j]
+				}
+			}
+		}
+	}
+}
+
+// ---- Retained naive reference kernels ----------------------------------
+//
+// These are the pre-engine serial implementations, kept as the correctness
+// oracle for the GEMM property tests and as the baseline the kernel
+// benchmarks measure speedups against. Do not optimise them.
+
+// RefMatMulInto is the reference C = A·B (axpy order, serial).
+func RefMatMulInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// RefMatMulTransA is the reference C = Aᵀ·B (serial).
+func RefMatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// RefMatMulTransB is the reference C = A·Bᵀ (serial dot products).
+func RefMatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}

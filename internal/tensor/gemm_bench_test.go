@@ -1,0 +1,117 @@
+package tensor_test
+
+// Kernel microbenchmarks over the GEMM shapes the model zoo produces.
+// Run with:
+//
+//	go test ./internal/tensor -bench 'Gemm|MatMul|Im2Col' -benchmem
+//
+// adcnn-bench -exp kernels runs the same suite programmatically (via
+// internal/tensor/kernelbench) and records it to BENCH_kernels.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"adcnn/internal/tensor"
+	"adcnn/internal/tensor/kernelbench"
+)
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Tensor {
+	t := tensor.New(r, c)
+	t.RandU(rng, -1, 1)
+	return t
+}
+
+func benchFlops(b *testing.B, m, k, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.SetBytes(0)
+	b.ReportMetric(2*float64(m)*float64(k)*float64(n)*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "GFLOP/s")
+}
+
+// BenchmarkMatMulTransB256 is the acceptance shape: blocked engine vs the
+// retained naive reference, single thread.
+func BenchmarkMatMulTransB256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 256, 256)
+	bt := randMat(rng, 256, 256)
+	c := tensor.New(256, 256)
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.RefMatMulTransB(a, bt)
+		}
+		benchFlops(b, 256, 256, 256)
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulTransBInto(c, a, bt)
+		}
+		benchFlops(b, 256, 256, 256)
+	})
+}
+
+// BenchmarkMatMulInto256 measures the main C=A·B path, single-thread and
+// at full GOMAXPROCS.
+func BenchmarkMatMulInto256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 256, 256)
+	bb := randMat(rng, 256, 256)
+	c := tensor.New(256, 256)
+	b.Run("ref-1t", func(b *testing.B) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		for i := 0; i < b.N; i++ {
+			tensor.RefMatMulInto(c, a, bb)
+		}
+		benchFlops(b, 256, 256, 256)
+	})
+	b.Run("blocked-1t", func(b *testing.B) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(c, a, bb)
+		}
+		benchFlops(b, 256, 256, 256)
+	})
+	b.Run(fmt.Sprintf("blocked-%dt", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(c, a, bb)
+		}
+		benchFlops(b, 256, 256, 256)
+	})
+}
+
+// BenchmarkGemmZooShapes sweeps the conv GEMM shapes from the model zoo.
+func BenchmarkGemmZooShapes(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cs := range kernelbench.ZooConvShapes {
+		a := randMat(rng, cs.M, cs.K)
+		bb := randMat(rng, cs.K, cs.N)
+		c := tensor.New(cs.M, cs.N)
+		b.Run(cs.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(c, a, bb)
+			}
+			benchFlops(b, cs.M, cs.K, cs.N)
+		})
+	}
+}
+
+// BenchmarkIm2Col measures the pooled column unfold on a VGG-sized map.
+func BenchmarkIm2Col(b *testing.B) {
+	g := tensor.ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(64, 56, 56)
+	x.RandU(rng, -1, 1)
+	buf := tensor.GetBuf(g.ColsLen(64, 56, 56))
+	defer tensor.PutBuf(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2ColSlice(buf, x.Data, 64, 56, 56, g)
+	}
+}

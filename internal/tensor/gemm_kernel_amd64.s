@@ -1,0 +1,90 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmKernel2x4Asm(c0, c1, b0, b1, b2, b3, a *float32, n int)
+//
+// SSE (amd64 baseline) axpy micro-kernel over two C rows:
+//
+//	c0[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
+//	c1[j] += a[4]*b0[j] + a[5]*b1[j] + a[6]*b2[j] + a[7]*b3[j]
+//
+// for j in [0, n), n a multiple of 4. The eight A scalars are broadcast
+// into X8..X15 once; each loop iteration retires 64 flops against six
+// 16-byte loads and two stores.
+TEXT ·gemmKernel2x4Asm(SB), NOSPLIT, $0-64
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ a+48(FP), AX
+	MOVQ n+56(FP), CX
+
+	// Broadcast a[0..7] across the four lanes of X8..X15.
+	MOVSS  0(AX), X8
+	SHUFPS $0x00, X8, X8
+	MOVSS  4(AX), X9
+	SHUFPS $0x00, X9, X9
+	MOVSS  8(AX), X10
+	SHUFPS $0x00, X10, X10
+	MOVSS  12(AX), X11
+	SHUFPS $0x00, X11, X11
+	MOVSS  16(AX), X12
+	SHUFPS $0x00, X12, X12
+	MOVSS  20(AX), X13
+	SHUFPS $0x00, X13, X13
+	MOVSS  24(AX), X14
+	SHUFPS $0x00, X14, X14
+	MOVSS  28(AX), X15
+	SHUFPS $0x00, X15, X15
+
+	XORQ DX, DX // byte offset into the rows
+	SHRQ $2, CX // iterations = n/4
+	JZ   done
+
+loop:
+	MOVUPS (R8)(DX*1), X0
+	MOVUPS (R9)(DX*1), X1
+	MOVUPS (R10)(DX*1), X2
+	MOVUPS (R11)(DX*1), X3
+	MOVUPS (DI)(DX*1), X4
+	MOVUPS (SI)(DX*1), X5
+
+	// Row 0: X4 += X0*a0 + X1*a1 + X2*a2 + X3*a3 (pairwise tree).
+	MOVAPS X0, X6
+	MULPS  X8, X6
+	MOVAPS X1, X7
+	MULPS  X9, X7
+	ADDPS  X7, X6
+	MOVAPS X2, X7
+	MULPS  X10, X7
+	ADDPS  X7, X6
+	MOVAPS X3, X7
+	MULPS  X11, X7
+	ADDPS  X7, X6
+	ADDPS  X6, X4
+	MOVUPS X4, (DI)(DX*1)
+
+	// Row 1: X5 += X0*a4 + X1*a5 + X2*a6 + X3*a7.
+	MOVAPS X0, X6
+	MULPS  X12, X6
+	MOVAPS X1, X7
+	MULPS  X13, X7
+	ADDPS  X7, X6
+	MOVAPS X2, X7
+	MULPS  X14, X7
+	ADDPS  X7, X6
+	MOVAPS X3, X7
+	MULPS  X15, X7
+	ADDPS  X7, X6
+	ADDPS  X6, X5
+	MOVUPS X5, (SI)(DX*1)
+
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  loop
+
+done:
+	RET

@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package tensor
+
+// gemmAxpy2x4 is the portable fallback for the SSE micro-kernel: two C
+// rows updated with four packed A scalars each, j in [0, n), n a multiple
+// of 4.
+func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
+	a00, a01, a02, a03 := aq[0], aq[1], aq[2], aq[3]
+	a10, a11, a12, a13 := aq[4], aq[5], aq[6], aq[7]
+	x0 := c0[:n]
+	x1 := c1[:n]
+	v0 := b0[:n]
+	v1 := b1[:n]
+	v2 := b2[:n]
+	v3 := b3[:n]
+	for j := range v0 {
+		bv0, bv1, bv2, bv3 := v0[j], v1[j], v2[j], v3[j]
+		x0[j] += a00*bv0 + a01*bv1 + a02*bv2 + a03*bv3
+		x1[j] += a10*bv0 + a11*bv1 + a12*bv2 + a13*bv3
+	}
+}

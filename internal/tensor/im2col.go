@@ -15,6 +15,13 @@ func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
 	return
 }
 
+// ColsLen returns the element count of the im2col matrix for a c×h×w
+// image: (c·KH·KW) × (OH·OW). Use it to size pooled scratch buffers.
+func (g ConvGeom) ColsLen(c, h, w int) int {
+	oh, ow := g.OutSize(h, w)
+	return c * g.KH * g.KW * oh * ow
+}
+
 // Im2Col unfolds one image x[C,H,W] into a matrix of shape
 // [C*KH*KW, OH*OW] so convolution becomes a matrix product with the
 // flattened filters. Out-of-bounds positions read as zero (the padding).
@@ -22,19 +29,46 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := g.OutSize(h, w)
 	cols := New(c*g.KH*g.KW, oh*ow)
+	Im2ColSlice(cols.Data, x.Data, c, h, w, g)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-owned matrix of shape
+// [C*KH*KW, OH*OW]. Any prior contents are overwritten.
+func Im2ColInto(cols, x *Tensor, g ConvGeom) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	if cols.Len() != g.ColsLen(c, h, w) {
+		panic("tensor: Im2ColInto destination size mismatch")
+	}
+	Im2ColSlice(cols.Data, x.Data, c, h, w, g)
+}
+
+// Im2ColSlice is the raw-slice im2col kernel: src holds a C×H×W image and
+// dst receives the [C*KH*KW, OH*OW] column matrix. dst is fully defined on
+// return (padding positions are zeroed only when padding exists, every
+// other position is written), so pooled buffers with stale contents are
+// safe inputs.
+func Im2ColSlice(dst, src []float32, c, h, w int, g ConvGeom) {
+	oh, ow := g.OutSize(h, w)
+	dst = dst[:c*g.KH*g.KW*oh*ow]
+	if g.PadH != 0 || g.PadW != 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for ch := 0; ch < c; ch++ {
-		src := x.Data[ch*h*w : (ch+1)*h*w]
+		img := src[ch*h*w : (ch+1)*h*w]
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
 				row := ((ch*g.KH+kh)*g.KW + kw) * oh * ow
-				dst := cols.Data[row : row+oh*ow]
+				out := dst[row : row+oh*ow]
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*g.StrideH - g.PadH + kh
 					if iy < 0 || iy >= h {
-						continue // leave zeros
+						continue // stays zero
 					}
-					srow := src[iy*w:]
-					drow := dst[oy*ow:]
+					srow := img[iy*w:]
+					drow := out[oy*ow:]
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*g.StrideW - g.PadW + kw
 						if ix >= 0 && ix < w {
@@ -45,27 +79,48 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im folds a column matrix (as produced by Im2Col) back into an image
 // of shape [C,H,W], accumulating overlapping contributions. It is the
 // adjoint of Im2Col and is used for convolution input gradients.
 func Col2Im(cols *Tensor, c, h, w int, g ConvGeom) *Tensor {
-	oh, ow := g.OutSize(h, w)
 	x := New(c, h, w)
+	Col2ImSlice(x.Data, cols.Data, c, h, w, g)
+	return x
+}
+
+// Col2ImInto is Col2Im writing into a caller-owned image tensor of shape
+// [C,H,W]. Any prior contents are overwritten.
+func Col2ImInto(x, cols *Tensor, g ConvGeom) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	if cols.Len() != g.ColsLen(c, h, w) {
+		panic("tensor: Col2ImInto column size mismatch")
+	}
+	Col2ImSlice(x.Data, cols.Data, c, h, w, g)
+}
+
+// Col2ImSlice is the raw-slice col2im kernel: cols holds a
+// [C*KH*KW, OH*OW] column matrix and dst receives the folded C×H×W image.
+// dst is zeroed first, so pooled buffers are safe destinations.
+func Col2ImSlice(dst, cols []float32, c, h, w int, g ConvGeom) {
+	oh, ow := g.OutSize(h, w)
+	dst = dst[:c*h*w]
+	for i := range dst {
+		dst[i] = 0
+	}
 	for ch := 0; ch < c; ch++ {
-		dst := x.Data[ch*h*w : (ch+1)*h*w]
+		img := dst[ch*h*w : (ch+1)*h*w]
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
 				row := ((ch*g.KH+kh)*g.KW + kw) * oh * ow
-				src := cols.Data[row : row+oh*ow]
+				src := cols[row : row+oh*ow]
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*g.StrideH - g.PadH + kh
 					if iy < 0 || iy >= h {
 						continue
 					}
-					drow := dst[iy*w:]
+					drow := img[iy*w:]
 					srow := src[oy*ow:]
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*g.StrideW - g.PadW + kw
@@ -77,5 +132,4 @@ func Col2Im(cols *Tensor, c, h, w int, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return x
 }

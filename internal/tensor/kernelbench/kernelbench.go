@@ -1,0 +1,211 @@
+// Package kernelbench measures the tensor compute kernels — the blocked
+// GEMM engine, the retained naive references, im2col, and whole Conv2D
+// forward passes over the GEMM shapes the model zoo actually produces —
+// and renders the results as a machine-readable report. adcnn-bench
+// (-exp kernels) writes the report to BENCH_kernels.json so the kernel
+// perf trajectory is tracked across PRs.
+package kernelbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"adcnn/internal/nn"
+	"adcnn/internal/tensor"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name         string  `json:"name"`
+	Shape        string  `json:"shape,omitempty"`
+	Threads      int     `json:"threads"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	GFlops       float64 `json:"gflops,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+	ScalingVs1T  float64 `json:"scaling_vs_1_thread,omitempty"`
+}
+
+// Report is the full kernel benchmark suite output.
+type Report struct {
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// ConvShape is a GEMM shape as produced by a conv layer: M=OutC,
+// K=InC·KH·KW, N=OH·OW.
+type ConvShape struct {
+	Name    string
+	M, K, N int
+}
+
+// ZooConvShapes are representative per-tile GEMM shapes from the model
+// zoo (VGG16 / YOLO blocks on FDSP-partitioned feature maps).
+var ZooConvShapes = []ConvShape{
+	{"vgg_L2_64x64_56sq", 64, 64 * 9, 56 * 56},
+	{"vgg_L4_128x128_28sq", 128, 128 * 9, 28 * 28},
+	{"vgg_L7_256x256_14sq", 256, 256 * 9, 14 * 14},
+	{"vgg_L13_512x512_7sq", 512, 512 * 9, 7 * 7},
+	{"yolo_1x1_512to256_14sq", 256, 512, 14 * 14},
+}
+
+func benchGemm(m, k, n int, f func(c, a, b *tensor.Tensor)) (float64, int64) {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(m, k)
+	b := tensor.New(k, n)
+	c := tensor.New(m, n)
+	a.RandU(rng, -1, 1)
+	b.RandU(rng, -1, 1)
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			f(c, a, b)
+		}
+	})
+	return float64(r.NsPerOp()), r.AllocsPerOp()
+}
+
+func gflops(m, k, n int, nsPerOp float64) float64 {
+	return 2 * float64(m) * float64(k) * float64(n) / nsPerOp
+}
+
+// Run executes the kernel suite. It temporarily pins GOMAXPROCS for the
+// single-thread measurements and restores it afterwards.
+func Run() Report {
+	maxProcs := runtime.GOMAXPROCS(0)
+	rep := Report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: maxProcs,
+	}
+	add := func(r Result) { rep.Results = append(rep.Results, r) }
+
+	// Acceptance shape: 256×256×256 MatMulTransB, single thread, blocked
+	// engine vs retained naive reference.
+	runtime.GOMAXPROCS(1)
+	const s = 256
+	refNs, refAllocs := benchGemm(s, s, s, func(c, a, b *tensor.Tensor) {
+		tensor.RefMatMulTransB(a, b)
+	})
+	add(Result{Name: "matmul_transb_ref", Shape: "256x256x256", Threads: 1,
+		NsPerOp: refNs, GFlops: gflops(s, s, s, refNs), AllocsPerOp: refAllocs})
+	newNs, newAllocs := benchGemm(s, s, s, func(c, a, b *tensor.Tensor) {
+		tensor.MatMulTransBInto(c, a, b)
+	})
+	add(Result{Name: "matmul_transb_blocked", Shape: "256x256x256", Threads: 1,
+		NsPerOp: newNs, GFlops: gflops(s, s, s, newNs), AllocsPerOp: newAllocs,
+		SpeedupVsRef: refNs / newNs})
+
+	// MatMulInto single-thread baseline + scaling up to GOMAXPROCS.
+	refMMNs, _ := benchGemm(s, s, s, func(c, a, b *tensor.Tensor) {
+		tensor.RefMatMulInto(c, a, b)
+	})
+	add(Result{Name: "matmul_ref", Shape: "256x256x256", Threads: 1,
+		NsPerOp: refMMNs, GFlops: gflops(s, s, s, refMMNs), AllocsPerOp: 0})
+	var oneThreadNs float64
+	for threads := 1; ; threads *= 2 {
+		if threads > maxProcs {
+			threads = maxProcs
+		}
+		runtime.GOMAXPROCS(threads)
+		ns, al := benchGemm(s, s, s, func(c, a, b *tensor.Tensor) {
+			tensor.MatMulInto(c, a, b)
+		})
+		if threads == 1 {
+			oneThreadNs = ns
+		}
+		add(Result{Name: "matmul_blocked", Shape: "256x256x256", Threads: threads,
+			NsPerOp: ns, GFlops: gflops(s, s, s, ns), AllocsPerOp: al,
+			SpeedupVsRef: refMMNs / ns, ScalingVs1T: oneThreadNs / ns})
+		if threads == maxProcs {
+			break
+		}
+	}
+	runtime.GOMAXPROCS(maxProcs)
+
+	// Model-zoo conv GEMM shapes at full parallelism.
+	for _, cs := range ZooConvShapes {
+		ns, al := benchGemm(cs.M, cs.K, cs.N, func(c, a, b *tensor.Tensor) {
+			tensor.MatMulInto(c, a, b)
+		})
+		add(Result{Name: "conv_gemm_" + cs.Name,
+			Shape:   fmt.Sprintf("%dx%dx%d", cs.M, cs.K, cs.N),
+			Threads: maxProcs, NsPerOp: ns,
+			GFlops: gflops(cs.M, cs.K, cs.N, ns), AllocsPerOp: al})
+	}
+
+	// Whole-layer inference forward (pooled im2col, fused bias): the
+	// allocs column is the zero-allocation acceptance criterion.
+	rng := rand.New(rand.NewSource(2))
+	conv := nn.NewConv2D("bench", 64, 64, 3, 3, 1, 1, rng)
+	x := tensor.New(1, 64, 56, 56)
+	x.RandU(rng, -1, 1)
+	y := tensor.New(conv.OutShape(x.Shape)...)
+	conv.ForwardInto(y, x, false) // prime the pool
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			conv.ForwardInto(y, x, false)
+		}
+	})
+	oh, ow := conv.Geom.OutSize(56, 56)
+	add(Result{Name: "conv2d_forward_64x64_3x3_56sq", Shape: "1x64x56x56",
+		Threads: maxProcs, NsPerOp: float64(r.NsPerOp()),
+		GFlops:      2 * 64 * 64 * 9 * float64(oh*ow) / float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp()})
+
+	// im2col kernel on the same feature map.
+	g := conv.Geom
+	colsLen := g.ColsLen(64, 56, 56)
+	buf := tensor.GetBuf(colsLen)
+	src := x.Data[:64*56*56]
+	ir := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			tensor.Im2ColSlice(buf, src, 64, 56, 56, g)
+		}
+	})
+	tensor.PutBuf(buf)
+	add(Result{Name: "im2col_64ch_3x3_56sq", Shape: "64x56x56",
+		Threads: 1, NsPerOp: float64(ir.NsPerOp()), AllocsPerOp: ir.AllocsPerOp()})
+
+	return rep
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteText renders a human-readable table.
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "kernel benchmarks (%s, %s, GOMAXPROCS=%d)\n", r.GoVersion, r.GOARCH, r.GOMAXPROCS)
+	fmt.Fprintf(w, "%-36s %-16s %8s %12s %9s %7s %9s\n",
+		"name", "shape", "threads", "ns/op", "GFLOP/s", "allocs", "vs-ref")
+	for _, res := range r.Results {
+		speed := ""
+		if res.SpeedupVsRef > 0 {
+			speed = fmt.Sprintf("%.2fx", res.SpeedupVsRef)
+		}
+		gf := ""
+		if res.GFlops > 0 {
+			gf = fmt.Sprintf("%.2f", res.GFlops)
+		}
+		fmt.Fprintf(w, "%-36s %-16s %8d %12.0f %9s %7d %9s\n",
+			res.Name, res.Shape, res.Threads, res.NsPerOp, gf, res.AllocsPerOp, speed)
+	}
+}

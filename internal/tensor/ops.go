@@ -2,8 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Add computes t += o elementwise. Shapes must match.
@@ -77,53 +75,15 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes c = a·b, reusing c's storage. c must be [m,n].
-// Large products parallelise over row blocks (rows of c are independent).
+// The product runs on the blocked GEMM engine (see gemm.go): cache-blocked,
+// register-tiled, and parallelised over row chunks for large shapes.
 func MatMulInto(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
 	}
-	c.Zero()
-	rowWork := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := c.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	}
-	const parallelThreshold = 1 << 20 // flops below this run inline
-	if int64(m)*int64(k)*int64(n) < parallelThreshold || m < 4 {
-		rowWork(0, m)
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowWork(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	GemmInto(c.Data, a.Data, b.Data, m, k, n)
 }
 
 // MatMulTransA computes C = Aᵀ·B for A[k,m], B[k,n] → C[m,n].
@@ -132,22 +92,24 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if b.Shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA mismatch %v x %v", a.Shape, b.Shape))
 	}
-	n := b.Shape[1]
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	c := New(m, b.Shape[1])
+	MatMulTransAInto(c, a, b)
 	return c
+}
+
+// MatMulTransAInto computes c = aᵀ·b, reusing c's storage ([m,n] for
+// A[k,m], B[k,n]). A is repacked through the scratch pool, so steady-state
+// calls do not allocate.
+func MatMulTransAInto(c, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto mismatch %v x %v", a.Shape, b.Shape))
+	}
+	n := b.Shape[1]
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	GemmTransAInto(c.Data, a.Data, b.Data, m, k, n)
 }
 
 // MatMulTransB computes C = A·Bᵀ for A[m,k], B[n,k] → C[m,n].
@@ -158,19 +120,22 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB mismatch %v x %v", a.Shape, b.Shape))
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
+	GemmTransBInto(c.Data, a.Data, b.Data, m, k, n)
 	return c
+}
+
+// MatMulTransBInto computes c = a·bᵀ, reusing c's storage ([m,n] for
+// A[m,k], B[n,k]). Steady-state calls do not allocate.
+func MatMulTransBInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	GemmTransBInto(c.Data, a.Data, b.Data, m, k, n)
 }
 
 // Apply replaces each element x with f(x).

@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer arena. The compute kernels (GEMM packing, im2col columns)
+// need short-lived float32 slices on every forward call; allocating them
+// fresh puts the garbage collector on the inference hot path. Buffers are
+// recycled through size-bucketed sync.Pools instead: bucket b holds slices
+// with capacity exactly 1<<b, so a Get never returns a buffer more than 2×
+// the request and a Put always knows its bucket.
+//
+// The pools store *[]float32 rather than []float32 so that neither Get nor
+// Put converts a slice header to an interface (which would heap-allocate
+// and defeat the point). The pointer shells themselves are recycled through
+// a second pool.
+
+const maxBucket = 31
+
+var (
+	bufPools [maxBucket + 1]sync.Pool
+	shells   = sync.Pool{New: func() any { return new([]float32) }}
+)
+
+// bucketFor returns the bucket index whose capacity (1<<b) is the smallest
+// power of two >= n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetBuf returns a float32 scratch slice of length n with unspecified
+// contents. Pair it with PutBuf when done; losing a buffer is safe (the GC
+// reclaims it) but wastes the recycling.
+func GetBuf(n int) []float32 {
+	if n < 0 {
+		panic("tensor: GetBuf negative size")
+	}
+	b := bucketFor(n)
+	if b > maxBucket {
+		return make([]float32, n)
+	}
+	if v := bufPools[b].Get(); v != nil {
+		p := v.(*[]float32)
+		s := *p
+		*p = nil
+		shells.Put(p)
+		return s[:n]
+	}
+	return make([]float32, n, 1<<b)
+}
+
+// GetBufZeroed returns a zero-filled scratch slice of length n.
+func GetBufZeroed(n int) []float32 {
+	s := GetBuf(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. Only exact power-of-two
+// capacities are accepted (anything else came from somewhere other than
+// GetBuf and is silently dropped). The caller must not use buf afterwards.
+func PutBuf(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 || bits.Len(uint(c))-1 > maxBucket {
+		return
+	}
+	p := shells.Get().(*[]float32)
+	*p = buf[:0:c]
+	bufPools[bits.Len(uint(c))-1].Put(p)
+}
+
+// GetTensor returns a tensor with pooled backing storage and unspecified
+// contents. Release it with PutTensor. The Tensor header itself is a fresh
+// allocation; callers on a zero-alloc path should hold raw slices instead.
+func GetTensor(shape ...int) *Tensor {
+	n := Volume(shape)
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: GetBuf(n)}
+}
+
+// PutTensor recycles a tensor's backing storage obtained from GetTensor.
+// The tensor (and any views sharing its data) must not be used afterwards.
+func PutTensor(t *Tensor) {
+	if t == nil {
+		return
+	}
+	PutBuf(t.Data)
+	t.Data = nil
+}
