@@ -19,6 +19,7 @@ import (
 	"adcnn/internal/core"
 	"adcnn/internal/experiments"
 	"adcnn/internal/models"
+	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor/kernelbench"
 )
 
@@ -28,11 +29,25 @@ func main() {
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernel microbenchmark report (-exp kernels)")
+	streamOut := flag.String("stream-out", "BENCH_stream.json", "output path for the live-stream telemetry-overhead report (-exp stream)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline from the traced experiments (fig9, stream) to this file")
 	flag.Parse()
 
 	w := os.Stdout
 	opts := experiments.DefaultSimOptions()
 	opts.Seed = *seed
+
+	var trace *telemetry.Trace
+	if *tracePath != "" {
+		trace = telemetry.NewTrace()
+		defer func() {
+			if err := trace.WriteFile(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote %s (%d events)\n", *tracePath, trace.Len())
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -67,6 +82,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		sim.SetTrace(trace)
 		r := sim.RunImage()
 		core.TimelineFor(r).WriteText(w, 64)
 		return nil
@@ -138,6 +154,17 @@ func main() {
 			return err
 		}
 		res.WriteText(w)
+		// Live-runtime half: pin the telemetry instrumentation overhead
+		// on the real hot path and persist it for cross-PR tracking.
+		rep, err := experiments.StreamBench(*images, trace)
+		if err != nil {
+			return err
+		}
+		rep.WriteText(w)
+		if err := rep.WriteJSON(*streamOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *streamOut)
 		return nil
 	})
 	run("locality", func() error {

@@ -19,9 +19,11 @@ import (
 	"time"
 
 	"adcnn/internal/cliutil"
+	"adcnn/internal/compress"
 	"adcnn/internal/core"
 	"adcnn/internal/dataset"
 	"adcnn/internal/models"
+	"adcnn/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
 	verify := flag.Bool("verify", true, "check outputs against local execution")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	flag.Parse()
 
 	cfg, err := cliutil.SimConfigByName(*model)
@@ -77,6 +81,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer central.Shutdown()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		central.SetMetrics(core.NewMetrics(reg))
+		compress.Instrument(reg)
+		_, bound, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		log.Printf("serving /metrics, /healthz, /debug/pprof on %s", bound)
+	}
+	var trace *telemetry.Trace
+	if *tracePath != "" {
+		trace = telemetry.NewTrace()
+		central.SetTrace(trace)
+		defer func() {
+			if err := trace.WriteFile(*tracePath); err != nil {
+				log.Printf("write trace: %v", err)
+			} else {
+				log.Printf("wrote %s (%d events)", *tracePath, trace.Len())
+			}
+		}()
+	}
 
 	set, err := synthSet(cfg, *images, *seed+100)
 	if err != nil {

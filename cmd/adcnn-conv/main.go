@@ -15,8 +15,10 @@ import (
 	"os"
 
 	"adcnn/internal/cliutil"
+	"adcnn/internal/compress"
 	"adcnn/internal/core"
 	"adcnn/internal/models"
+	"adcnn/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	clipLo := flag.Float64("clip-lo", 0, "clipped ReLU lower bound (0 with hi=0 disables)")
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9091)")
 	flag.Parse()
 
 	m, err := buildModel(*model, *grid, *seed, float32(*clipLo), float32(*clipHi), *quant)
@@ -46,6 +49,18 @@ func main() {
 		f.Close()
 	}
 
+	var met *core.Metrics
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		met = core.NewMetrics(reg)
+		compress.Instrument(reg)
+		_, bound, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		log.Printf("serving /metrics, /healthz, /debug/pprof on %s", bound)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +72,7 @@ func main() {
 			log.Fatal(err)
 		}
 		w := core.NewWorker(*id, m)
+		w.Metrics = met
 		go func() {
 			if err := w.Serve(core.NewStreamConn(conn)); err != nil {
 				log.Printf("serve: %v", err)

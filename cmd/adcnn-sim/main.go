@@ -25,6 +25,7 @@ import (
 	"adcnn/internal/experiments"
 	"adcnn/internal/perfmodel"
 	"adcnn/internal/stats"
+	"adcnn/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	events := flag.String("events", "", "throttle events image:node:fraction[,...] (fraction 0 = failure)")
 	stream := flag.Bool("stream", false, "report pipelined-stream throughput instead of per-image lines")
 	timeline := flag.Bool("timeline", false, "render the Figure 9 phase timeline of the first image")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (per-tile spans, virtual time) to this file")
 	flag.Parse()
 
 	cfg, err := cliutil.FullConfigByName(*model)
@@ -59,6 +61,18 @@ func main() {
 	evs, err := parseEvents(*events)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var trace *telemetry.Trace
+	if *tracePath != "" {
+		trace = telemetry.NewTrace()
+		sim.SetTrace(trace)
+		defer func() {
+			if err := trace.WriteFile(*tracePath); err != nil {
+				log.Fatalf("write trace: %v", err)
+			}
+			fmt.Printf("wrote %s (%d events)\n", *tracePath, trace.Len())
+		}()
 	}
 
 	if *stream {

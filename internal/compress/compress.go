@@ -12,11 +12,52 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"adcnn/internal/quant"
 	"adcnn/internal/rle"
+	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
+
+// instruments is the package-wide (optional) telemetry hook. Pipelines
+// are constructed transiently per tile on the worker hot path, so the
+// instruments live at package level rather than on the Pipeline value;
+// an atomic pointer keeps Encode race-free against Instrument.
+type instruments struct {
+	rawBytes     *telemetry.Counter
+	encodedBytes *telemetry.Counter
+	tensors      *telemetry.Counter
+	zeroLevels   *telemetry.Counter
+	levels       *telemetry.Counter
+}
+
+var instr atomic.Pointer[instruments]
+
+// Instrument publishes compression statistics on reg:
+//
+//	adcnn_compress_raw_bytes_total      float32 bytes before compression
+//	adcnn_compress_encoded_bytes_total  payload bytes after quantize+RLE
+//	adcnn_compress_tensors_total        tensors encoded
+//	adcnn_compress_zero_levels_total    zero quantization levels (sparsity
+//	                                    numerator; divide by levels_total)
+//	adcnn_compress_levels_total         total quantization levels
+//
+// Pass nil to disable. The encoded/raw ratio is the paper's Table 2
+// compression ratio; zero/total levels is the clipped-ReLU sparsity.
+func Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&instruments{
+		rawBytes:     reg.Counter("adcnn_compress_raw_bytes_total", "Tensor bytes before boundary compression."),
+		encodedBytes: reg.Counter("adcnn_compress_encoded_bytes_total", "Payload bytes after quantize+RLE."),
+		tensors:      reg.Counter("adcnn_compress_tensors_total", "Tensors encoded by the boundary pipeline."),
+		zeroLevels:   reg.Counter("adcnn_compress_zero_levels_total", "Zero quantization levels observed (sparsity numerator)."),
+		levels:       reg.Counter("adcnn_compress_levels_total", "Quantization levels observed (sparsity denominator)."),
+	})
+}
 
 // Pipeline bundles the quantizer configuration used at the Front/Back
 // boundary. Range must equal the clipped ReLU's b-a so the quantizer
@@ -57,7 +98,21 @@ func (p Pipeline) Encode(t *tensor.Tensor) ([]byte, error) {
 	}
 	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(p.Range))
 	hdr = append(hdr, b4[:]...)
-	return append(hdr, stream...), nil
+	out := append(hdr, stream...)
+	if in := instr.Load(); in != nil {
+		zeros := 0
+		for _, l := range levels {
+			if l == 0 {
+				zeros++
+			}
+		}
+		in.rawBytes.Add(float64(RawSize(t)))
+		in.encodedBytes.Add(float64(len(out)))
+		in.tensors.Inc()
+		in.zeroLevels.Add(float64(zeros))
+		in.levels.Add(float64(len(levels)))
+	}
+	return out, nil
 }
 
 // Decode reverses Encode, returning the dequantized tensor.

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strconv"
+
+	"adcnn/internal/sched"
+	"adcnn/internal/telemetry"
+)
+
+// Metrics bundles the live runtime's instruments, resolved once from a
+// telemetry.Registry so the per-tile hot path never touches a map. A nil
+// *Metrics disables instrumentation at every call site; the same bundle
+// can be shared by a Central and its Workers (in-process runs) or built
+// per binary (TCP runs).
+type Metrics struct {
+	Registry *telemetry.Registry
+
+	// Central side.
+	Images          *telemetry.Counter
+	ImageLatency    *telemetry.Histogram  // seconds, full Infer round trip
+	TileRoundTrip   *telemetry.Histogram  // seconds, tile dispatch → result arrival
+	TilesDispatched *telemetry.CounterVec // node
+	TilesReceived   *telemetry.CounterVec // node, within the drop deadline
+	TilesMissed     *telemetry.Counter    // zero-filled at T_L
+	ConnDrops       *telemetry.CounterVec // node, transport failures → markDead
+	Sched           *sched.Monitor
+
+	// Worker side.
+	WorkerTasks      *telemetry.CounterVec // node
+	WorkerProcess    *telemetry.Histogram  // seconds, Front+Boundary+encode per tile
+	WorkerRecvEOF    *telemetry.Counter    // clean peer disconnects
+	WorkerRecvErrors *telemetry.Counter    // mid-stream receive failures
+	WorkerSendErrors *telemetry.Counter    // result send failures
+
+	// Transport.
+	Wire *WireMetrics
+}
+
+// NewMetrics registers the runtime metric catalog on reg (see DESIGN.md
+// "Observability" for the name catalog).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Registry:         reg,
+		Images:           reg.Counter("adcnn_central_images_total", "Distributed inferences started."),
+		ImageLatency:     reg.Histogram("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference.", nil),
+		TileRoundTrip:    reg.Histogram("adcnn_central_tile_roundtrip_seconds", "Tile dispatch to intermediate-result arrival.", nil),
+		TilesDispatched:  reg.CounterVec("adcnn_central_tiles_dispatched_total", "Tiles sent to each Conv node.", "node"),
+		TilesReceived:    reg.CounterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
+		TilesMissed:      reg.Counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
+		ConnDrops:        reg.CounterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
+		Sched:            sched.NewMonitor(reg),
+		WorkerTasks:      reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
+		WorkerProcess:    reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
+		WorkerRecvEOF:    reg.Counter("adcnn_worker_recv_eof_total", "Clean peer disconnects observed by workers."),
+		WorkerRecvErrors: reg.Counter("adcnn_worker_recv_errors_total", "Mid-stream receive failures observed by workers."),
+		WorkerSendErrors: reg.Counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
+		Wire:             NewWireMetrics(reg),
+	}
+}
+
+// kindLabel names a message kind for the wire metric labels.
+func kindLabel(k MsgKind) int {
+	if k >= KindTask && k <= KindShutdown {
+		return int(k)
+	}
+	return 0
+}
+
+var kindNames = [4]string{"other", "task", "result", "shutdown"}
+
+// WireMetrics counts transport traffic per message kind and direction:
+//
+//	adcnn_wire_frames_total{kind,dir}       frames sent/received
+//	adcnn_wire_bytes_total{kind,dir}        frame bytes (payload + header)
+//	adcnn_wire_compressed_frames_total{dir} frames carrying compressed payloads
+//	adcnn_wire_compressed_bytes_total{dir}  their payload bytes
+//
+// The counters are resolved per kind up front so metering a message is
+// two atomic adds.
+type WireMetrics struct {
+	frames, bytes         [2][4]*telemetry.Counter // [dir][kind]
+	compFrames, compBytes [2]*telemetry.Counter    // [dir]
+}
+
+const (
+	dirSent = 0
+	dirRecv = 1
+)
+
+var dirNames = [2]string{"sent", "recv"}
+
+// NewWireMetrics registers the wire counters on reg.
+func NewWireMetrics(reg *telemetry.Registry) *WireMetrics {
+	wm := &WireMetrics{}
+	frames := reg.CounterVec("adcnn_wire_frames_total", "Protocol frames by message kind and direction.", "kind", "dir")
+	bytes := reg.CounterVec("adcnn_wire_bytes_total", "Protocol frame bytes (payload plus header) by message kind and direction.", "kind", "dir")
+	compFrames := reg.CounterVec("adcnn_wire_compressed_frames_total", "Frames carrying compress-pipeline payloads.", "dir")
+	compBytes := reg.CounterVec("adcnn_wire_compressed_bytes_total", "Payload bytes of compressed frames.", "dir")
+	for d := 0; d < 2; d++ {
+		for k := 0; k < 4; k++ {
+			wm.frames[d][k] = frames.With(kindNames[k], dirNames[d])
+			wm.bytes[d][k] = bytes.With(kindNames[k], dirNames[d])
+		}
+		wm.compFrames[d] = compFrames.With(dirNames[d])
+		wm.compBytes[d] = compBytes.With(dirNames[d])
+	}
+	return wm
+}
+
+// frameOverhead is the wire framing cost per message (4-byte length
+// prefix + 14-byte header), kept in sync with WriteMessage.
+const frameOverhead = 18
+
+func (wm *WireMetrics) record(dir int, m *Message) {
+	k := kindLabel(m.Kind)
+	wm.frames[dir][k].Inc()
+	wm.bytes[dir][k].Add(float64(len(m.Payload) + frameOverhead))
+	if m.Compressed {
+		wm.compFrames[dir].Inc()
+		wm.compBytes[dir].Add(float64(len(m.Payload)))
+	}
+}
+
+// meteredConn wraps a Conn and counts traffic on both directions.
+type meteredConn struct {
+	Conn
+	wm *WireMetrics
+}
+
+// InstrumentConn wraps conn so every frame is counted in wm. A nil wm
+// returns conn unchanged.
+func InstrumentConn(conn Conn, wm *WireMetrics) Conn {
+	if wm == nil {
+		return conn
+	}
+	return &meteredConn{Conn: conn, wm: wm}
+}
+
+func (c *meteredConn) Send(m *Message) error {
+	err := c.Conn.Send(m)
+	if err == nil {
+		c.wm.record(dirSent, m)
+	}
+	return err
+}
+
+func (c *meteredConn) Recv() (*Message, error) {
+	m, err := c.Conn.Recv()
+	if err == nil {
+		c.wm.record(dirRecv, m)
+	}
+	return m, err
+}
+
+// node returns the label value for a node index.
+func nodeLabel(k int) string { return strconv.Itoa(k) }

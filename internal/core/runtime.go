@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"adcnn/internal/fdsp"
 	"adcnn/internal/models"
 	"adcnn/internal/sched"
+	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
 
@@ -22,6 +25,9 @@ type Worker struct {
 	// equivalent of throttling a device with CPUlimit, used to exercise
 	// the adaptive scheduler against a genuinely slow node.
 	Delay time.Duration
+	// Metrics, when set, records task counts, per-tile process time,
+	// wire traffic, and disconnect causes.
+	Metrics *Metrics
 }
 
 // NewWorker creates a Conv-node worker around a model instance (the
@@ -30,12 +36,32 @@ func NewWorker(id int, m *models.Model) *Worker {
 	return &Worker{ID: id, Model: m}
 }
 
-// Serve processes tasks from conn until a shutdown message or EOF.
+// Serve processes tasks from conn until a shutdown message or clean EOF
+// (both return nil). A mid-stream transport failure is returned to the
+// caller — and counted separately from clean disconnects — so operators
+// can tell a Central that hung up from a network that broke.
 func (w *Worker) Serve(conn Conn) error {
+	met := w.Metrics
+	if met != nil {
+		conn = InstrumentConn(conn, met.Wire)
+	}
+	var tasks *telemetry.Counter
+	if met != nil {
+		tasks = met.WorkerTasks.With(nodeLabel(w.ID))
+	}
 	for {
 		m, err := conn.Recv()
 		if err != nil {
-			return nil // peer gone
+			if errors.Is(err, io.EOF) {
+				if met != nil {
+					met.WorkerRecvEOF.Inc()
+				}
+				return nil // peer closed cleanly
+			}
+			if met != nil {
+				met.WorkerRecvErrors.Inc()
+			}
+			return fmt.Errorf("core: worker %d: recv: %w", w.ID, err)
 		}
 		switch m.Kind {
 		case KindShutdown:
@@ -44,16 +70,24 @@ func (w *Worker) Serve(conn Conn) error {
 			if w.Delay > 0 {
 				time.Sleep(w.Delay)
 			}
+			start := time.Now()
 			out, compressed, err := w.process(m.Payload)
 			if err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
+			}
+			if met != nil {
+				tasks.Inc()
+				met.WorkerProcess.ObserveDuration(time.Since(start).Nanoseconds())
 			}
 			res := &Message{
 				Kind: KindResult, ImageID: m.ImageID, TileID: m.TileID,
 				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
 			}
 			if err := conn.Send(res); err != nil {
-				return nil
+				if met != nil {
+					met.WorkerSendErrors.Inc()
+				}
+				return fmt.Errorf("core: worker %d: send: %w", w.ID, err)
 			}
 		default:
 			return fmt.Errorf("core: worker %d: unexpected message kind %d", w.ID, m.Kind)
@@ -101,9 +135,37 @@ type Central struct {
 	TL    time.Duration
 	Stats *sched.Stats
 
+	metrics *Metrics
+	trace   *telemetry.Trace
+
 	imageID uint32
 	dead    []bool // nodes whose connection failed
 	mu      sync.Mutex
+}
+
+// SetMetrics attaches an instrument bundle: wire traffic is metered on
+// every connection and Infer records the full metric catalog. Call
+// before the first Infer.
+func (c *Central) SetMetrics(m *Metrics) {
+	c.metrics = m
+	if m != nil && m.Wire != nil {
+		for i, conn := range c.Conns {
+			c.Conns[i] = InstrumentConn(conn, m.Wire)
+		}
+	}
+}
+
+// SetTrace attaches a tracer: Infer emits per-image phase spans on tid 0
+// and per-tile dispatch→result spans on tid node+1. Call before the
+// first Infer.
+func (c *Central) SetTrace(t *telemetry.Trace) {
+	c.trace = t
+	if t != nil {
+		t.SetThreadName(0, "central")
+		for k := range c.Conns {
+			t.SetThreadName(k+1, fmt.Sprintf("conv-%d", k))
+		}
+	}
 }
 
 // NewCentral creates a Central node. gamma is Algorithm 2's decay.
@@ -132,6 +194,9 @@ func (c *Central) markDead(k int) {
 	c.mu.Lock()
 	c.dead[k] = true
 	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.ConnDrops.With(nodeLabel(k)).Inc()
+	}
 }
 
 // aliveSpeeds returns the scheduler speeds with dead nodes zeroed.
@@ -162,6 +227,10 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 	c.imageID++
 	img := c.imageID
 	c.mu.Unlock()
+	met, tr := c.metrics, c.trace
+	if met != nil {
+		met.Images.Inc()
+	}
 
 	g := c.Model.Opt.Grid
 	tiles := g.Layout(x.Shape[2], x.Shape[3])
@@ -184,6 +253,11 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 	// Dispatch every tile. A send failure marks the node dead and the
 	// tile falls over to the next alive node — the runtime half of the
 	// paper's failure tolerance.
+	dispatchSpan := tr.Begin("dispatch", "central", 0)
+	var dispatchAt []time.Time // per tile, for round-trip accounting
+	if met != nil || tr != nil {
+		dispatchAt = make([]time.Time, len(tiles))
+	}
 	counts := make(sched.Allocation, len(c.Conns)) // tiles actually sent per node
 	for ti, tl := range tiles {
 		task := &Message{
@@ -209,8 +283,15 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 		if !sent {
 			return nil, InferStats{}, fmt.Errorf("core: no alive conv node for tile %d", ti)
 		}
+		if dispatchAt != nil {
+			dispatchAt[ti] = time.Now()
+		}
+		if met != nil {
+			met.TilesDispatched.With(nodeLabel(k)).Inc()
+		}
 	}
 	alloc = counts
+	dispatchSpan.End(map[string]any{"image": img, "tiles": len(tiles)})
 
 	// Collect intermediate results until all tiles arrive or TL expires.
 	type arrival struct {
@@ -276,6 +357,16 @@ collect:
 				received[a.node]++
 				wire += int64(a.wire)
 				got++
+				if dispatchAt != nil {
+					rt := time.Since(dispatchAt[a.tile])
+					if met != nil {
+						met.TilesReceived.With(nodeLabel(a.node)).Inc()
+						met.TileRoundTrip.ObserveDuration(rt.Nanoseconds())
+					}
+					tr.Span(fmt.Sprintf("tile %d", a.tile), "tile", a.node+1,
+						tr.Offset(dispatchAt[a.tile]), rt,
+						map[string]any{"image": img, "tile": a.tile, "wire_bytes": a.wire})
+				}
 			}
 		case <-deadline.C:
 			break collect
@@ -285,6 +376,11 @@ collect:
 
 	// Statistics-collection block (Algorithm 2).
 	c.Stats.Update(received)
+	if met != nil {
+		speeds := c.Stats.Speeds()
+		met.Sched.ObserveSpeeds(speeds)
+		met.Sched.ObserveAllocation(alloc, speeds)
+	}
 
 	// Zero-fill missing tiles (paper: "start executing the later layers by
 	// setting the missing input to zero").
@@ -296,6 +392,13 @@ collect:
 			missed++
 		}
 	}
+	if missed > 0 {
+		if met != nil {
+			met.TilesMissed.Add(float64(missed))
+		}
+		tr.Instant("zero-fill", "central", 0, tr.Offset(time.Now()),
+			map[string]any{"image": img, "missed": missed})
+	}
 
 	// Layer-computation block: reassemble and run the later layers. When
 	// results arrived compressed they are already dequantized, so only the
@@ -306,11 +409,19 @@ collect:
 		// degenerate case, nothing to do — boundary of zeros is zeros
 		_ = merged
 	}
+	backSpan := tr.Begin("back", "central", 0)
 	out := c.Model.Back.Forward(merged, false)
+	backSpan.End(map[string]any{"image": img})
 
 	go func() { wg.Wait() }()
+	latency := time.Since(start)
+	if met != nil {
+		met.ImageLatency.ObserveDuration(latency.Nanoseconds())
+	}
+	tr.Span(fmt.Sprintf("image %d", img), "image", 0, tr.Offset(start), latency,
+		map[string]any{"missed": missed, "wire_bytes": wire})
 	return out, InferStats{
-		Latency:     time.Since(start),
+		Latency:     latency,
 		TilesMissed: missed,
 		Alloc:       alloc,
 		Received:    received,

@@ -22,6 +22,7 @@ import (
 	"adcnn/internal/models"
 	"adcnn/internal/perfmodel"
 	"adcnn/internal/sched"
+	"adcnn/internal/telemetry"
 )
 
 // SimConfig parameterises a virtual-time ADCNN run.
@@ -110,7 +111,22 @@ type Sim struct {
 
 	rng *rand.Rand
 
+	trace   *telemetry.Trace
+	imageNo int           // images simulated, for trace labels
 	elapsed time.Duration // virtual wall clock across images
+}
+
+// SetTrace attaches a tracer: every subsequent RunImage emits its phase
+// spans (send, per-tile compute, per-tile return, back) at virtual-time
+// offsets, so a whole RunStream renders as one Perfetto timeline.
+func (s *Sim) SetTrace(t *telemetry.Trace) {
+	s.trace = t
+	if t != nil {
+		t.SetThreadName(0, "central")
+		for k := range s.cfg.Nodes {
+			t.SetThreadName(k+1, fmt.Sprintf("conv-%d", k))
+		}
+	}
 }
 
 // NewSim validates the config and precomputes the per-tile cost model.
@@ -200,6 +216,9 @@ func (s *Sim) Elapsed() time.Duration { return s.elapsed }
 // RunImage simulates one inference and updates scheduler state and
 // device accounting.
 func (s *Sim) RunImage() ImageResult {
+	base := s.elapsed // virtual-time origin of this image, for tracing
+	s.imageNo++
+	img := s.imageNo
 	caps := make([]int64, len(s.cfg.Nodes))
 	for i, d := range s.cfg.Nodes {
 		caps[i] = d.Capacity
@@ -226,6 +245,9 @@ func (s *Sim) RunImage() ImageResult {
 			TilesMissed: s.tiles,
 			Alloc:       make(sched.Allocation, len(s.cfg.Nodes)),
 		}
+		s.trace.Instant("all-nodes-failed", "central", 0, base, map[string]any{"image": img})
+		s.trace.Span(fmt.Sprintf("image %d", img), "image", 0, base, res.Latency,
+			map[string]any{"missed": res.TilesMissed})
 		s.elapsed += res.Latency
 		return res
 	}
@@ -287,6 +309,8 @@ func (s *Sim) RunImage() ImageResult {
 			}
 			done += ct
 			events = append(events, retEvent{k, done})
+			s.trace.Span(fmt.Sprintf("tile %d/%d", m+1, x), "tile", k+1, base+done-ct, ct,
+				map[string]any{"image": img, "node": k})
 		}
 		compSpan[k] = time.Duration(x) * ct
 		d.RecordBusy(compSpan[k])
@@ -310,6 +334,8 @@ func (s *Sim) RunImage() ImageResult {
 		}
 		arrive := start + time.Duration(float64(baseTxOut)/linkScale(ev.k))
 		linkFree = arrive
+		s.trace.Span("return", "xfer", ev.k+1, base+start, arrive-start,
+			map[string]any{"image": img, "node": ev.k})
 		if arrive > dropEnd {
 			continue // zero-filled at the deadline
 		}
@@ -343,6 +369,16 @@ func (s *Sim) RunImage() ImageResult {
 			}
 			util[k] = frac * d.Throttle()
 		}
+	}
+	if s.trace != nil {
+		s.trace.Span("send", "xfer", 0, base, allSent, map[string]any{"image": img})
+		s.trace.Span("back", "compute", 0, base+lastNeeded, back, map[string]any{"image": img})
+		if missed > 0 {
+			s.trace.Instant("zero-fill", "central", 0, base+dropEnd,
+				map[string]any{"image": img, "missed": missed})
+		}
+		s.trace.Span(fmt.Sprintf("image %d", img), "image", 0, base, total,
+			map[string]any{"missed": missed, "alloc": fmt.Sprint(alloc)})
 	}
 	res := ImageResult{
 		Latency:      total,

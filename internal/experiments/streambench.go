@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"adcnn/internal/compress"
+	"adcnn/internal/core"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
+)
+
+// StreamBenchRun is one measured pass of the live pipelined stream.
+type StreamBenchRun struct {
+	Images        int     `json:"images"`
+	ThroughputIPS float64 `json:"throughput_ips"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	P95LatencyMs  float64 `json:"p95_latency_ms"`
+}
+
+// StreamBenchReport pins the telemetry instrumentation overhead on the
+// live runtime hot path: the same image stream is run through a real
+// Central + Conv-node cluster (in-process transport) with telemetry
+// disabled and then fully enabled (metrics registry + tracer + wire
+// metering + compression instruments), and the throughput delta is the
+// cost of observability. The acceptance bound is < 2% regression.
+type StreamBenchReport struct {
+	Timestamp string `json:"timestamp"`
+	telemetry.Host
+	Model       string         `json:"model"`
+	Grid        string         `json:"grid"`
+	Nodes       int            `json:"nodes"`
+	Disabled    StreamBenchRun `json:"telemetry_disabled"`
+	Enabled     StreamBenchRun `json:"telemetry_enabled"`
+	OverheadPct float64        `json:"overhead_pct"` // (off-on)/off × 100; negative = noise
+}
+
+// streamRuntime wires a live Central with n in-process workers.
+func streamRuntime(opt models.Options, n int) (*core.Central, []*core.Worker, func(), error) {
+	m, err := models.Build(models.VGGSim(), opt, 42)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	conns := make([]core.Conn, n)
+	workers := make([]*core.Worker, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a, b := core.Pipe()
+		conns[i] = a
+		workers[i] = core.NewWorker(i+1, m)
+		wg.Add(1)
+		go func(w *core.Worker, conn core.Conn) {
+			defer wg.Done()
+			_ = w.Serve(conn)
+		}(workers[i], b)
+	}
+	c, err := core.NewCentral(m, conns, 10*time.Second, 0.9)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, workers, func() { c.Shutdown(); wg.Wait() }, nil
+}
+
+// measureStream pushes images through the runtime and reports wall-clock
+// throughput and per-image latency.
+func measureStream(c *core.Central, images, warmup int) (StreamBenchRun, error) {
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rand.New(rand.NewSource(7)), 1)
+	for i := 0; i < warmup; i++ {
+		if _, _, err := c.Infer(x); err != nil {
+			return StreamBenchRun{}, err
+		}
+	}
+	lat := make([]float64, 0, images)
+	start := time.Now()
+	for i := 0; i < images; i++ {
+		_, st, err := c.Infer(x)
+		if err != nil {
+			return StreamBenchRun{}, err
+		}
+		lat = append(lat, ms(st.Latency))
+	}
+	wall := time.Since(start)
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	p95 := lat[(len(lat)*95)/100]
+	return StreamBenchRun{
+		Images:        images,
+		ThroughputIPS: float64(images) / wall.Seconds(),
+		MeanLatencyMs: sum / float64(len(lat)),
+		P95LatencyMs:  p95,
+	}, nil
+}
+
+// StreamBench runs the telemetry-overhead experiment. The trace, when
+// non-nil, is attached to the telemetry-enabled pass so the run doubles
+// as a timeline capture.
+func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error) {
+	const nodes = 4
+	warmup := images / 5
+	if warmup < 2 {
+		warmup = 2
+	}
+	opt := models.Options{
+		Grid:   fdsp.Grid{Rows: 4, Cols: 4},
+		ClipLo: 0.05, ClipHi: 2.0, QuantBits: 4, // exercise the full compress path
+	}
+
+	rep := &StreamBenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host:      telemetry.HostInfo(),
+		Model:     models.VGGSim().Name,
+		Grid:      "4x4",
+		Nodes:     nodes,
+	}
+
+	// Pass 1: telemetry fully disabled.
+	c, _, stop, err := streamRuntime(opt, nodes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Disabled, err = measureStream(c, images, warmup)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: everything on — metrics registry shared by Central and
+	// workers, wire metering, compression instruments, tracer.
+	reg := telemetry.NewRegistry()
+	met := core.NewMetrics(reg)
+	compress.Instrument(reg)
+	defer compress.Instrument(nil)
+	c, workers, stop, err := streamRuntime(opt, nodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		w.Metrics = met
+	}
+	c.SetMetrics(met)
+	c.SetTrace(trace)
+	rep.Enabled, err = measureStream(c, images, warmup)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+
+	rep.OverheadPct = (rep.Disabled.ThroughputIPS - rep.Enabled.ThroughputIPS) /
+		rep.Disabled.ThroughputIPS * 100
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *StreamBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteText renders the overhead comparison.
+func (r *StreamBenchReport) WriteText(w io.Writer) {
+	fprintf(w, "Live-stream telemetry overhead (%s %s, %d nodes, %s/%s, %d CPUs)\n",
+		r.Model, r.Grid, r.Nodes, r.GOOS, r.GOARCH, r.NumCPU)
+	fprintf(w, "  %-20s %10s %12s %12s\n", "telemetry", "imgs/sec", "mean(ms)", "p95(ms)")
+	for _, row := range []struct {
+		name string
+		run  StreamBenchRun
+	}{{"disabled", r.Disabled}, {"enabled", r.Enabled}} {
+		fprintf(w, "  %-20s %10.2f %12.2f %12.2f\n",
+			row.name, row.run.ThroughputIPS, row.run.MeanLatencyMs, row.run.P95LatencyMs)
+	}
+	fprintf(w, "  overhead: %.2f%% of throughput\n", r.OverheadPct)
+}

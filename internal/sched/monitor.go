@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"strconv"
+	"sync"
+
+	"adcnn/internal/telemetry"
+)
+
+// Monitor publishes the scheduler's internal state — the quantities
+// Algorithm 2 and 3 are driven by — as metrics:
+//
+//	adcnn_sched_speed{node}        EWMA throughput estimate s_k
+//	adcnn_sched_bottleneck         allocation objective max_k x_k/s_k
+//	adcnn_sched_allocations_total  allocations computed
+//	adcnn_sched_realloc_total      allocations that shifted tiles between
+//	                               nodes relative to the previous one
+//
+// All methods are nil-receiver safe so call sites need no guards.
+type Monitor struct {
+	speed      *telemetry.GaugeVec
+	bottleneck *telemetry.Gauge
+	allocs     *telemetry.Counter
+	reallocs   *telemetry.Counter
+
+	mu   sync.Mutex
+	last Allocation
+}
+
+// NewMonitor registers the scheduler metrics on reg.
+func NewMonitor(reg *telemetry.Registry) *Monitor {
+	return &Monitor{
+		speed:      reg.GaugeVec("adcnn_sched_speed", "Algorithm 2 EWMA throughput estimate s_k per Conv node.", "node"),
+		bottleneck: reg.Gauge("adcnn_sched_bottleneck", "Allocation objective max_k x_k/s_k of the last allocation (Equation 1)."),
+		allocs:     reg.Counter("adcnn_sched_allocations_total", "Tile allocations computed."),
+		reallocs:   reg.Counter("adcnn_sched_realloc_total", "Allocations that moved tiles between nodes vs the previous image."),
+	}
+}
+
+// ObserveSpeeds publishes the current s_k estimates.
+func (m *Monitor) ObserveSpeeds(speeds []float64) {
+	if m == nil {
+		return
+	}
+	for k, s := range speeds {
+		m.speed.With(strconv.Itoa(k)).Set(s)
+	}
+}
+
+// ObserveAllocation publishes one allocation's objective and counts a
+// reallocation event when the tile split changed since the last image.
+func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64) {
+	if m == nil {
+		return
+	}
+	m.bottleneck.Set(a.Bottleneck(speeds))
+	m.allocs.Inc()
+	m.mu.Lock()
+	changed := len(m.last) == len(a)
+	if changed {
+		same := true
+		for k, x := range a {
+			if m.last[k] != x {
+				same = false
+				break
+			}
+		}
+		changed = !same
+	}
+	m.last = append(m.last[:0], a...)
+	m.mu.Unlock()
+	if changed {
+		m.reallocs.Inc()
+	}
+}

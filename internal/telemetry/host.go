@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Host describes the machine and build a benchmark report came from, so
+// BENCH_*.json files are comparable across machines.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GitCommit string `json:"git_commit,omitempty"` // empty when built without VCS stamping
+}
+
+// HostInfo collects the current host/build metadata. The git commit
+// comes from the binary's embedded build info ("+dirty" marks a
+// modified tree) and is empty for plain `go test` builds.
+func HostInfo() Host {
+	h := Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			h.GitCommit = rev
+		}
+	}
+	return h
+}

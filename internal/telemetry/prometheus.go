@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, histograms expanded
+// into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot().Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			if m.Histogram == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "", ""), formatFloat(m.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			h := m.Histogram
+			var cum uint64
+			for i, upper := range h.Upper {
+				cum += h.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.Name, labelString(f.Labels, m.LabelValues, "le", formatFloat(upper)), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.Counts[len(h.Upper)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.Name, labelString(f.Labels, m.LabelValues, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			suffix := labelString(f.Labels, m.LabelValues, "", "")
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				f.Name, suffix, formatFloat(h.Sum), f.Name, suffix, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le bound); empty when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: family ordering,
+// HELP/TYPE lines, label rendering, cumulative histogram buckets and the
+// +Inf/_sum/_count trailer.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adcnn_images_total", "Inferences started.").Add(3)
+	reg.GaugeVec("adcnn_sched_speed", "EWMA estimate s_k.", "node").With("0").Set(1.5)
+	reg.GaugeVec("adcnn_sched_speed", "EWMA estimate s_k.", "node").With("1").Set(0.25)
+	h := reg.Histogram("adcnn_latency_seconds", "Per-image latency.", []float64{0.1, 1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP adcnn_images_total Inferences started.
+# TYPE adcnn_images_total counter
+adcnn_images_total 3
+# HELP adcnn_latency_seconds Per-image latency.
+# TYPE adcnn_latency_seconds histogram
+adcnn_latency_seconds_bucket{le="0.1"} 0
+adcnn_latency_seconds_bucket{le="1"} 2
+adcnn_latency_seconds_bucket{le="+Inf"} 3
+adcnn_latency_seconds_sum 2.75
+adcnn_latency_seconds_count 3
+# HELP adcnn_sched_speed EWMA estimate s_k.
+# TYPE adcnn_sched_speed gauge
+adcnn_sched_speed{node="0"} 1.5
+adcnn_sched_speed{node="1"} 0.25
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("e_total", "", "path").With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `e_total{path="a\\b\"c\nd"} 1`) {
+		t.Fatalf("unescaped output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace accumulates timeline events in the Chrome trace-event format
+// (the catapult JSON schema understood by Perfetto, chrome://tracing and
+// speedscope). Spans are complete events ("ph":"X") on a pid/tid grid:
+// the runtime maps the Central node to tid 0 and Conv node k to tid k+1.
+//
+// Two time bases coexist: virtual-time callers (the simulator) pass
+// explicit offsets to Span/Instant, wall-clock callers (the live
+// runtime) use Begin/End or Offset, which measure against the trace
+// epoch. All methods are safe on a nil *Trace so instrumentation sites
+// need no guards, and safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	epoch time.Time
+	evs   []TraceEvent
+}
+
+// TraceEvent is one Chrome trace-event record. Field tags follow the
+// trace-event schema: ts/dur are microseconds.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTrace creates a tracer whose wall-clock epoch is now.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now()}
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// Offset converts a wall-clock instant to a trace-relative offset.
+func (t *Trace) Offset(at time.Time) time.Duration {
+	if t == nil {
+		return 0
+	}
+	return at.Sub(t.epoch)
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	t.mu.Lock()
+	t.evs = append(t.evs, ev)
+	t.mu.Unlock()
+}
+
+// Span records a complete span at an explicit trace-relative offset.
+func (t *Trace) Span(name, cat string, tid int, start, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: micros(start), Dur: micros(dur), PID: 1, TID: tid, Args: args})
+}
+
+// Instant records a point event at an explicit trace-relative offset.
+func (t *Trace) Instant(name, cat string, tid int, at time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: micros(at), PID: 1, TID: tid, Scope: "t", Args: args})
+}
+
+// SetThreadName labels a tid row in the trace viewer.
+func (t *Trace) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Span1 is an in-progress wall-clock span started by Begin.
+type Span1 struct {
+	t     *Trace
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a wall-clock span; close it with End.
+func (t *Trace) Begin(name, cat string, tid int) Span1 {
+	return Span1{t: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End records the span opened by Begin. args may be nil.
+func (s Span1) End(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	s.t.Span(s.name, s.cat, s.tid, s.start.Sub(s.t.epoch), time.Since(s.start), args)
+}
+
+// Events returns a copy of the recorded events (for tests).
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.evs...)
+}
+
+// Len reports how many events have been recorded.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// WriteJSON writes the full trace file.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	f := traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile parses a trace file back into events — the test-side
+// half of the export round trip.
+func ReadTraceFile(r io.Reader) ([]TraceEvent, error) {
+	var f traceFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	return f.TraceEvents, nil
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"adcnn/internal/nn"
+	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
 
@@ -32,11 +33,12 @@ type Result struct {
 	ScalingVs1T  float64 `json:"scaling_vs_1_thread,omitempty"`
 }
 
-// Report is the full kernel benchmark suite output.
+// Report is the full kernel benchmark suite output. The embedded host
+// metadata (OS/arch, CPU count, Go version, git commit) makes
+// BENCH_*.json files comparable across machines.
 type Report struct {
-	Timestamp  string   `json:"timestamp"`
-	GoVersion  string   `json:"go_version"`
-	GOARCH     string   `json:"goarch"`
+	Timestamp string `json:"timestamp"`
+	telemetry.Host
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Results    []Result `json:"results"`
 }
@@ -84,8 +86,7 @@ func Run() Report {
 	maxProcs := runtime.GOMAXPROCS(0)
 	rep := Report{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
+		Host:       telemetry.HostInfo(),
 		GOMAXPROCS: maxProcs,
 	}
 	add := func(r Result) { rep.Results = append(rep.Results, r) }
