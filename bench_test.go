@@ -11,6 +11,7 @@
 package adcnn
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -378,7 +379,7 @@ func BenchmarkDistributedInference(b *testing.B) {
 	for i := range conns {
 		a, bb := core.Pipe()
 		conns[i] = a
-		go func() { _ = core.NewWorker(i+1, m).Serve(bb) }()
+		go func() { _ = core.NewWorker(i+1, m).Serve(context.Background(), bb) }()
 	}
 	central, err := core.NewCentral(m, conns, 10*time.Second, 0.9)
 	if err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,38 @@ import (
 	"adcnn/internal/dataset"
 	"adcnn/internal/models"
 	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
 )
+
+// dialNode dials addr with per-attempt timeouts and exponential backoff
+// until budget is spent, so a Central started before its Conv nodes
+// waits for them instead of exiting immediately.
+func dialNode(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	backoff := 200 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		perAttempt := 2 * time.Second
+		if rem := time.Until(deadline); rem < perAttempt {
+			perAttempt = rem
+		}
+		if perAttempt <= 0 {
+			return nil, fmt.Errorf("dial %s: no conv node after %v", addr, budget)
+		}
+		c, err := net.DialTimeout("tcp", addr, perAttempt)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w (gave up after %d attempts over %v)",
+				addr, err, attempt, budget)
+		}
+		log.Printf("dial %s: %v (retrying in %v)", addr, err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
 
 func main() {
 	nodeList := flag.String("nodes", "127.0.0.1:9001", "comma-separated Conv node addresses")
@@ -41,6 +73,8 @@ func main() {
 	verify := flag.Bool("verify", true, "check outputs against local execution")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "total dial budget per conv node (retry with backoff)")
+	pipeline := flag.Int("pipeline", 0, "stream images through a bounded pipeline of this depth (0 = sequential Infer loop)")
 	flag.Parse()
 
 	cfg, err := cliutil.SimConfigByName(*model)
@@ -69,18 +103,34 @@ func main() {
 	}
 
 	var conns []core.Conn
+	var addrs []string
 	for _, addr := range strings.Split(*nodeList, ",") {
-		c, err := net.Dial("tcp", strings.TrimSpace(addr))
+		addr = strings.TrimSpace(addr)
+		c, err := dialNode(addr, *connectTimeout)
 		if err != nil {
-			log.Fatalf("dial %s: %v", addr, err)
+			log.Fatal(err)
 		}
 		conns = append(conns, core.NewStreamConn(c))
+		addrs = append(addrs, addr)
 	}
 	central, err := core.NewCentral(m, conns, *tl, *gamma)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer central.Shutdown()
+	// Let each node session reconnect (with backoff) if its connection
+	// drops mid-run, instead of staying dead forever.
+	for k, addr := range addrs {
+		addr := addr
+		central.SetDialer(k, func(ctx context.Context) (core.Conn, error) {
+			d := net.Dialer{}
+			c, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewStreamConn(c), nil
+		})
+	}
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -111,12 +161,7 @@ func main() {
 	}
 	var total time.Duration
 	mismatches := 0
-	for i := 0; i < *images; i++ {
-		x, _ := set.Batch(i, 1)
-		out, st, err := central.Infer(x)
-		if err != nil {
-			log.Fatalf("image %d: %v", i, err)
-		}
+	report := func(i int, x *tensor.Tensor, out *tensor.Tensor, st core.InferStats) {
 		total += st.Latency
 		status := ""
 		if *verify {
@@ -129,8 +174,41 @@ func main() {
 		fmt.Printf("image %2d: latency %8v  missed %d  alloc %v%s\n",
 			i, st.Latency.Round(time.Microsecond), st.TilesMissed, st.Alloc, status)
 	}
-	fmt.Printf("mean latency: %v over %d images; %d mismatches\n",
-		(total / time.Duration(*images)).Round(time.Microsecond), *images, mismatches)
+
+	wallStart := time.Now()
+	if *pipeline > 0 {
+		// Streaming mode: up to -pipeline images in flight, so image i+1's
+		// tiles are on the wire while image i's results are still arriving.
+		p := core.NewPipeline(central, *pipeline)
+		inputs := make(chan *tensor.Tensor, 1)
+		go func() {
+			defer close(inputs)
+			for i := 0; i < *images; i++ {
+				x, _ := set.Batch(i, 1)
+				inputs <- x
+			}
+		}()
+		for r := range p.Run(context.Background(), inputs) {
+			if r.Err != nil {
+				log.Fatalf("image %d: %v", r.Index, r.Err)
+			}
+			x, _ := set.Batch(r.Index, 1)
+			report(r.Index, x, r.Out, r.Stats)
+		}
+	} else {
+		for i := 0; i < *images; i++ {
+			x, _ := set.Batch(i, 1)
+			out, st, err := central.Infer(x)
+			if err != nil {
+				log.Fatalf("image %d: %v", i, err)
+			}
+			report(i, x, out, st)
+		}
+	}
+	wall := time.Since(wallStart)
+	fmt.Printf("mean latency: %v over %d images; throughput %.2f imgs/s; %d mismatches\n",
+		(total / time.Duration(*images)).Round(time.Microsecond), *images,
+		float64(*images)/wall.Seconds(), mismatches)
 	if mismatches > 0 {
 		os.Exit(1)
 	}

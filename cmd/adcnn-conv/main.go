@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"adcnn/internal/cliutil"
 	"adcnn/internal/compress"
@@ -61,20 +64,33 @@ func main() {
 		log.Printf("serving /metrics, /healthz, /debug/pprof on %s", bound)
 	}
 
+	// SIGINT/SIGTERM cancel the context, which closes every in-flight
+	// connection and lets Serve return cleanly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
 	log.Printf("conv node %d serving %s (%s) on %s", *id, *model, *grid, ln.Addr())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("conv node %d: shutting down", *id)
+				return
+			}
 			log.Fatal(err)
 		}
 		w := core.NewWorker(*id, m)
 		w.Metrics = met
 		go func() {
-			if err := w.Serve(core.NewStreamConn(conn)); err != nil {
+			if err := w.Serve(ctx, core.NewStreamConn(conn)); err != nil {
 				log.Printf("serve: %v", err)
 			}
 		}()

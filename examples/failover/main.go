@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,7 +33,7 @@ func main() {
 		conns[i] = a
 		w := core.NewWorker(i+1, m)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 	central, err := core.NewCentral(m, conns, 2*time.Second, 0.9)
 	if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,7 +41,7 @@ func main() {
 		conns[i] = a
 		w := core.NewWorker(i+1, m)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 
 	// 3. Create the Central node (statistics decay γ=0.9, deadline 5s).

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -62,7 +63,7 @@ func main() {
 		conns[i] = a
 		w := core.NewWorker(i+1, m)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 	central, err := core.NewCentral(m, conns, 5*time.Second, 0.9)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -32,7 +33,7 @@ func TestLiveRuntimeAdaptsToSlowWorker(t *testing.T) {
 			w.Delay = 80 * time.Millisecond // last node is far slower per tile
 		}
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 	// T_L chosen so the fast nodes always make it and the slow node's
 	// later tiles miss the window (its tiles are zero-filled — accuracy

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -32,7 +33,7 @@ func TestRuntimeSurvivesWorkerDeath(t *testing.T) {
 		workerSides[i] = b
 		w := NewWorker(i+1, m)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 	c, err := NewCentral(m, conns, 5*time.Second, 0.9)
 	if err != nil {

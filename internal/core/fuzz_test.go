@@ -14,7 +14,11 @@ func FuzzReadMessage(f *testing.F) {
 	_ = WriteMessage(&buf, &Message{Kind: KindTask, ImageID: 1, TileID: 2, NodeID: 3, Payload: []byte("abc")})
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Minimal valid frame: magic, version, length=14, empty payload.
+	f.Add([]byte{protoMagic, ProtoVersion, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Wrong magic and wrong version with otherwise-valid frames.
+	f.Add([]byte{0x00, ProtoVersion, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{protoMagic, ProtoVersion + 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadMessage(bytes.NewReader(data))
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -25,7 +26,7 @@ func TestHaloModeIsExact(t *testing.T) {
 		conns[i] = a
 		w := NewWorker(i+1, m)
 		wg.Add(1)
-		go func() { defer wg.Done(); _ = w.Serve(b) }()
+		go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 	}
 	hc, err := NewHaloCentral(m, fdsp.Grid{Rows: 4, Cols: 4}, conns, 5*time.Second)
 	if err != nil {
@@ -97,7 +98,7 @@ func TestHaloModeCostsMoreWireThanFDSP(t *testing.T) {
 			conns[i] = a
 			w := NewWorker(i+1, m)
 			wg.Add(1)
-			go func() { defer wg.Done(); _ = w.Serve(b) }()
+			go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 		}
 		hc, err := NewHaloCentral(m, grid, conns, 5*time.Second)
 		if err != nil {
@@ -119,7 +120,7 @@ func TestHaloModeCostsMoreWireThanFDSP(t *testing.T) {
 			conns[i] = a
 			w := NewWorker(i+1, m)
 			wg.Add(1)
-			go func() { defer wg.Done(); _ = w.Serve(b) }()
+			go func() { defer wg.Done(); _ = w.Serve(context.Background(), b) }()
 		}
 		c, err := NewCentral(m, conns, 5*time.Second, 0.9)
 		if err != nil {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/tensor"
+)
+
+// leakCheck snapshots the goroutine count and returns an assertion that
+// the runtime sheds everything it spawned — session supervisors, send
+// and recv loops, worker watchdogs — once the Central is shut down. The
+// count is polled because goroutine teardown is asynchronous.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				var buf bytes.Buffer
+				_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				t.Fatalf("goroutine leak: baseline %d, now %d\n%s",
+					base, runtime.NumGoroutine(), buf.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestNoGoroutineLeakAfterShutdown pins the basic hygiene contract: a
+// healthy run leaves nothing behind.
+func TestNoGoroutineLeakAfterShutdown(t *testing.T) {
+	check := leakCheck(t)
+	opt := models.Options{Grid: fdsp.Grid{Rows: 4, Cols: 4}}
+	c, _, stop := buildRuntime(t, opt, 4, 5*time.Second)
+	rng := rand.New(rand.NewSource(21))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop()
+	check()
+}
+
+// TestNoGoroutineLeakWithMissedTiles: an Infer whose tiles blow the T_L
+// deadline must not strand a collector — the old runtime leaked its
+// per-image fan-out goroutines via `go wg.Wait()` here.
+func TestNoGoroutineLeakWithMissedTiles(t *testing.T) {
+	check := leakCheck(t)
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}
+	c, _, stop := buildRuntime(t, opt, 2, time.Nanosecond)
+	rng := rand.New(rand.NewSource(22))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the overdue results time to arrive and be dropped as stale.
+	time.Sleep(50 * time.Millisecond)
+	stop()
+	check()
+}
+
+// TestNoGoroutineLeakAfterConnFailure kills a connection mid-stream:
+// the session loops for that node must exit (no dialer → dead forever)
+// and shutdown must reap everything else.
+func TestNoGoroutineLeakAfterConnFailure(t *testing.T) {
+	check := leakCheck(t)
+	cfg := models.VGGSim()
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}
+	m, err := models.Build(cfg, opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, conns, stop := buildRuntimeConns(t, m, 2, 5*time.Second)
+	rng := rand.New(rand.NewSource(23))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	if _, _, err := c.Infer(x); err != nil {
+		t.Fatal(err)
+	}
+	conns[0].Close() // mid-stream transport failure
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop()
+	check()
+}

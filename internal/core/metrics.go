@@ -22,7 +22,12 @@ type Metrics struct {
 	TilesDispatched *telemetry.CounterVec // node
 	TilesReceived   *telemetry.CounterVec // node, within the drop deadline
 	TilesMissed     *telemetry.Counter    // zero-filled at T_L
-	ConnDrops       *telemetry.CounterVec // node, transport failures → markDead
+	ConnDrops       *telemetry.CounterVec // node, transport failures → session down
+	InflightImages  *telemetry.Gauge      // images dispatched, Wait not finished
+	SendQueueDepth  *telemetry.GaugeVec   // node, tasks queued in the session send loop
+	Reconnects      *telemetry.CounterVec // node, successful session reconnects
+	StaleResults    *telemetry.Counter    // results for already-settled tiles
+	PipelineDepth   *telemetry.Gauge      // admission slots held in a Pipeline
 	Sched           *sched.Monitor
 
 	// Worker side.
@@ -48,6 +53,11 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		TilesReceived:    reg.CounterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
 		TilesMissed:      reg.Counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
 		ConnDrops:        reg.CounterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
+		InflightImages:   reg.Gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
+		SendQueueDepth:   reg.GaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
+		Reconnects:       reg.CounterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
+		StaleResults:     reg.Counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
+		PipelineDepth:    reg.Gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
 		Sched:            sched.NewMonitor(reg),
 		WorkerTasks:      reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
 		WorkerProcess:    reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
@@ -107,9 +117,10 @@ func NewWireMetrics(reg *telemetry.Registry) *WireMetrics {
 	return wm
 }
 
-// frameOverhead is the wire framing cost per message (4-byte length
-// prefix + 14-byte header), kept in sync with WriteMessage.
-const frameOverhead = 18
+// frameOverhead is the wire framing cost per message (magic + version +
+// 4-byte length prefix + 14-byte header), kept in sync with
+// WriteMessage.
+const frameOverhead = 20
 
 func (wm *WireMetrics) record(dir int, m *Message) {
 	k := kindLabel(m.Kind)

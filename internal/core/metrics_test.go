@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/rand"
@@ -37,7 +38,7 @@ func buildInstrumentedRuntime(t *testing.T, n int) (*Central, *Metrics, *telemet
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = w.Serve(b)
+			_ = w.Serve(context.Background(), b)
 		}()
 	}
 	c, err := NewCentral(m, conns, 5*time.Second, 0.9)
@@ -173,7 +174,7 @@ func TestWorkerServeDisconnectSemantics(t *testing.T) {
 	w := NewWorker(1, m)
 	w.Metrics = met
 	done := make(chan error, 1)
-	go func() { done <- w.Serve(b) }()
+	go func() { done <- w.Serve(context.Background(), b) }()
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -186,14 +187,14 @@ func TestWorkerServeDisconnectSemantics(t *testing.T) {
 
 	// Mid-stream failure: a Conn whose Recv breaks.
 	broken := errors.New("wire torn")
-	if err := w.Serve(errConn{err: broken}); !errors.Is(err, broken) {
+	if err := w.Serve(context.Background(), errConn{err: broken}); !errors.Is(err, broken) {
 		t.Fatalf("mid-stream failure must be returned, got %v", err)
 	}
 	if v, _ := reg.Value("adcnn_worker_recv_errors_total"); v != 1 {
 		t.Fatalf("error counter = %v, want 1", v)
 	}
 	// io.EOF through a custom Conn is still a clean disconnect.
-	if err := w.Serve(errConn{err: io.EOF}); err != nil {
+	if err := w.Serve(context.Background(), errConn{err: io.EOF}); err != nil {
 		t.Fatalf("EOF from any transport must return nil, got %v", err)
 	}
 	if v, _ := reg.Value("adcnn_worker_recv_eof_total"); v != 2 {

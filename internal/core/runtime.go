@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adcnn/internal/compress"
@@ -36,11 +38,15 @@ func NewWorker(id int, m *models.Model) *Worker {
 	return &Worker{ID: id, Model: m}
 }
 
-// Serve processes tasks from conn until a shutdown message or clean EOF
-// (both return nil). A mid-stream transport failure is returned to the
-// caller — and counted separately from clean disconnects — so operators
-// can tell a Central that hung up from a network that broke.
-func (w *Worker) Serve(conn Conn) error {
+// Serve processes tasks from conn until the context is cancelled, a
+// shutdown message arrives, or the peer disconnects cleanly (all return
+// nil). A mid-stream transport failure is returned to the caller — and
+// counted separately from clean disconnects — so operators can tell a
+// Central that hung up from a network that broke.
+func (w *Worker) Serve(ctx context.Context, conn Conn) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	met := w.Metrics
 	if met != nil {
 		conn = InstrumentConn(conn, met.Wire)
@@ -49,14 +55,26 @@ func (w *Worker) Serve(conn Conn) error {
 	if met != nil {
 		tasks = met.WorkerTasks.With(nodeLabel(w.ID))
 	}
+	// Cancellation closes the connection, which unblocks Recv; the stop
+	// channel reaps the watchdog on a normal return.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+	var nextFree time.Time // Delay pacer: when the simulated device frees up
 	for {
 		m, err := conn.Recv()
 		if err != nil {
-			if errors.Is(err, io.EOF) {
+			if errors.Is(err, io.EOF) || ctx.Err() != nil {
 				if met != nil {
 					met.WorkerRecvEOF.Inc()
 				}
-				return nil // peer closed cleanly
+				return nil // peer closed cleanly or we were cancelled
 			}
 			if met != nil {
 				met.WorkerRecvErrors.Inc()
@@ -67,13 +85,30 @@ func (w *Worker) Serve(conn Conn) error {
 		case KindShutdown:
 			return nil
 		case KindTask:
-			if w.Delay > 0 {
-				time.Sleep(w.Delay)
-			}
 			start := time.Now()
 			out, compressed, err := w.process(m.Payload)
 			if err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
+			}
+			// Delay models a device that serves tiles at a fixed rate: each
+			// task occupies the device for Delay of wall-clock time, and
+			// back-to-back tasks chain off the previous release time rather
+			// than off this goroutine's (scheduler-jittered) wake-up. A
+			// plain sleep-per-task would model a device that slows down
+			// whenever the Central's CPU is busy, which no remote device
+			// does — and it underestimates pipelining on a loaded host.
+			if w.Delay > 0 {
+				if nextFree.Before(start) {
+					nextFree = start
+				}
+				nextFree = nextFree.Add(w.Delay)
+				if rem := time.Until(nextFree); rem > 0 {
+					select {
+					case <-time.After(rem):
+					case <-ctx.Done():
+						return nil
+					}
+				}
 			}
 			if met != nil {
 				tasks.Inc()
@@ -84,6 +119,9 @@ func (w *Worker) Serve(conn Conn) error {
 				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
 			}
 			if err := conn.Send(res); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
 				if met != nil {
 					met.WorkerSendErrors.Inc()
 				}
@@ -126,7 +164,13 @@ type InferStats struct {
 }
 
 // Central is the ADCNN Central node: input-partition block, statistics
-// collection block (Algorithm 2) and layer-computation block.
+// collection block (Algorithm 2) and layer-computation block. The live
+// runtime is session-based: one persistent nodeSession per Conv node
+// (send loop + recv loop), a pending-table demux routing results to
+// per-image collectors, and cancellation plumbed from Shutdown and the
+// T_L deadline down to every blocking point. Multiple images may be in
+// flight at once (InferAsync / Pipeline); Infer is the synchronous
+// convenience wrapper.
 type Central struct {
 	Model *models.Model
 	Conns []Conn
@@ -138,9 +182,17 @@ type Central struct {
 	metrics *Metrics
 	trace   *telemetry.Trace
 
-	imageID uint32
-	dead    []bool // nodes whose connection failed
-	mu      sync.Mutex
+	imageID atomic.Uint32
+	mu      sync.Mutex // guards Stats and allocation
+	backMu  sync.Mutex // serializes the back-layer compute stage
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	startOnce sync.Once
+	sessions  []*nodeSession
+	dialers   []func(context.Context) (Conn, error)
+	pending   demux
+	loopWG    sync.WaitGroup
 }
 
 // SetMetrics attaches an instrument bundle: wire traffic is metered on
@@ -152,6 +204,9 @@ func (c *Central) SetMetrics(m *Metrics) {
 		for i, conn := range c.Conns {
 			c.Conns[i] = InstrumentConn(conn, m.Wire)
 		}
+	}
+	if m != nil {
+		c.pending.stale = m.StaleResults
 	}
 }
 
@@ -168,6 +223,14 @@ func (c *Central) SetTrace(t *telemetry.Trace) {
 	}
 }
 
+// SetDialer gives node k's session a way to re-establish its connection
+// after a transport failure (reconnect with exponential backoff).
+// Without a dialer a failed node stays dead forever, which is the right
+// default for in-process pipes. Call before the first Infer.
+func (c *Central) SetDialer(k int, dial func(context.Context) (Conn, error)) {
+	c.dialers[k] = dial
+}
+
 // NewCentral creates a Central node. gamma is Algorithm 2's decay.
 func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) (*Central, error) {
 	if !m.Opt.Partitioned() {
@@ -177,39 +240,70 @@ func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) 
 		return nil, fmt.Errorf("core: central needs at least one conv node")
 	}
 	tiles := m.Opt.Grid.Tiles()
-	return &Central{
-		Model: m,
-		Conns: conns,
-		TL:    tl,
-		Stats: sched.NewStats(len(conns), gamma, float64(tiles)/float64(len(conns))),
-		dead:  make([]bool, len(conns)),
-	}, nil
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Central{
+		Model:   m,
+		Conns:   conns,
+		TL:      tl,
+		Stats:   sched.NewStats(len(conns), gamma, float64(tiles)/float64(len(conns))),
+		ctx:     ctx,
+		cancel:  cancel,
+		dialers: make([]func(context.Context) (Conn, error), len(conns)),
+	}
+	c.pending.init()
+	return c, nil
 }
 
-// markDead flags a node whose connection failed so future allocations
-// skip it — the paper's "if node k fails ... no tiles will be assigned
-// to it" behaviour, but triggered immediately by the transport layer
-// instead of waiting for the EWMA to decay.
-func (c *Central) markDead(k int) {
+// start spins up the per-node sessions on first use, after SetMetrics /
+// SetTrace / SetDialer have had their chance to run.
+func (c *Central) start() {
+	c.startOnce.Do(func() {
+		c.sessions = make([]*nodeSession, len(c.Conns))
+		for k, conn := range c.Conns {
+			c.sessions[k] = newNodeSession(k, c, conn, c.dialers[k])
+			c.loopWG.Add(1)
+			go c.sessions[k].run()
+		}
+	})
+}
+
+// reviveNode restores a reconnected node's scheduler estimate so it
+// re-enters the allocation (the EWMA of a dead node decays toward zero
+// and would otherwise never assign it work again).
+func (c *Central) reviveNode(k int) {
 	c.mu.Lock()
-	c.dead[k] = true
+	c.Stats.Revive(k)
 	c.mu.Unlock()
 	if c.metrics != nil {
-		c.metrics.ConnDrops.With(nodeLabel(k)).Inc()
+		c.metrics.Reconnects.With(nodeLabel(k)).Inc()
 	}
 }
 
-// aliveSpeeds returns the scheduler speeds with dead nodes zeroed.
-func (c *Central) aliveSpeeds() []float64 {
-	speeds := c.Stats.Speeds()
-	c.mu.Lock()
-	for k, d := range c.dead {
-		if d {
-			speeds[k] = 0
+// redispatch re-routes tasks stranded by a connection failure to
+// surviving nodes. A tile with no alive node left aborts its image's
+// inference — the caller sees the same "no alive conv node" error the
+// dispatcher raises.
+func (c *Central) redispatch(orphans []*Message) {
+	for _, m := range orphans {
+		if m.Kind != KindTask {
+			continue
+		}
+		placed := false
+		for _, s := range c.sessions {
+			if s.Alive() && s.enqueue(c.ctx, m) {
+				if c.metrics != nil {
+					c.metrics.TilesDispatched.With(nodeLabel(s.id)).Inc()
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if col, ok := c.pending.claim(pendingKey{m.ImageID, m.TileID}); ok {
+				col.abort(fmt.Errorf("core: no alive conv node for tile %d", m.TileID))
+			}
 		}
 	}
-	c.mu.Unlock()
-	return speeds
 }
 
 // tileOutShape returns the per-tile Front output shape [1,C,h,w].
@@ -219,27 +313,64 @@ func (c *Central) tileOutShape() []int {
 	return []int{1, full[0], full[1] / g.Rows, full[2] / g.Cols}
 }
 
-// Infer runs one distributed inference for a [1,C,H,W] input and returns
-// the model output.
-func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
+// Inflight is one dispatched image whose results are still being
+// collected. Wait blocks until every tile arrived, the T_L deadline
+// expired (missing tiles are zero-filled), or the submitting context was
+// cancelled, then runs the back layers and returns the output. Wait is
+// idempotent: repeated calls return the memoized result.
+type Inflight struct {
+	c          *Central
+	parent     context.Context
+	cctx       context.Context // parent + T_L deadline
+	cancelTL   context.CancelFunc
+	img        uint32
+	tiles      []fdsp.Tile
+	col        *imageCollector
+	alloc      sched.Allocation
+	dispatchAt []time.Time // per tile, for round-trip accounting
+	start      time.Time
+	release    func() // pipeline admission slot, may be nil
+
+	finished bool
+	out      *tensor.Tensor
+	stats    InferStats
+	err      error
+}
+
+// InferAsync partitions x, dispatches its tiles to the node sessions and
+// returns without waiting for results — image i+1's tiles can be on the
+// wire while image i's results are still arriving (paper Figure 9).
+// Call Wait on the handle to collect the output; every InferAsync must
+// be paired with exactly one Wait.
+func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, error) {
+	c.start()
+	if err := c.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: central is shut down: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	c.mu.Lock()
-	c.imageID++
-	img := c.imageID
-	c.mu.Unlock()
+	img := c.imageID.Add(1)
 	met, tr := c.metrics, c.trace
 	if met != nil {
 		met.Images.Inc()
+		met.InflightImages.Add(1)
 	}
 
 	g := c.Model.Opt.Grid
 	tiles := g.Layout(x.Shape[2], x.Shape[3])
 
 	// Input-partition block: allocate tiles to nodes by current stats,
-	// skipping nodes whose connections have failed.
-	alloc, err := sched.Allocate(len(tiles), c.aliveSpeeds(), 0, nil, nil)
+	// skipping nodes whose sessions are down.
+	c.mu.Lock()
+	alloc, err := sched.Allocate(len(tiles), c.aliveSpeedsLocked(), 0, nil, nil)
+	c.mu.Unlock()
 	if err != nil {
-		return nil, InferStats{}, fmt.Errorf("core: allocation: %w", err)
+		if met != nil {
+			met.InflightImages.Add(-1)
+		}
+		return nil, fmt.Errorf("core: allocation: %w", err)
 	}
 	assignment := make([]int, len(tiles)) // tile -> node
 	next := 0
@@ -250,15 +381,21 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 		}
 	}
 
-	// Dispatch every tile. A send failure marks the node dead and the
-	// tile falls over to the next alive node — the runtime half of the
-	// paper's failure tolerance.
+	// Register the collector before the first task leaves, so a result
+	// can never beat its pending-table entry.
+	col := newImageCollector(img, len(tiles))
+	c.pending.register(col, len(tiles))
+
+	// Dispatch every tile. An enqueue failure (session down) falls over
+	// to the next alive node — the runtime half of the paper's failure
+	// tolerance; a task stranded deeper in a dying session's queue comes
+	// back through redispatch.
 	dispatchSpan := tr.Begin("dispatch", "central", 0)
-	var dispatchAt []time.Time // per tile, for round-trip accounting
+	var dispatchAt []time.Time
 	if met != nil || tr != nil {
 		dispatchAt = make([]time.Time, len(tiles))
 	}
-	counts := make(sched.Allocation, len(c.Conns)) // tiles actually sent per node
+	counts := make(sched.Allocation, len(c.sessions)) // tiles actually enqueued per node
 	for ti, tl := range tiles {
 		task := &Message{
 			Kind: KindTask, ImageID: img, TileID: uint32(ti),
@@ -266,22 +403,23 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 		}
 		k := assignment[ti]
 		sent := false
-		for attempt := 0; attempt < len(c.Conns); attempt++ {
-			c.mu.Lock()
-			deadK := c.dead[k]
-			c.mu.Unlock()
-			if !deadK {
-				if err := c.Conns[k].Send(task); err == nil {
-					counts[k]++
-					sent = true
-					break
-				}
-				c.markDead(k)
+		for attempt := 0; attempt < len(c.sessions); attempt++ {
+			if c.sessions[k].enqueue(ctx, task) {
+				counts[k]++
+				sent = true
+				break
 			}
-			k = (k + 1) % len(c.Conns)
+			k = (k + 1) % len(c.sessions)
 		}
 		if !sent {
-			return nil, InferStats{}, fmt.Errorf("core: no alive conv node for tile %d", ti)
+			c.pending.dropImage(img, len(tiles))
+			if met != nil {
+				met.InflightImages.Add(-1)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: no alive conv node for tile %d", ti)
 		}
 		if dispatchAt != nil {
 			dispatchAt[ti] = time.Now()
@@ -290,96 +428,85 @@ func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
 			met.TilesDispatched.With(nodeLabel(k)).Inc()
 		}
 	}
-	alloc = counts
 	dispatchSpan.End(map[string]any{"image": img, "tiles": len(tiles)})
 
-	// Collect intermediate results until all tiles arrive or TL expires.
-	type arrival struct {
-		tile int
-		node int
-		t    *tensor.Tensor
-		wire int
+	// The T_L clock starts when the last tile is handed off, matching the
+	// paper's "after transmitting all the tiles" anchor.
+	cctx, cancelTL := context.WithTimeout(ctx, c.TL)
+	return &Inflight{
+		c: c, parent: ctx, cctx: cctx, cancelTL: cancelTL,
+		img: img, tiles: tiles, col: col, alloc: counts,
+		dispatchAt: dispatchAt, start: start,
+	}, nil
+}
+
+// Wait collects the image's intermediate results, zero-fills whatever
+// missed the deadline, and runs the layer-computation block.
+func (h *Inflight) Wait() (*tensor.Tensor, InferStats, error) {
+	if h.finished {
+		return h.out, h.stats, h.err
 	}
-	results := make(chan arrival, len(tiles))
-	var wg sync.WaitGroup
-	done := make(chan struct{})
-	for k, conn := range c.Conns {
-		if alloc[k] == 0 {
-			continue
+	h.finished = true
+	h.out, h.stats, h.err = h.collect()
+	return h.out, h.stats, h.err
+}
+
+func (h *Inflight) collect() (*tensor.Tensor, InferStats, error) {
+	c := h.c
+	met, tr := c.metrics, c.trace
+	cleanup := func() {
+		c.pending.dropImage(h.img, len(h.tiles))
+		h.cancelTL()
+		if met != nil {
+			met.InflightImages.Add(-1)
 		}
-		wg.Add(1)
-		go func(k int, conn Conn, want int) {
-			defer wg.Done()
-			for i := 0; i < want; {
-				m, err := conn.Recv()
-				if err != nil {
-					c.markDead(k) // connection lost mid-image
-					return
-				}
-				if m.Kind != KindResult {
-					return
-				}
-				if m.ImageID != img {
-					continue // stale result from a timed-out earlier image
-				}
-				i++
-				var t *tensor.Tensor
-				var derr error
-				if m.Compressed {
-					t, derr = compress.Decode(m.Payload)
-				} else {
-					t, derr = DecodeTensor(m.Payload)
-				}
-				if derr != nil {
-					return
-				}
-				select {
-				case results <- arrival{int(m.TileID), k, t, len(m.Payload)}:
-				case <-done:
-					return
-				}
-			}
-		}(k, conn, alloc[k])
+		if h.release != nil {
+			h.release()
+		}
 	}
 
-	outTiles := make([]*tensor.Tensor, len(tiles))
-	received := make([]int, len(c.Conns))
+	outTiles := make([]*tensor.Tensor, len(h.tiles))
+	received := make([]int, len(c.sessions))
 	var wire int64
 	got := 0
-	deadline := time.NewTimer(c.TL)
-	defer deadline.Stop()
 collect:
-	for got < len(tiles) {
+	for got < len(h.tiles) {
 		select {
-		case a := <-results:
-			if outTiles[a.tile] == nil {
-				outTiles[a.tile] = a.t
-				received[a.node]++
-				wire += int64(a.wire)
-				got++
-				if dispatchAt != nil {
-					rt := time.Since(dispatchAt[a.tile])
-					if met != nil {
-						met.TilesReceived.With(nodeLabel(a.node)).Inc()
-						met.TileRoundTrip.ObserveDuration(rt.Nanoseconds())
-					}
-					tr.Span(fmt.Sprintf("tile %d", a.tile), "tile", a.node+1,
-						tr.Offset(dispatchAt[a.tile]), rt,
-						map[string]any{"image": img, "tile": a.tile, "wire_bytes": a.wire})
+		case a := <-h.col.ch:
+			outTiles[a.tile] = a.t
+			received[a.node]++
+			wire += int64(a.wire)
+			got++
+			if h.dispatchAt != nil {
+				rt := time.Since(h.dispatchAt[a.tile])
+				if met != nil {
+					met.TilesReceived.With(nodeLabel(a.node)).Inc()
+					met.TileRoundTrip.ObserveDuration(rt.Nanoseconds())
 				}
+				tr.Span(fmt.Sprintf("tile %d", a.tile), "tile", a.node+1,
+					tr.Offset(h.dispatchAt[a.tile]), rt,
+					map[string]any{"image": h.img, "tile": a.tile, "wire_bytes": a.wire})
 			}
-		case <-deadline.C:
-			break collect
+		case <-h.col.fail:
+			cleanup()
+			return nil, InferStats{Latency: time.Since(h.start)}, h.col.err
+		case <-h.cctx.Done():
+			break collect // T_L expired or the caller cancelled
 		}
 	}
-	close(done)
+	cleanup()
+	if err := h.parent.Err(); err != nil {
+		return nil, InferStats{Latency: time.Since(h.start)}, err
+	}
 
 	// Statistics-collection block (Algorithm 2).
+	c.mu.Lock()
 	c.Stats.Update(received)
+	speeds := c.Stats.Speeds()
+	c.mu.Unlock()
 	if met != nil {
-		speeds := c.Stats.Speeds()
 		met.Sched.ObserveSpeeds(speeds)
-		met.Sched.ObserveAllocation(alloc, speeds)
+		met.Sched.ObserveAllocation(h.alloc, speeds)
 	}
 
 	// Zero-fill missing tiles (paper: "start executing the later layers by
@@ -397,42 +524,71 @@ collect:
 			met.TilesMissed.Add(float64(missed))
 		}
 		tr.Instant("zero-fill", "central", 0, tr.Offset(time.Now()),
-			map[string]any{"image": img, "missed": missed})
+			map[string]any{"image": h.img, "missed": missed})
 	}
 
-	// Layer-computation block: reassemble and run the later layers. When
-	// results arrived compressed they are already dequantized, so only the
-	// plain (raw) path needs the boundary applied here to mirror the
-	// training graph.
-	merged := fdsp.Reassemble(outTiles, g)
-	if c.Model.Opt.Clipped() && missed == len(tiles) {
-		// degenerate case, nothing to do — boundary of zeros is zeros
-		_ = merged
-	}
+	// Layer-computation block: reassemble and run the later layers. The
+	// boundary already ran on the Conv nodes (both the raw and the
+	// compressed result paths), so the merged tensor feeds Back directly.
+	// The Central's compute stage is one resource: concurrent in-flight
+	// images run it in turn, which is exactly the pipeline's third stage.
+	merged := fdsp.Reassemble(outTiles, c.Model.Opt.Grid)
+	c.backMu.Lock()
 	backSpan := tr.Begin("back", "central", 0)
 	out := c.Model.Back.Forward(merged, false)
-	backSpan.End(map[string]any{"image": img})
+	backSpan.End(map[string]any{"image": h.img})
+	c.backMu.Unlock()
 
-	go func() { wg.Wait() }()
-	latency := time.Since(start)
+	latency := time.Since(h.start)
 	if met != nil {
 		met.ImageLatency.ObserveDuration(latency.Nanoseconds())
 	}
-	tr.Span(fmt.Sprintf("image %d", img), "image", 0, tr.Offset(start), latency,
+	tr.Span(fmt.Sprintf("image %d", h.img), "image", 0, tr.Offset(h.start), latency,
 		map[string]any{"missed": missed, "wire_bytes": wire})
 	return out, InferStats{
 		Latency:     latency,
 		TilesMissed: missed,
-		Alloc:       alloc,
+		Alloc:       h.alloc,
 		Received:    received,
 		WireBytes:   wire,
 	}, nil
 }
 
-// Shutdown tells every Conv node to stop and closes the connections.
+// aliveSpeedsLocked is aliveSpeeds for callers already holding c.mu.
+func (c *Central) aliveSpeedsLocked() []float64 {
+	speeds := c.Stats.Speeds()
+	for k, s := range c.sessions {
+		if !s.Alive() {
+			speeds[k] = 0
+		}
+	}
+	return speeds
+}
+
+// Infer runs one distributed inference for a [1,C,H,W] input and returns
+// the model output.
+func (c *Central) Infer(x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
+	return c.InferContext(context.Background(), x)
+}
+
+// InferContext is Infer with cancellation: the context aborts dispatch
+// and collection; the T_L deadline still bounds the result wait.
+func (c *Central) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, InferStats, error) {
+	h, err := c.InferAsync(ctx, x)
+	if err != nil {
+		return nil, InferStats{}, err
+	}
+	return h.Wait()
+}
+
+// Shutdown cancels the runtime context, stopping every node session's
+// send and recv loop, and closes the connections (Conv nodes treat the
+// EOF as a clean disconnect). It blocks until all session goroutines
+// have exited.
 func (c *Central) Shutdown() {
+	c.cancel()
+	c.loopWG.Wait()
 	for _, conn := range c.Conns {
-		_ = conn.Send(&Message{Kind: KindShutdown})
 		_ = conn.Close()
 	}
 }

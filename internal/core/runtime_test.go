@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -59,11 +62,35 @@ func TestMessageFramingRoundTrip(t *testing.T) {
 }
 
 func TestMessageFramingRejectsBadLength(t *testing.T) {
-	if _, err := ReadMessage(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+	if _, err := ReadMessage(bytes.NewReader([]byte{protoMagic, ProtoVersion, 0xff, 0xff, 0xff, 0xff})); err == nil {
 		t.Fatal("absurd frame length must fail")
 	}
-	if _, err := ReadMessage(bytes.NewReader([]byte{1, 0, 0, 0, 1})); err == nil {
+	if _, err := ReadMessage(bytes.NewReader([]byte{protoMagic, ProtoVersion, 1, 0, 0, 0, 1})); err == nil {
 		t.Fatal("too-short frame must fail")
+	}
+}
+
+func TestMessageFramingRejectsBadMagic(t *testing.T) {
+	// An HTTP client hitting a Conv port, say: first byte is 'G'.
+	_, err := ReadMessage(bytes.NewReader([]byte("GET / HTTP/1.1\r\n")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic must fail with ErrBadMagic, got %v", err)
+	}
+}
+
+func TestMessageFramingRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindTask, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[1] = ProtoVersion + 1 // a future protocol revision
+	_, err := ReadMessage(bytes.NewReader(frame))
+	if !errors.Is(err, ErrProtoVersion) {
+		t.Fatalf("version mismatch must fail with ErrProtoVersion, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "v2") || !strings.Contains(err.Error(), "v1") {
+		t.Fatalf("version error must name both revisions: %v", err)
 	}
 }
 
@@ -93,6 +120,14 @@ func buildRuntime(t *testing.T, opt models.Options, n int, tl time.Duration) (*C
 	if err != nil {
 		t.Fatal(err)
 	}
+	c, _, stop := buildRuntimeConns(t, m, n, tl)
+	return c, m, stop
+}
+
+// buildRuntimeConns is buildRuntime for callers that need the central
+// sides of the pipes (e.g. to kill one mid-test).
+func buildRuntimeConns(t *testing.T, m *models.Model, n int, tl time.Duration) (*Central, []Conn, func()) {
+	t.Helper()
 	conns := make([]Conn, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -102,14 +137,14 @@ func buildRuntime(t *testing.T, opt models.Options, n int, tl time.Duration) (*C
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = w.Serve(b)
+			_ = w.Serve(context.Background(), b)
 		}()
 	}
 	c, err := NewCentral(m, conns, tl, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, m, func() { c.Shutdown(); wg.Wait() }
+	return c, conns, func() { c.Shutdown(); wg.Wait() }
 }
 
 func TestDistributedMatchesLocalExecution(t *testing.T) {

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"adcnn/internal/compress"
+	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
+)
+
+// arrival is one decoded intermediate result routed to its image's
+// collector.
+type arrival struct {
+	tile int
+	node int
+	t    *tensor.Tensor
+	wire int
+}
+
+// pendingKey identifies one outstanding tile: results are demultiplexed
+// by (imageID, tileID), so a late result for a finished image has no
+// entry and is dropped as stale — replacing the old per-Infer "skip
+// mismatched ImageID" scan.
+type pendingKey struct {
+	img  uint32
+	tile uint32
+}
+
+// imageCollector gathers one image's arrivals. The session recv loops
+// push into ch (buffered to the tile count, so delivery never blocks);
+// abort carries a fatal dispatch failure to the waiter.
+type imageCollector struct {
+	img  uint32
+	ch   chan arrival
+	fail chan struct{}
+	once sync.Once
+	err  error
+}
+
+func newImageCollector(img uint32, tiles int) *imageCollector {
+	return &imageCollector{
+		img:  img,
+		ch:   make(chan arrival, tiles),
+		fail: make(chan struct{}),
+	}
+}
+
+// abort delivers a fatal error to the image's waiter (first error wins).
+func (col *imageCollector) abort(err error) {
+	col.once.Do(func() {
+		col.err = err
+		close(col.fail)
+	})
+}
+
+// demux is the pending table shared by every node session.
+type demux struct {
+	mu    sync.Mutex
+	m     map[pendingKey]*imageCollector
+	stale *telemetry.Counter // nil disables
+}
+
+func (d *demux) init() { d.m = make(map[pendingKey]*imageCollector) }
+
+// register enters every tile of an image into the table.
+func (d *demux) register(col *imageCollector, tiles int) {
+	d.mu.Lock()
+	for t := 0; t < tiles; t++ {
+		d.m[pendingKey{col.img, uint32(t)}] = col
+	}
+	d.mu.Unlock()
+}
+
+// claim removes and returns the collector for a key. The removal makes
+// delivery exactly-once: a duplicate or late result finds no entry.
+func (d *demux) claim(k pendingKey) (*imageCollector, bool) {
+	d.mu.Lock()
+	col, ok := d.m[k]
+	if ok {
+		delete(d.m, k)
+	}
+	d.mu.Unlock()
+	return col, ok
+}
+
+// dropImage removes an image's remaining entries (deadline hit or the
+// image finished); later results for it count as stale.
+func (d *demux) dropImage(img uint32, tiles int) {
+	d.mu.Lock()
+	for t := 0; t < tiles; t++ {
+		delete(d.m, pendingKey{img, uint32(t)})
+	}
+	d.mu.Unlock()
+}
+
+// markStale counts a result that arrived for an already-settled tile.
+func (d *demux) markStale() {
+	if d.stale != nil {
+		d.stale.Inc()
+	}
+}
+
+// Reconnect backoff bounds for node sessions.
+const (
+	reconnectBase = 50 * time.Millisecond
+	reconnectMax  = 2 * time.Second
+	dialTimeout   = 5 * time.Second
+)
+
+// nodeSession owns the Central's relationship with one Conv node: a
+// persistent send loop draining a bounded task queue onto the
+// connection, and a persistent recv loop decoding results and demuxing
+// them through the pending table. Both loops live for the connection's
+// lifetime; a supervisor restarts them after a reconnect. Queued tasks
+// stranded by a connection failure are handed back to the Central for
+// redispatch to surviving nodes, so a node death costs at most the tiles
+// already on its wire.
+type nodeSession struct {
+	id int // node index (0-based)
+	c  *Central
+	// dial, when set, lets the session re-establish a failed connection
+	// with exponential backoff instead of staying dead forever.
+	dial func(context.Context) (Conn, error)
+
+	sendq chan *Message
+
+	mu          sync.Mutex
+	conn        Conn
+	alive       bool
+	down        chan struct{} // closed when the session goes down
+	pendingSend *Message      // in-flight message a failed Send may strand
+
+	queueDepth *telemetry.Gauge // nil disables
+}
+
+func newNodeSession(id int, c *Central, conn Conn, dial func(context.Context) (Conn, error)) *nodeSession {
+	s := &nodeSession{
+		id:    id,
+		c:     c,
+		dial:  dial,
+		sendq: make(chan *Message, 256),
+		conn:  conn,
+		alive: true,
+		down:  make(chan struct{}),
+	}
+	if c.metrics != nil {
+		s.queueDepth = c.metrics.SendQueueDepth.With(nodeLabel(id))
+	}
+	return s
+}
+
+// Alive reports whether the session currently has a usable connection.
+func (s *nodeSession) Alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive
+}
+
+// enqueue hands a task to the send loop. It returns false when the
+// session is down or the contexts are cancelled, so the dispatcher can
+// fall over to another node. The channel send happens under the session
+// mutex so it cannot race the markDown drain: once markDown has run, no
+// message can slip into a queue nobody reads.
+func (s *nodeSession) enqueue(ctx context.Context, m *Message) bool {
+	for {
+		s.mu.Lock()
+		if !s.alive {
+			s.mu.Unlock()
+			return false
+		}
+		select {
+		case s.sendq <- m:
+			s.mu.Unlock()
+			s.observeQueue()
+			return true
+		default:
+		}
+		down := s.down
+		s.mu.Unlock()
+		// Queue full: wait for drain, death, or cancellation.
+		select {
+		case <-down:
+			return false
+		case <-ctx.Done():
+			return false
+		case <-s.c.ctx.Done():
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func (s *nodeSession) observeQueue() {
+	if s.queueDepth != nil {
+		s.queueDepth.Set(float64(len(s.sendq)))
+	}
+}
+
+// markDown flags the session dead and returns every queued (plus the
+// possibly half-sent) task for redispatch.
+func (s *nodeSession) markDown() []*Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.alive {
+		return nil
+	}
+	s.alive = false
+	close(s.down)
+	var orphans []*Message
+	if s.pendingSend != nil {
+		orphans = append(orphans, s.pendingSend)
+		s.pendingSend = nil
+	}
+	for {
+		select {
+		case m := <-s.sendq:
+			orphans = append(orphans, m)
+		default:
+			s.observeQueue()
+			return orphans
+		}
+	}
+}
+
+// revive installs a fresh connection after a reconnect.
+func (s *nodeSession) revive(conn Conn) {
+	s.mu.Lock()
+	s.conn = conn
+	s.alive = true
+	s.down = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// run is the session supervisor: it spawns one send loop and one recv
+// loop per connection epoch, tears the epoch down on the first failure
+// (redispatching stranded tasks), and — when a dialer is configured —
+// reconnects with exponential backoff and starts the next epoch.
+func (s *nodeSession) run() {
+	defer s.c.loopWG.Done()
+	for {
+		s.mu.Lock()
+		conn := s.conn
+		s.mu.Unlock()
+
+		stop := make(chan struct{})
+		sendDone := make(chan error, 1)
+		recvDone := make(chan error, 1)
+		go func() { sendDone <- s.sendLoop(conn, stop) }()
+		go func() { recvDone <- s.recvLoop(conn) }()
+
+		shutdown := false
+		sendOpen, recvOpen := true, true
+		select {
+		case <-s.c.ctx.Done():
+			shutdown = true
+		case <-sendDone:
+			sendOpen = false
+		case <-recvDone:
+			recvOpen = false
+		}
+		// Tear the epoch down: closing the connection unblocks whichever
+		// loop is still inside Send/Recv.
+		close(stop)
+		_ = conn.Close()
+		if sendOpen {
+			<-sendDone
+		}
+		if recvOpen {
+			<-recvDone
+		}
+		if shutdown || s.c.ctx.Err() != nil {
+			s.markDown()
+			return
+		}
+
+		// Connection failure: the node is dead until proven otherwise.
+		orphans := s.markDown()
+		if s.c.metrics != nil {
+			s.c.metrics.ConnDrops.With(nodeLabel(s.id)).Inc()
+		}
+		s.c.redispatch(orphans)
+		if s.dial == nil {
+			return
+		}
+		if !s.reconnect() {
+			return
+		}
+	}
+}
+
+// sendLoop drains the task queue onto the connection. A Send error ends
+// the epoch; the failed message is left in pendingSend for markDown.
+func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
+	for {
+		select {
+		case <-s.c.ctx.Done():
+			return nil
+		case <-stop:
+			return nil
+		case m := <-s.sendq:
+			s.observeQueue()
+			s.mu.Lock()
+			s.pendingSend = m
+			s.mu.Unlock()
+			if err := conn.Send(m); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.pendingSend = nil
+			s.mu.Unlock()
+		}
+	}
+}
+
+// recvLoop decodes results off the connection and routes each through
+// the pending table to its image's collector.
+func (s *nodeSession) recvLoop(conn Conn) error {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if m.Kind != KindResult {
+			continue
+		}
+		col, ok := s.c.pending.claim(pendingKey{m.ImageID, m.TileID})
+		if !ok {
+			s.c.pending.markStale()
+			continue
+		}
+		var t *tensor.Tensor
+		var derr error
+		if m.Compressed {
+			t, derr = compress.Decode(m.Payload)
+		} else {
+			t, derr = DecodeTensor(m.Payload)
+		}
+		if derr != nil {
+			// An undecodable result is as good as a missed tile: the
+			// image zero-fills it at the deadline.
+			continue
+		}
+		col.ch <- arrival{tile: int(m.TileID), node: s.id, t: t, wire: len(m.Payload)}
+	}
+}
+
+// reconnect dials until it succeeds or the Central shuts down, with
+// exponential backoff, then revives the session and the node's
+// scheduler estimate.
+func (s *nodeSession) reconnect() bool {
+	backoff := reconnectBase
+	for {
+		select {
+		case <-s.c.ctx.Done():
+			return false
+		case <-time.After(backoff):
+		}
+		dctx, cancel := context.WithTimeout(s.c.ctx, dialTimeout)
+		conn, err := s.dial(dctx)
+		cancel()
+		if err == nil && conn != nil {
+			if s.c.metrics != nil && s.c.metrics.Wire != nil {
+				conn = InstrumentConn(conn, s.c.metrics.Wire)
+			}
+			s.revive(conn)
+			s.c.reviveNode(s.id)
+			return true
+		}
+		backoff *= 2
+		if backoff > reconnectMax {
+			backoff = reconnectMax
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"sync"
@@ -51,7 +52,7 @@ func TestDistributedOverRealTCP(t *testing.T) {
 			if err != nil {
 				return
 			}
-			_ = w.Serve(NewStreamConn(c))
+			_ = w.Serve(context.Background(), NewStreamConn(c))
 		}()
 		dial, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 
 	"adcnn/internal/tensor"
 )
@@ -34,21 +35,44 @@ type Message struct {
 	Payload    []byte
 }
 
+// Wire frame layout: every frame starts with a magic byte and a protocol
+// version byte, so a Central talking to the wrong port (or to a node
+// built from an incompatible revision) fails with a clear error instead
+// of misparsing a length.
+const (
+	protoMagic = 0xAD // "ADcnn"
+	// ProtoVersion is the wire protocol revision. Bump on any frame
+	// layout change.
+	ProtoVersion = 1
+)
+
+// ErrProtoVersion reports a peer speaking a different frame revision.
+var ErrProtoVersion = errors.New("core: protocol version mismatch")
+
+// ErrBadMagic reports a stream that is not the ADCNN protocol at all.
+var ErrBadMagic = errors.New("core: bad frame magic (not an ADCNN peer?)")
+
 const maxFrame = 256 << 20 // 256 MiB guard against corrupt lengths
+
+// bodyHeader is the fixed-size message header inside the frame body:
+// kind(1) + imageID(4) + tileID(4) + nodeID(4) + compressed(1).
+const bodyHeader = 14
 
 // WriteMessage frames and writes a message.
 func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Payload) > maxFrame {
 		return fmt.Errorf("core: payload %d exceeds frame limit", len(m.Payload))
 	}
-	var hdr [18]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Payload))+14)
-	hdr[4] = byte(m.Kind)
-	binary.LittleEndian.PutUint32(hdr[5:], m.ImageID)
-	binary.LittleEndian.PutUint32(hdr[9:], m.TileID)
-	binary.LittleEndian.PutUint32(hdr[13:], m.NodeID)
+	var hdr [20]byte
+	hdr[0] = protoMagic
+	hdr[1] = ProtoVersion
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(m.Payload))+bodyHeader)
+	hdr[6] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[7:], m.ImageID)
+	binary.LittleEndian.PutUint32(hdr[11:], m.TileID)
+	binary.LittleEndian.PutUint32(hdr[15:], m.NodeID)
 	if m.Compressed {
-		hdr[17] = 1
+		hdr[19] = 1
 	}
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -57,14 +81,23 @@ func WriteMessage(w io.Writer, m *Message) error {
 	return err
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. A wrong magic byte or protocol
+// version fails with ErrBadMagic / ErrProtoVersion before any length is
+// trusted.
 func ReadMessage(r io.Reader) (*Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var pre [6]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n < 14 || n > maxFrame {
+	if pre[0] != protoMagic {
+		return nil, fmt.Errorf("%w: got 0x%02x", ErrBadMagic, pre[0])
+	}
+	if pre[1] != ProtoVersion {
+		return nil, fmt.Errorf("%w: peer speaks v%d, this build speaks v%d",
+			ErrProtoVersion, pre[1], ProtoVersion)
+	}
+	n := binary.LittleEndian.Uint32(pre[2:])
+	if n < bodyHeader || n > maxFrame {
 		return nil, fmt.Errorf("core: bad frame length %d", n)
 	}
 	body := make([]byte, n)
@@ -82,6 +115,44 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	return m, nil
 }
 
+// hostLittleEndian reports whether float32 words can be bulk-copied into
+// the (little-endian) wire format without per-element byte swaps.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// putFloat32s writes src as little-endian uint32 words into dst
+// (len(dst) ≥ 4·len(src)). On little-endian hosts the float data already
+// has the wire layout, so the whole slice is copied as bytes in one
+// memmove instead of a per-element PutUint32 loop.
+func putFloat32s(dst []byte, src []float32) {
+	if len(src) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 4*len(src)))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// getFloat32s reads len(dst) little-endian float32 words from src.
+func getFloat32s(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 4*len(dst)), src)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
 // EncodeTensor serialises a tensor as shape + raw float32 data.
 func EncodeTensor(t *tensor.Tensor) []byte {
 	out := make([]byte, 1+4*t.Rank()+4*t.Len())
@@ -91,10 +162,7 @@ func EncodeTensor(t *tensor.Tensor) []byte {
 		binary.LittleEndian.PutUint32(out[off:], uint32(d))
 		off += 4
 	}
-	for _, v := range t.Data {
-		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(v))
-		off += 4
-	}
+	putFloat32s(out[off:], t.Data)
 	return out
 }
 
@@ -124,10 +192,7 @@ func DecodeTensor(data []byte) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("core: tensor payload %d bytes, want %d", len(data), off+4*vol)
 	}
 	t := tensor.New(shape...)
-	for i := range t.Data {
-		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
-		off += 4
-	}
+	getFloat32s(t.Data, data[off:])
 	return t, nil
 }
 

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+// benchTensor is sized like a real front-layer tile batch: the codec's
+// bulk word conversion is what keeps tile dispatch off the CPU profile.
+func benchTensor() *tensor.Tensor {
+	x := tensor.New(1, 64, 56, 56)
+	x.RandN(rand.New(rand.NewSource(7)), 1)
+	return x
+}
+
+func BenchmarkEncodeTensor(b *testing.B) {
+	x := benchTensor()
+	b.SetBytes(int64(4 * len(x.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeTensor(x)
+	}
+}
+
+func BenchmarkDecodeTensor(b *testing.B) {
+	enc := EncodeTensor(benchTensor())
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTensor(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -25,21 +26,35 @@ type StreamBenchRun struct {
 	P95LatencyMs  float64 `json:"p95_latency_ms"`
 }
 
-// StreamBenchReport pins the telemetry instrumentation overhead on the
-// live runtime hot path: the same image stream is run through a real
+// StreamBenchReport pins two properties of the live runtime hot path.
+//
+// First, telemetry overhead: the same image stream is run through a real
 // Central + Conv-node cluster (in-process transport) with telemetry
 // disabled and then fully enabled (metrics registry + tracer + wire
 // metering + compression instruments), and the throughput delta is the
 // cost of observability. The acceptance bound is < 2% regression.
+//
+// Second, pipelining gain: with a per-tile worker delay standing in for
+// real Conv-node compute, the same stream is run once sequentially
+// (Infer loop) and once through a bounded Pipeline, so image i+1's
+// tiles are in flight while image i's results are still collecting —
+// the live counterpart of the simulator's three-stage overlap
+// (paper Fig. 9). Pipelined throughput must beat sequential.
 type StreamBenchReport struct {
 	Timestamp string `json:"timestamp"`
 	telemetry.Host
-	Model       string         `json:"model"`
-	Grid        string         `json:"grid"`
-	Nodes       int            `json:"nodes"`
-	Disabled    StreamBenchRun `json:"telemetry_disabled"`
-	Enabled     StreamBenchRun `json:"telemetry_enabled"`
-	OverheadPct float64        `json:"overhead_pct"` // (off-on)/off × 100; negative = noise
+	Model          string         `json:"model"`
+	Grid           string         `json:"grid"`
+	Nodes          int            `json:"nodes"`
+	Disabled       StreamBenchRun `json:"telemetry_disabled"`
+	Enabled        StreamBenchRun `json:"telemetry_enabled"`
+	OverheadPct    float64        `json:"overhead_pct"` // (off-on)/off × 100; negative = noise
+	LiveGrid       string         `json:"live_grid"`    // partition used by the live passes
+	PipelineDepth  int            `json:"pipeline_depth"`
+	TileDelayMs    float64        `json:"tile_delay_ms"` // simulated Conv service time per tile
+	LiveSequential StreamBenchRun `json:"live_sequential"`
+	LivePipelined  StreamBenchRun `json:"live_pipelined"`
+	PipelineGain   float64        `json:"pipeline_gain"` // pipelined / sequential throughput
 }
 
 // streamRuntime wires a live Central with n in-process workers.
@@ -58,7 +73,7 @@ func streamRuntime(opt models.Options, n int) (*core.Central, []*core.Worker, fu
 		wg.Add(1)
 		go func(w *core.Worker, conn core.Conn) {
 			defer wg.Done()
-			_ = w.Serve(conn)
+			_ = w.Serve(context.Background(), conn)
 		}(workers[i], b)
 	}
 	c, err := core.NewCentral(m, conns, 10*time.Second, 0.9)
@@ -68,8 +83,23 @@ func streamRuntime(opt models.Options, n int) (*core.Central, []*core.Worker, fu
 	return c, workers, func() { c.Shutdown(); wg.Wait() }, nil
 }
 
-// measureStream pushes images through the runtime and reports wall-clock
-// throughput and per-image latency.
+// summarize folds per-image latencies and the wall clock into a run row.
+func summarize(images int, lat []float64, wall time.Duration) StreamBenchRun {
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	return StreamBenchRun{
+		Images:        images,
+		ThroughputIPS: float64(images) / wall.Seconds(),
+		MeanLatencyMs: sum / float64(len(lat)),
+		P95LatencyMs:  lat[(len(lat)*95)/100],
+	}
+}
+
+// measureStream pushes images through the runtime one at a time and
+// reports wall-clock throughput and per-image latency.
 func measureStream(c *core.Central, images, warmup int) (StreamBenchRun, error) {
 	x := tensor.New(1, 3, 32, 32)
 	x.RandN(rand.New(rand.NewSource(7)), 1)
@@ -87,19 +117,64 @@ func measureStream(c *core.Central, images, warmup int) (StreamBenchRun, error) 
 		}
 		lat = append(lat, ms(st.Latency))
 	}
-	wall := time.Since(start)
-	sort.Float64s(lat)
-	var sum float64
-	for _, v := range lat {
-		sum += v
+	return summarize(images, lat, time.Since(start)), nil
+}
+
+// measurePipelined streams the same images through a bounded Pipeline so
+// successive images overlap. Per-image latency includes queue wait, so it
+// rises with depth even as throughput improves — that trade is the point.
+func measurePipelined(c *core.Central, images, warmup, depth int) (StreamBenchRun, error) {
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rand.New(rand.NewSource(7)), 1)
+	for i := 0; i < warmup; i++ {
+		if _, _, err := c.Infer(x); err != nil {
+			return StreamBenchRun{}, err
+		}
 	}
-	p95 := lat[(len(lat)*95)/100]
-	return StreamBenchRun{
-		Images:        images,
-		ThroughputIPS: float64(images) / wall.Seconds(),
-		MeanLatencyMs: sum / float64(len(lat)),
-		P95LatencyMs:  p95,
-	}, nil
+	p := core.NewPipeline(c, depth)
+	in := make(chan *tensor.Tensor)
+	go func() {
+		defer close(in)
+		for i := 0; i < images; i++ {
+			in <- x
+		}
+	}()
+	lat := make([]float64, 0, images)
+	start := time.Now()
+	for r := range p.Run(context.Background(), in) {
+		if r.Err != nil {
+			return StreamBenchRun{}, r.Err
+		}
+		lat = append(lat, ms(r.Stats.Latency))
+	}
+	return summarize(images, lat, time.Since(start)), nil
+}
+
+// livePipelineComparison runs the sequential-vs-pipelined passes on fresh
+// runtimes whose workers sleep delay per tile, standing in for Conv-node
+// compute that the Central can overlap with its own back layers.
+func livePipelineComparison(opt models.Options, nodes, images, warmup, depth int, delay time.Duration) (seq, pipe StreamBenchRun, err error) {
+	run := func(measure func(*core.Central) (StreamBenchRun, error)) (StreamBenchRun, error) {
+		c, workers, stop, err := streamRuntime(opt, nodes)
+		if err != nil {
+			return StreamBenchRun{}, err
+		}
+		defer stop()
+		for _, w := range workers {
+			w.Delay = delay
+		}
+		return measure(c)
+	}
+	seq, err = run(func(c *core.Central) (StreamBenchRun, error) {
+		return measureStream(c, images, warmup)
+	})
+	if err != nil {
+		return seq, pipe, err
+	}
+	pipe, err = run(func(c *core.Central) (StreamBenchRun, error) {
+		return measurePipelined(c, images, warmup, depth)
+	})
+	return seq, pipe, err
 }
 
 // StreamBench runs the telemetry-overhead experiment. The trace, when
@@ -158,6 +233,29 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 
 	rep.OverheadPct = (rep.Disabled.ThroughputIPS - rep.Enabled.ThroughputIPS) /
 		rep.Disabled.ThroughputIPS * 100
+
+	// Passes 3+4: live sequential vs pipelined. One tile per node (2x2
+	// grid on 4 nodes) with a fixed per-tile service time is the cleanest
+	// live rendering of the paper's Fig. 9 stage overlap: while a Conv
+	// node's simulated device holds image i's tile, the Central runs
+	// image i-1's back layers and encodes image i+1's tiles — work the
+	// sequential loop can only do while the nodes sit idle. Larger grids
+	// bury the overlappable Central stage under per-tile transport
+	// overhead that lives inside the Conv chain either way.
+	const (
+		pipelineDepth = 3
+		tileDelay     = 4 * time.Millisecond
+	)
+	liveOpt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}
+	rep.LiveGrid = "2x2"
+	rep.PipelineDepth = pipelineDepth
+	rep.TileDelayMs = ms(tileDelay)
+	rep.LiveSequential, rep.LivePipelined, err =
+		livePipelineComparison(liveOpt, nodes, images, warmup, pipelineDepth, tileDelay)
+	if err != nil {
+		return nil, err
+	}
+	rep.PipelineGain = rep.LivePipelined.ThroughputIPS / rep.LiveSequential.ThroughputIPS
 	return rep, nil
 }
 
@@ -183,4 +281,15 @@ func (r *StreamBenchReport) WriteText(w io.Writer) {
 			row.name, row.run.ThroughputIPS, row.run.MeanLatencyMs, row.run.P95LatencyMs)
 	}
 	fprintf(w, "  overhead: %.2f%% of throughput\n", r.OverheadPct)
+	fprintf(w, "Live streaming (%s grid): sequential Infer loop vs Pipeline(depth=%d), %.0fms/tile Conv service time\n",
+		r.LiveGrid, r.PipelineDepth, r.TileDelayMs)
+	fprintf(w, "  %-20s %10s %12s %12s\n", "mode", "imgs/sec", "mean(ms)", "p95(ms)")
+	for _, row := range []struct {
+		name string
+		run  StreamBenchRun
+	}{{"sequential", r.LiveSequential}, {"pipelined", r.LivePipelined}} {
+		fprintf(w, "  %-20s %10.2f %12.2f %12.2f\n",
+			row.name, row.run.ThroughputIPS, row.run.MeanLatencyMs, row.run.P95LatencyMs)
+	}
+	fprintf(w, "  pipelining gain: %.2fx throughput\n", r.PipelineGain)
 }

@@ -14,8 +14,9 @@ import (
 // Stats tracks the per-node throughput estimate s_k (Algorithm 2).
 type Stats struct {
 	// Gamma is the decay parameter γ: s_k ← (1−γ)s_k + γ n_k.
-	Gamma float64
-	s     []float64
+	Gamma   float64
+	s       []float64
+	initial float64
 }
 
 // NewStats creates the tracker with an initial estimate per node. The
@@ -28,11 +29,21 @@ func NewStats(nodes int, gamma float64, initial float64) *Stats {
 	if gamma <= 0 || gamma > 1 {
 		panic(fmt.Sprintf("sched: gamma %v out of (0,1]", gamma))
 	}
-	st := &Stats{Gamma: gamma, s: make([]float64, nodes)}
+	st := &Stats{Gamma: gamma, s: make([]float64, nodes), initial: initial}
 	for i := range st.s {
 		st.s[i] = initial
 	}
 	return st
+}
+
+// Revive restores node k's estimate to at least the cold-start value.
+// A node that was dead (or throttled to zero) receives no tiles, so its
+// EWMA can never recover on its own; a reconnecting node calls this to
+// re-enter the allocation as an equal and let Algorithm 2 re-measure it.
+func (st *Stats) Revive(k int) {
+	if st.s[k] < st.initial {
+		st.s[k] = st.initial
+	}
 }
 
 // Nodes returns the node count.
