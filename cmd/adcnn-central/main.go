@@ -13,7 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"strings"
@@ -50,7 +50,7 @@ func dialNode(addr string, budget time.Duration) (net.Conn, error) {
 			return nil, fmt.Errorf("dial %s: %w (gave up after %d attempts over %v)",
 				addr, err, attempt, budget)
 		}
-		log.Printf("dial %s: %v (retrying in %v)", addr, err, backoff)
+		slog.Warn("dial failed, retrying", "addr", addr, "err", err, "backoff", backoff)
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > 3*time.Second {
 			backoff = 3 * time.Second
@@ -71,33 +71,41 @@ func main() {
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
 	verify := flag.Bool("verify", true, "check outputs against local execution")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/flight and /debug/sessions on this address (e.g. :9090)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (central + conv-side spans) to this file")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "total dial budget per conv node (retry with backoff)")
 	pipeline := flag.Int("pipeline", 0, "stream images through a bounded pipeline of this depth (0 = sequential Infer loop)")
+	breakdown := flag.Bool("breakdown", false, "print the per-image mean phase decomposition after each image")
+	flightSize := flag.Int("flight-size", telemetry.DefaultFlightSize, "flight recorder ring capacity (events)")
+	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger := cliutil.MustLogger(lf, "adcnn-central")
+	die := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cfg, err := cliutil.SimConfigByName(*model)
 	if err != nil {
-		log.Fatal(err)
+		die("bad -model", "err", err)
 	}
 	g, err := cliutil.ParseGrid(*grid)
 	if err != nil {
-		log.Fatal(err)
+		die("bad -grid", "err", err)
 	}
 	m, err := models.Build(cfg, models.Options{
 		Grid: g, ClipLo: float32(*clipLo), ClipHi: float32(*clipHi), QuantBits: *quant,
 	}, *seed)
 	if err != nil {
-		log.Fatal(err)
+		die("build model", "err", err)
 	}
 	if *weights != "" {
 		f, err := os.Open(*weights)
 		if err != nil {
-			log.Fatal(err)
+			die("open weights", "err", err)
 		}
 		if err := m.Net.LoadParams(f); err != nil {
-			log.Fatalf("load weights: %v", err)
+			die("load weights", "err", err)
 		}
 		f.Close()
 	}
@@ -108,14 +116,14 @@ func main() {
 		addr = strings.TrimSpace(addr)
 		c, err := dialNode(addr, *connectTimeout)
 		if err != nil {
-			log.Fatal(err)
+			die("connect to conv node", "err", err)
 		}
 		conns = append(conns, core.NewStreamConn(c))
 		addrs = append(addrs, addr)
 	}
 	central, err := core.NewCentral(m, conns, *tl, *gamma)
 	if err != nil {
-		log.Fatal(err)
+		die("new central", "err", err)
 	}
 	defer central.Shutdown()
 	// Let each node session reconnect (with backoff) if its connection
@@ -132,15 +140,26 @@ func main() {
 		})
 	}
 
+	// The flight recorder is cheap (a mutex-guarded ring) and is what
+	// explains a missed deadline after the fact, so it is always on; the
+	// metrics address only decides whether it is reachable over HTTP.
+	flight := telemetry.NewFlightRecorder(*flightSize)
+	central.SetFlightRecorder(flight)
+
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		central.SetMetrics(core.NewMetrics(reg))
 		compress.Instrument(reg)
-		_, bound, err := telemetry.Serve(*metricsAddr, reg)
+		mux := telemetry.Mux(reg)
+		mux.Handle("/debug/flight", flight)
+		mux.Handle("/debug/sessions", central.SessionsHandler())
+		_, bound, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
-			log.Fatalf("metrics server: %v", err)
+			die("metrics server", "err", err)
 		}
-		log.Printf("serving /metrics, /healthz, /debug/pprof on %s", bound)
+		logger.Info("debug endpoints up",
+			"addr", bound.String(),
+			"paths", "/metrics /healthz /debug/pprof /debug/flight /debug/sessions")
 	}
 	var trace *telemetry.Trace
 	if *tracePath != "" {
@@ -148,16 +167,16 @@ func main() {
 		central.SetTrace(trace)
 		defer func() {
 			if err := trace.WriteFile(*tracePath); err != nil {
-				log.Printf("write trace: %v", err)
+				logger.Error("write trace", "err", err)
 			} else {
-				log.Printf("wrote %s (%d events)", *tracePath, trace.Len())
+				logger.Info("wrote trace", "path", *tracePath, "events", trace.Len())
 			}
 		}()
 	}
 
 	set, err := synthSet(cfg, *images, *seed+100)
 	if err != nil {
-		log.Fatal(err)
+		die("build dataset", "err", err)
 	}
 	var total time.Duration
 	mismatches := 0
@@ -173,6 +192,12 @@ func main() {
 		}
 		fmt.Printf("image %2d: latency %8v  missed %d  alloc %v%s\n",
 			i, st.Latency.Round(time.Microsecond), st.TilesMissed, st.Alloc, status)
+		if *breakdown {
+			st.Breakdown.WriteText(os.Stdout)
+		}
+		logger.Debug("image complete",
+			"image", i, "trace_id", core.TraceIDString(st.TraceID),
+			"latency", st.Latency, "missed", st.TilesMissed)
 	}
 
 	wallStart := time.Now()
@@ -190,7 +215,7 @@ func main() {
 		}()
 		for r := range p.Run(context.Background(), inputs) {
 			if r.Err != nil {
-				log.Fatalf("image %d: %v", r.Index, r.Err)
+				die("pipeline image failed", "image", r.Index, "err", r.Err)
 			}
 			x, _ := set.Batch(r.Index, 1)
 			report(r.Index, x, r.Out, r.Stats)
@@ -200,7 +225,7 @@ func main() {
 			x, _ := set.Batch(i, 1)
 			out, st, err := central.Infer(x)
 			if err != nil {
-				log.Fatalf("image %d: %v", i, err)
+				die("infer failed", "image", i, "err", err)
 			}
 			report(i, x, out, st)
 		}

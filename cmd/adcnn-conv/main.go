@@ -11,7 +11,6 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -35,19 +34,25 @@ func main() {
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9091)")
+	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger := cliutil.MustLogger(lf, "adcnn-conv")
+	die := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	m, err := buildModel(*model, *grid, *seed, float32(*clipLo), float32(*clipHi), *quant)
 	if err != nil {
-		log.Fatal(err)
+		die("build model", "err", err)
 	}
 	if *weights != "" {
 		f, err := os.Open(*weights)
 		if err != nil {
-			log.Fatal(err)
+			die("open weights", "err", err)
 		}
 		if err := m.Net.LoadParams(f); err != nil {
-			log.Fatalf("load weights: %v", err)
+			die("load weights", "err", err)
 		}
 		f.Close()
 	}
@@ -59,9 +64,10 @@ func main() {
 		compress.Instrument(reg)
 		_, bound, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
-			log.Fatalf("metrics server: %v", err)
+			die("metrics server", "err", err)
 		}
-		log.Printf("serving /metrics, /healthz, /debug/pprof on %s", bound)
+		logger.Info("debug endpoints up", "addr", bound.String(),
+			"paths", "/metrics /healthz /debug/pprof")
 	}
 
 	// SIGINT/SIGTERM cancel the context, which closes every in-flight
@@ -71,27 +77,28 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		die("listen", "addr", *listen, "err", err)
 	}
 	go func() {
 		<-ctx.Done()
 		ln.Close()
 	}()
-	log.Printf("conv node %d serving %s (%s) on %s", *id, *model, *grid, ln.Addr())
+	logger.Info("conv node serving", "node", *id, "model", *model, "grid", *grid, "addr", ln.Addr().String())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
-				log.Printf("conv node %d: shutting down", *id)
+				logger.Info("shutting down", "node", *id)
 				return
 			}
-			log.Fatal(err)
+			die("accept", "err", err)
 		}
+		logger.Info("central connected", "node", *id, "peer", conn.RemoteAddr().String())
 		w := core.NewWorker(*id, m)
 		w.Metrics = met
 		go func() {
 			if err := w.Serve(ctx, core.NewStreamConn(conn)); err != nil {
-				log.Printf("serve: %v", err)
+				logger.Warn("serve ended", "node", *id, "err", err)
 			}
 		}()
 	}

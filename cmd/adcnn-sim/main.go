@@ -14,7 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -40,11 +40,17 @@ func main() {
 	stream := flag.Bool("stream", false, "report pipelined-stream throughput instead of per-image lines")
 	timeline := flag.Bool("timeline", false, "render the Figure 9 phase timeline of the first image")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (per-tile spans, virtual time) to this file")
+	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger := cliutil.MustLogger(lf, "adcnn-sim")
+	die := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cfg, err := cliutil.FullConfigByName(*model)
 	if err != nil {
-		log.Fatal(err)
+		die("bad -model", "err", err)
 	}
 	opts := experiments.SimOptions{
 		Nodes:   *nodes,
@@ -55,12 +61,12 @@ func main() {
 	}
 	sim, nodeDevs, _, err := experiments.NewADCNNSim(cfg, opts)
 	if err != nil {
-		log.Fatal(err)
+		die("build simulator", "err", err)
 	}
 
 	evs, err := parseEvents(*events)
 	if err != nil {
-		log.Fatal(err)
+		die("bad -events", "err", err)
 	}
 
 	var trace *telemetry.Trace
@@ -69,9 +75,9 @@ func main() {
 		sim.SetTrace(trace)
 		defer func() {
 			if err := trace.WriteFile(*tracePath); err != nil {
-				log.Fatalf("write trace: %v", err)
+				die("write trace", "err", err)
 			}
-			fmt.Printf("wrote %s (%d events)\n", *tracePath, trace.Len())
+			logger.Info("wrote trace", "path", *tracePath, "events", trace.Len())
 		}()
 	}
 

@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogFlags holds the shared -log-level / -log-format flag values. Every
+// daemon registers the same pair so operators configure logging the same
+// way across adcnn-central, adcnn-conv, and adcnn-sim.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs (typically
+// flag.CommandLine). Call before flag.Parse.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log level: debug|info|warn|error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text|json")
+	return lf
+}
+
+// Logger builds the slog.Logger the flags describe, tags every record
+// with the component name, and installs it as the process default so
+// library code using slog.Default inherits it.
+func (lf *LogFlags) Logger(component string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(lf.Level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", lf.Level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(lf.Format) {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", lf.Format)
+	}
+	l := slog.New(h).With("component", component)
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// MustLogger is Logger for main functions: flag errors are usage errors,
+// so it prints to stderr and exits non-zero.
+func MustLogger(lf *LogFlags, component string) *slog.Logger {
+	l, err := lf.Logger(component)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return l
+}

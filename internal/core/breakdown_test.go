@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBreakdownPhasesSumExactly: for any causally plausible tile journey
+// — monotone Central timestamps, monotone Conv timestamps, and a round
+// trip at least as long as the tile's stay on the node — the six phases
+// are each non-negative and sum to the end-to-end latency exactly,
+// regardless of how wrong the clock-offset estimate is. That invariance
+// is the design property: the offset only splits uplink/downlink.
+func TestBreakdownPhasesSumExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		enq := rng.Int63n(1 << 40)
+		sent := enq + rng.Int63n(1<<20)
+		// Conv clock: arbitrary epoch, monotone stamps.
+		convRecv := rng.Int63n(1 << 40)
+		tm := &ConvTiming{RecvNs: convRecv}
+		tm.DecodeNs = convRecv + rng.Int63n(1<<18)
+		tm.ComputeStartNs = tm.DecodeNs + rng.Int63n(1<<20)
+		tm.ComputeEndNs = tm.ComputeStartNs + rng.Int63n(1<<22)
+		tm.EncodeNs = tm.ComputeEndNs + rng.Int63n(1<<18)
+		tm.SendNs = tm.EncodeNs + rng.Int63n(1<<16)
+		residence := tm.SendNs - tm.RecvNs
+		recv := sent + residence + rng.Int63n(1<<20) // network ≥ 0
+		collect := recv + rng.Int63n(1<<18)
+		offset := rng.Int63n(1<<30) - (1 << 29) // wildly wrong is fine
+
+		tb := newTileBreakdown(3, 1, enq, sent, recv, collect, tm, offset)
+		for p, d := range tb.Phase {
+			if d < 0 {
+				t.Logf("phase %s negative: %v", PhaseNames[p], d)
+				return false
+			}
+		}
+		return tb.PhaseSum() == tb.Total && tb.Total == time.Duration(collect-enq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownWithoutTimingStillCloses(t *testing.T) {
+	tb := newTileBreakdown(0, 2, 100, 250, 900, 1000, nil, 0)
+	if tb.PhaseSum() != tb.Total || tb.Total != 900 {
+		t.Fatalf("coarse split must close: sum %v total %v", tb.PhaseSum(), tb.Total)
+	}
+	if tb.Phase[PhaseDispatchQueue] != 150 || tb.Phase[PhaseCompute] != 650 || tb.Phase[PhaseCollect] != 100 {
+		t.Fatalf("coarse phases %v", tb.Phase)
+	}
+	if tb.Phase[PhaseUplink] != 0 || tb.Phase[PhaseDownlink] != 0 || tb.Phase[PhaseNodeQueue] != 0 {
+		t.Fatalf("timing-free phases must stay zero: %v", tb.Phase)
+	}
+}
+
+func TestBreakdownOffsetSplitsNetwork(t *testing.T) {
+	// 100ns uplink, 300ns on the node, 200ns downlink; the Conv clock
+	// runs 5000ns ahead of the Central's, so the correct additive offset
+	// is −5000. With the exact offset the split is exact.
+	tm := &ConvTiming{RecvNs: 5100, DecodeNs: 5150, ComputeStartNs: 5200, ComputeEndNs: 5350, EncodeNs: 5380, SendNs: 5400}
+	tb := newTileBreakdown(0, 0, 0, 0, 600, 600, tm, -5000)
+	if tb.Phase[PhaseUplink] != 100 || tb.Phase[PhaseDownlink] != 200 {
+		t.Fatalf("split %v/%v, want 100/200", tb.Phase[PhaseUplink], tb.Phase[PhaseDownlink])
+	}
+	if tb.Phase[PhaseNodeQueue] != 100 || tb.Phase[PhaseCompute] != 200 {
+		t.Fatalf("node phases %v", tb.Phase)
+	}
+	// A grossly wrong offset clamps the split but never the sum.
+	tb2 := newTileBreakdown(0, 0, 0, 0, 600, 600, tm, -9000)
+	if tb2.Phase[PhaseUplink] != 0 || tb2.Phase[PhaseDownlink] != 300 {
+		t.Fatalf("clamped split %v/%v", tb2.Phase[PhaseUplink], tb2.Phase[PhaseDownlink])
+	}
+	if tb2.PhaseSum() != tb2.Total {
+		t.Fatalf("clamping broke the sum: %v vs %v", tb2.PhaseSum(), tb2.Total)
+	}
+}
+
+func TestBreakdownMeansAndText(t *testing.T) {
+	b := &Breakdown{Image: 1, TraceID: 42}
+	tm := &ConvTiming{RecvNs: 10, DecodeNs: 12, ComputeStartNs: 20, ComputeEndNs: 90, EncodeNs: 95, SendNs: 100}
+	for i := 0; i < 4; i++ {
+		b.Tiles = append(b.Tiles, newTileBreakdown(i, i%2, 0, 5, 120, 130, tm, 0))
+	}
+	means := b.MeanPhases()
+	var sum time.Duration
+	for _, m := range means {
+		sum += m
+	}
+	if sum != b.MeanTotal() {
+		t.Fatalf("mean phases %v don't sum to mean total %v", sum, b.MeanTotal())
+	}
+	var sb strings.Builder
+	b.WriteText(&sb)
+	for _, name := range PhaseNames {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("text rendering missing phase %q: %s", name, sb.String())
+		}
+	}
+	var empty *Breakdown
+	empty.WriteText(&sb) // must not panic
+	if empty.MeanTotal() != 0 {
+		t.Fatal("nil breakdown mean must be 0")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// SessionDebug is one node session's state snapshot, served as JSON at
+// /debug/sessions on the metrics mux.
+type SessionDebug struct {
+	Node  int  `json:"node"`
+	Alive bool `json:"alive"`
+	// Epochs counts connection epochs started (1 = the original
+	// connection; each reconnect adds one).
+	Epochs     int `json:"epochs"`
+	QueueDepth int `json:"queue_depth"`
+	// PendingTiles counts outstanding tiles last enqueued on this
+	// session (dispatched, result not yet settled).
+	PendingTiles int `json:"pending_tiles"`
+	// BackoffMs is the current reconnect backoff; 0 while connected.
+	BackoffMs float64 `json:"reconnect_backoff_ms"`
+	// ClockOffsetNs maps this Conv node's monotonic timestamps onto the
+	// Central's clock (added to Conv readings); RTTNs is the smoothed
+	// round trip the estimate is based on.
+	ClockOffsetNs int64 `json:"clock_offset_ns"`
+	RTTNs         int64 `json:"rtt_ns"`
+	OffsetSamples int64 `json:"offset_samples"`
+}
+
+// DebugSessions snapshots every node session's state. It is safe to
+// call before the first Infer (the sessions spin up on first use, so
+// the list is empty until then).
+func (c *Central) DebugSessions() []SessionDebug {
+	c.mu.Lock()
+	sessions := c.sessions
+	c.mu.Unlock()
+	out := make([]SessionDebug, 0, len(sessions))
+	perNode := c.pending.perNode()
+	for _, s := range sessions {
+		info := s.debugInfo()
+		info.PendingTiles = perNode[s.id]
+		out = append(out, info)
+	}
+	return out
+}
+
+// SessionsHandler serves DebugSessions as JSON, for mounting at
+// /debug/sessions beside /metrics.
+func (c *Central) SessionsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(c.DebugSessions())
+	})
+}

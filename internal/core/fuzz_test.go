@@ -11,14 +11,30 @@ import (
 // must survive a write/read round trip.
 func FuzzReadMessage(f *testing.F) {
 	var buf bytes.Buffer
-	_ = WriteMessage(&buf, &Message{Kind: KindTask, ImageID: 1, TileID: 2, NodeID: 3, Payload: []byte("abc")})
+	_ = WriteMessage(&buf, &Message{Kind: KindTask, ImageID: 1, TileID: 2, NodeID: 3,
+		TraceID: 0x1122334455667788, SpanID: 0x99, Payload: []byte("abc")})
 	f.Add(buf.Bytes())
+	var timed bytes.Buffer
+	_ = WriteMessage(&timed, &Message{Kind: KindResult, ImageID: 4, TileID: 5, NodeID: 6,
+		TraceID: 7, SpanID: 8,
+		Timing:  &ConvTiming{RecvNs: 10, DecodeNs: 20, ComputeStartNs: 30, ComputeEndNs: 40, EncodeNs: 50, SendNs: 60},
+		Payload: []byte("xyz")})
+	f.Add(timed.Bytes())
 	f.Add([]byte{})
-	// Minimal valid frame: magic, version, length=14, empty payload.
-	f.Add([]byte{protoMagic, ProtoVersion, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
-	// Wrong magic and wrong version with otherwise-valid frames.
-	f.Add([]byte{0x00, ProtoVersion, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
-	f.Add([]byte{protoMagic, ProtoVersion + 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Minimal valid v2 frame: magic, version, length=bodyHeader, all-zero
+	// header fields (kind 1), no timing, empty payload.
+	minimal := append([]byte{protoMagic, ProtoVersion, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...)
+	f.Add(minimal)
+	// Wrong magic and wrong version with otherwise-valid frames, plus a
+	// v1 frame (old 14-byte header) a v2 build must reject cleanly.
+	f.Add(append([]byte{0x00, ProtoVersion, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...))
+	f.Add(append([]byte{protoMagic, ProtoVersion + 1, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...))
+	f.Add([]byte{protoMagic, 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Timing flag set (bit 1 of flags at body offset 13) but truncated
+	// record: must error, never misparse.
+	liar := append([]byte{protoMagic, ProtoVersion, bodyHeader + 8, 0, 0, 0, 2}, make([]byte, bodyHeader+8-1)...)
+	liar[6+13] = flagTiming
+	f.Add(liar)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadMessage(bytes.NewReader(data))
 		if err != nil {
@@ -34,8 +50,13 @@ func FuzzReadMessage(f *testing.F) {
 		}
 		if m2.Kind != m.Kind || m2.ImageID != m.ImageID || m2.TileID != m.TileID ||
 			m2.NodeID != m.NodeID || m2.Compressed != m.Compressed ||
+			m2.TraceID != m.TraceID || m2.SpanID != m.SpanID ||
 			!bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatal("frame round trip changed the message")
+		}
+		if (m2.Timing == nil) != (m.Timing == nil) ||
+			(m.Timing != nil && *m2.Timing != *m.Timing) {
+			t.Fatal("frame round trip changed the timing record")
 		}
 	})
 }

@@ -17,17 +17,19 @@ type Metrics struct {
 
 	// Central side.
 	Images          *telemetry.Counter
-	ImageLatency    *telemetry.Histogram  // seconds, full Infer round trip
-	TileRoundTrip   *telemetry.Histogram  // seconds, tile dispatch → result arrival
-	TilesDispatched *telemetry.CounterVec // node
-	TilesReceived   *telemetry.CounterVec // node, within the drop deadline
-	TilesMissed     *telemetry.Counter    // zero-filled at T_L
-	ConnDrops       *telemetry.CounterVec // node, transport failures → session down
-	InflightImages  *telemetry.Gauge      // images dispatched, Wait not finished
-	SendQueueDepth  *telemetry.GaugeVec   // node, tasks queued in the session send loop
-	Reconnects      *telemetry.CounterVec // node, successful session reconnects
-	StaleResults    *telemetry.Counter    // results for already-settled tiles
-	PipelineDepth   *telemetry.Gauge      // admission slots held in a Pipeline
+	ImageLatency    *telemetry.Histogram            // seconds, full Infer round trip
+	TileRoundTrip   *telemetry.Histogram            // seconds, tile dispatch → result arrival
+	TilesDispatched *telemetry.CounterVec           // node
+	TilesReceived   *telemetry.CounterVec           // node, within the drop deadline
+	TilesMissed     *telemetry.Counter              // zero-filled at T_L
+	ConnDrops       *telemetry.CounterVec           // node, transport failures → session down
+	InflightImages  *telemetry.Gauge                // images dispatched, Wait not finished
+	SendQueueDepth  *telemetry.GaugeVec             // node, tasks queued in the session send loop
+	Reconnects      *telemetry.CounterVec           // node, successful session reconnects
+	StaleResults    *telemetry.Counter              // results for already-settled tiles
+	PipelineDepth   *telemetry.Gauge                // admission slots held in a Pipeline
+	TilePhase       [NumPhases]*telemetry.Histogram // seconds, per-tile latency decomposition by phase
+	ClockOffset     *telemetry.GaugeVec             // node, estimated Conv-clock offset (seconds to add to map onto Central's clock)
 	Sched           *sched.Monitor
 
 	// Worker side.
@@ -44,7 +46,7 @@ type Metrics struct {
 // NewMetrics registers the runtime metric catalog on reg (see DESIGN.md
 // "Observability" for the name catalog).
 func NewMetrics(reg *telemetry.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		Registry:         reg,
 		Images:           reg.Counter("adcnn_central_images_total", "Distributed inferences started."),
 		ImageLatency:     reg.Histogram("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference.", nil),
@@ -58,6 +60,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		Reconnects:       reg.CounterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
 		StaleResults:     reg.Counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
 		PipelineDepth:    reg.Gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
+		ClockOffset:      reg.GaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
 		Sched:            sched.NewMonitor(reg),
 		WorkerTasks:      reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
 		WorkerProcess:    reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
@@ -66,6 +69,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		WorkerSendErrors: reg.Counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
 		Wire:             NewWireMetrics(reg),
 	}
+	phases := reg.HistogramVec("adcnn_central_tile_phase_seconds",
+		"Per-tile latency decomposition: time spent in each phase of the tile's journey.", nil, "phase")
+	for p := 0; p < NumPhases; p++ {
+		m.TilePhase[p] = phases.With(PhaseNames[p])
+	}
+	return m
 }
 
 // kindLabel names a message kind for the wire metric labels.
@@ -118,14 +127,19 @@ func NewWireMetrics(reg *telemetry.Registry) *WireMetrics {
 }
 
 // frameOverhead is the wire framing cost per message (magic + version +
-// 4-byte length prefix + 14-byte header), kept in sync with
-// WriteMessage.
-const frameOverhead = 20
+// 4-byte length prefix + 30-byte header), kept in sync with
+// WriteMessage. Result frames carrying a ConvTiming record cost
+// timingSize more.
+const frameOverhead = 6 + bodyHeader
 
 func (wm *WireMetrics) record(dir int, m *Message) {
 	k := kindLabel(m.Kind)
+	n := len(m.Payload) + frameOverhead
+	if m.Timing != nil {
+		n += timingSize
+	}
 	wm.frames[dir][k].Inc()
-	wm.bytes[dir][k].Add(float64(len(m.Payload) + frameOverhead))
+	wm.bytes[dir][k].Add(float64(n))
 	if m.Compressed {
 		wm.compFrames[dir].Inc()
 		wm.compBytes[dir].Add(float64(len(m.Payload)))

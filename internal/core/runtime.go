@@ -86,10 +86,12 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 			return nil
 		case KindTask:
 			start := time.Now()
-			out, compressed, err := w.process(m.Payload)
+			tm := &ConvTiming{RecvNs: monoNow()}
+			x, err := DecodeTensor(m.Payload)
 			if err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
+			tm.DecodeNs = monoNow()
 			// Delay models a device that serves tiles at a fixed rate: each
 			// task occupies the device for Delay of wall-clock time, and
 			// back-to-back tasks chain off the previous release time rather
@@ -97,6 +99,8 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 			// plain sleep-per-task would model a device that slows down
 			// whenever the Central's CPU is busy, which no remote device
 			// does — and it underestimates pipelining on a loaded host.
+			// The wait sits between decode and compute, so it shows up in
+			// the timing record as queue time, like a busy real device.
 			if w.Delay > 0 {
 				if nextFree.Before(start) {
 					nextFree = start
@@ -110,13 +114,20 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 					}
 				}
 			}
+			tm.ComputeStartNs = monoNow()
+			out, compressed, err := w.computeEncode(x, tm)
+			if err != nil {
+				return fmt.Errorf("core: worker %d: %w", w.ID, err)
+			}
 			if met != nil {
 				tasks.Inc()
 				met.WorkerProcess.ObserveDuration(time.Since(start).Nanoseconds())
 			}
+			tm.SendNs = monoNow()
 			res := &Message{
 				Kind: KindResult, ImageID: m.ImageID, TileID: m.TileID,
 				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
+				TraceID: m.TraceID, SpanID: m.SpanID, Timing: tm,
 			}
 			if err := conn.Send(res); err != nil {
 				if ctx.Err() != nil {
@@ -133,25 +144,28 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 	}
 }
 
-// process runs one tile through Front + Boundary and encodes the result.
-func (w *Worker) process(payload []byte) ([]byte, bool, error) {
-	x, err := DecodeTensor(payload)
-	if err != nil {
-		return nil, false, err
-	}
+// computeEncode runs one decoded tile through Front + Boundary and
+// encodes the result, stamping the compute-done and encode-done marks
+// into the timing record.
+func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming) ([]byte, bool, error) {
 	y := w.Model.Front.Forward(x, false)
 	opt := w.Model.Opt
-	if opt.Clipped() {
+	clipped := opt.Clipped()
+	if clipped {
 		// The boundary's clipped ReLU runs on the Conv node so the result
 		// is sparse before encoding.
 		y = w.Model.Boundary.Layers[0].Forward(y, false)
-		if opt.QuantBits > 0 {
-			p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
-			out, err := p.Encode(y)
-			return out, true, err
-		}
 	}
-	return EncodeTensor(y), false, nil
+	tm.ComputeEndNs = monoNow()
+	if clipped && opt.QuantBits > 0 {
+		p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
+		out, err := p.Encode(y)
+		tm.EncodeNs = monoNow()
+		return out, true, err
+	}
+	out := EncodeTensor(y)
+	tm.EncodeNs = monoNow()
+	return out, false, nil
 }
 
 // InferStats reports one distributed inference's runtime behaviour.
@@ -161,6 +175,13 @@ type InferStats struct {
 	Alloc       sched.Allocation
 	Received    []int
 	WireBytes   int64 // total result bytes received
+	// TraceID identifies this image across both sides of the wire: every
+	// span the Central and the Conv nodes contribute to the Chrome trace
+	// carries it, as does every tile frame.
+	TraceID uint64
+	// Breakdown is the per-tile latency decomposition (nil only when no
+	// tile returned a timing-capable result).
+	Breakdown *Breakdown
 }
 
 // Central is the ADCNN Central node: input-partition block, statistics
@@ -181,6 +202,11 @@ type Central struct {
 
 	metrics *Metrics
 	trace   *telemetry.Trace
+	flight  *telemetry.FlightRecorder
+
+	// traceBase salts per-image trace IDs so traces from successive runs
+	// don't collide when merged; the image ID is folded in per image.
+	traceBase uint64
 
 	imageID atomic.Uint32
 	mu      sync.Mutex // guards Stats and allocation
@@ -223,6 +249,16 @@ func (c *Central) SetTrace(t *telemetry.Trace) {
 	}
 }
 
+// SetFlightRecorder attaches a flight recorder: the runtime records a
+// structured event stream (enqueue, sent, result, stale, deadline
+// misses, session transitions) into its ring and dumps the affected
+// image's recent events whenever a tile misses T_L or a session fails
+// over. Call before the first Infer; nil disables (the default).
+func (c *Central) SetFlightRecorder(f *telemetry.FlightRecorder) { c.flight = f }
+
+// FlightRecorder returns the attached recorder (nil when disabled).
+func (c *Central) FlightRecorder() *telemetry.FlightRecorder { return c.flight }
+
 // SetDialer gives node k's session a way to re-establish its connection
 // after a transport failure (reconnect with exponential backoff).
 // Without a dialer a failed node stays dead forever, which is the right
@@ -242,13 +278,14 @@ func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) 
 	tiles := m.Opt.Grid.Tiles()
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Central{
-		Model:   m,
-		Conns:   conns,
-		TL:      tl,
-		Stats:   sched.NewStats(len(conns), gamma, float64(tiles)/float64(len(conns))),
-		ctx:     ctx,
-		cancel:  cancel,
-		dialers: make([]func(context.Context) (Conn, error), len(conns)),
+		Model:     m,
+		Conns:     conns,
+		TL:        tl,
+		Stats:     sched.NewStats(len(conns), gamma, float64(tiles)/float64(len(conns))),
+		traceBase: uint64(time.Now().UnixNano()) << 20,
+		ctx:       ctx,
+		cancel:    cancel,
+		dialers:   make([]func(context.Context) (Conn, error), len(conns)),
 	}
 	c.pending.init()
 	return c, nil
@@ -258,11 +295,19 @@ func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) 
 // SetTrace / SetDialer have had their chance to run.
 func (c *Central) start() {
 	c.startOnce.Do(func() {
-		c.sessions = make([]*nodeSession, len(c.Conns))
+		sessions := make([]*nodeSession, len(c.Conns))
 		for k, conn := range c.Conns {
-			c.sessions[k] = newNodeSession(k, c, conn, c.dialers[k])
+			sessions[k] = newNodeSession(k, c, conn, c.dialers[k])
+		}
+		// Publish under mu so concurrent readers that can't ride on the
+		// dispatching goroutine (the /debug/sessions handler) see a
+		// consistent slice before the loops start.
+		c.mu.Lock()
+		c.sessions = sessions
+		c.mu.Unlock()
+		for _, s := range sessions {
 			c.loopWG.Add(1)
-			go c.sessions[k].run()
+			go s.run()
 		}
 	})
 }
@@ -290,17 +335,23 @@ func (c *Central) redispatch(orphans []*Message) {
 		}
 		placed := false
 		for _, s := range c.sessions {
-			if s.Alive() && s.enqueue(c.ctx, m) {
+			if s.Alive() {
+				c.pending.markEnqueued(pendingKey{m.ImageID, m.TileID}, s.id, monoNow())
+				if !s.enqueue(c.ctx, m) {
+					continue
+				}
 				if c.metrics != nil {
 					c.metrics.TilesDispatched.With(nodeLabel(s.id)).Inc()
 				}
+				c.flight.Record("redispatch", m.ImageID, int(m.TileID), s.id, "")
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			if col, ok := c.pending.claim(pendingKey{m.ImageID, m.TileID}); ok {
-				col.abort(fmt.Errorf("core: no alive conv node for tile %d", m.TileID))
+			if e, ok := c.pending.claim(pendingKey{m.ImageID, m.TileID}); ok {
+				c.flight.Record("abort", m.ImageID, int(m.TileID), -1, "no alive conv node")
+				e.col.abort(fmt.Errorf("core: no alive conv node for tile %d", m.TileID))
 			}
 		}
 	}
@@ -324,6 +375,7 @@ type Inflight struct {
 	cctx       context.Context // parent + T_L deadline
 	cancelTL   context.CancelFunc
 	img        uint32
+	traceID    uint64
 	tiles      []fdsp.Tile
 	col        *imageCollector
 	alloc      sched.Allocation
@@ -352,6 +404,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	}
 	start := time.Now()
 	img := c.imageID.Add(1)
+	traceID := c.traceBase | uint64(img)
 	met, tr := c.metrics, c.trace
 	if met != nil {
 		met.Images.Inc()
@@ -399,11 +452,13 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	for ti, tl := range tiles {
 		task := &Message{
 			Kind: KindTask, ImageID: img, TileID: uint32(ti),
+			TraceID: traceID, SpanID: tileSpanID(img, ti),
 			Payload: EncodeTensor(fdsp.ExtractTile(x, tl)),
 		}
 		k := assignment[ti]
 		sent := false
 		for attempt := 0; attempt < len(c.sessions); attempt++ {
+			c.pending.markEnqueued(pendingKey{img, uint32(ti)}, k, monoNow())
 			if c.sessions[k].enqueue(ctx, task) {
 				counts[k]++
 				sent = true
@@ -421,6 +476,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 			}
 			return nil, fmt.Errorf("core: no alive conv node for tile %d", ti)
 		}
+		c.flight.Record("enqueue", img, ti, k, "")
 		if dispatchAt != nil {
 			dispatchAt[ti] = time.Now()
 		}
@@ -428,17 +484,26 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 			met.TilesDispatched.With(nodeLabel(k)).Inc()
 		}
 	}
-	dispatchSpan.End(map[string]any{"image": img, "tiles": len(tiles)})
+	dispatchSpan.End(map[string]any{"image": img, "tiles": len(tiles), "trace_id": TraceIDString(traceID)})
 
 	// The T_L clock starts when the last tile is handed off, matching the
 	// paper's "after transmitting all the tiles" anchor.
 	cctx, cancelTL := context.WithTimeout(ctx, c.TL)
 	return &Inflight{
 		c: c, parent: ctx, cctx: cctx, cancelTL: cancelTL,
-		img: img, tiles: tiles, col: col, alloc: counts,
+		img: img, traceID: traceID, tiles: tiles, col: col, alloc: counts,
 		dispatchAt: dispatchAt, start: start,
 	}, nil
 }
+
+// tileSpanID derives the parent span ID a tile frame carries: unique
+// per (image, tile) so Conv-side work can be parented to the dispatch.
+func tileSpanID(img uint32, tile int) uint64 {
+	return uint64(img)<<24 | uint64(tile)&0xffffff
+}
+
+// TraceIDString renders a trace ID the way it appears in span args.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // Wait collects the image's intermediate results, zero-fills whatever
 // missed the deadline, and runs the layer-computation block.
@@ -467,16 +532,28 @@ func (h *Inflight) collect() (*tensor.Tensor, InferStats, error) {
 
 	outTiles := make([]*tensor.Tensor, len(h.tiles))
 	received := make([]int, len(c.sessions))
+	breakdown := &Breakdown{Image: h.img, TraceID: h.traceID}
 	var wire int64
 	got := 0
 collect:
 	for got < len(h.tiles) {
 		select {
 		case a := <-h.col.ch:
+			collectNs := monoNow()
 			outTiles[a.tile] = a.t
 			received[a.node]++
 			wire += int64(a.wire)
 			got++
+			if a.enqNs > 0 {
+				tb := newTileBreakdown(a.tile, a.node, a.enqNs, a.sentNs, a.recvNs, collectNs, a.timing, a.offsetNs)
+				breakdown.Tiles = append(breakdown.Tiles, tb)
+				if met != nil {
+					for p := 0; p < NumPhases; p++ {
+						met.TilePhase[p].ObserveDuration(int64(tb.Phase[p]))
+					}
+				}
+				h.tracePhases(&tb, a.sentNs)
+			}
 			if h.dispatchAt != nil {
 				rt := time.Since(h.dispatchAt[a.tile])
 				if met != nil {
@@ -485,18 +562,19 @@ collect:
 				}
 				tr.Span(fmt.Sprintf("tile %d", a.tile), "tile", a.node+1,
 					tr.Offset(h.dispatchAt[a.tile]), rt,
-					map[string]any{"image": h.img, "tile": a.tile, "wire_bytes": a.wire})
+					map[string]any{"image": h.img, "tile": a.tile, "wire_bytes": a.wire,
+						"trace_id": TraceIDString(h.traceID)})
 			}
 		case <-h.col.fail:
 			cleanup()
-			return nil, InferStats{Latency: time.Since(h.start)}, h.col.err
+			return nil, InferStats{Latency: time.Since(h.start), TraceID: h.traceID}, h.col.err
 		case <-h.cctx.Done():
 			break collect // T_L expired or the caller cancelled
 		}
 	}
 	cleanup()
 	if err := h.parent.Err(); err != nil {
-		return nil, InferStats{Latency: time.Since(h.start)}, err
+		return nil, InferStats{Latency: time.Since(h.start), TraceID: h.traceID}, err
 	}
 
 	// Statistics-collection block (Algorithm 2).
@@ -517,6 +595,8 @@ collect:
 		if outTiles[i] == nil {
 			outTiles[i] = tensor.New(shape...)
 			missed++
+			c.flight.Record("deadline-miss", h.img, i, -1,
+				fmt.Sprintf("tile %d of image %d zero-filled at T_L=%v", i, h.img, c.TL))
 		}
 	}
 	if missed > 0 {
@@ -524,7 +604,8 @@ collect:
 			met.TilesMissed.Add(float64(missed))
 		}
 		tr.Instant("zero-fill", "central", 0, tr.Offset(time.Now()),
-			map[string]any{"image": h.img, "missed": missed})
+			map[string]any{"image": h.img, "missed": missed, "trace_id": TraceIDString(h.traceID)})
+		c.flight.Dump("deadline-miss", h.img)
 	}
 
 	// Layer-computation block: reassemble and run the later layers. The
@@ -536,7 +617,7 @@ collect:
 	c.backMu.Lock()
 	backSpan := tr.Begin("back", "central", 0)
 	out := c.Model.Back.Forward(merged, false)
-	backSpan.End(map[string]any{"image": h.img})
+	backSpan.End(map[string]any{"image": h.img, "trace_id": TraceIDString(h.traceID)})
 	c.backMu.Unlock()
 
 	latency := time.Since(h.start)
@@ -544,14 +625,51 @@ collect:
 		met.ImageLatency.ObserveDuration(latency.Nanoseconds())
 	}
 	tr.Span(fmt.Sprintf("image %d", h.img), "image", 0, tr.Offset(h.start), latency,
-		map[string]any{"missed": missed, "wire_bytes": wire})
+		map[string]any{"missed": missed, "wire_bytes": wire, "trace_id": TraceIDString(h.traceID)})
+	if len(breakdown.Tiles) == 0 {
+		breakdown = nil
+	}
 	return out, InferStats{
 		Latency:     latency,
 		TilesMissed: missed,
 		Alloc:       h.alloc,
 		Received:    received,
 		WireBytes:   wire,
+		TraceID:     h.traceID,
+		Breakdown:   breakdown,
 	}, nil
+}
+
+// tracePhases merges the Conv node's side of a tile's journey into the
+// trace as contiguous child spans on that node's track, mapped onto the
+// Central's clock: uplink → queue → compute → downlink tile the
+// interval between the frame leaving the Central and the result coming
+// back, so both sides of the wire render under one trace ID.
+func (h *Inflight) tracePhases(tb *TileBreakdown, sentNs int64) {
+	tr := h.c.trace
+	if tr == nil || tb.Conv == nil {
+		return
+	}
+	args := map[string]any{
+		"image": h.img, "tile": tb.Tile, "trace_id": TraceIDString(h.traceID),
+		"span_id":         fmt.Sprintf("%016x", tileSpanID(h.img, tb.Tile)),
+		"clock_offset_ns": tb.OffsetNs,
+	}
+	tid := tb.Node + 1
+	at := sentNs
+	for _, ph := range [...]struct {
+		name  string
+		phase int
+	}{
+		{"uplink", PhaseUplink},
+		{"queue", PhaseNodeQueue},
+		{"compute", PhaseCompute},
+		{"downlink", PhaseDownlink},
+	} {
+		dur := tb.Phase[ph.phase]
+		tr.Span(ph.name, "conv", tid, tr.Offset(monoWall(at)), dur, args)
+		at += int64(dur)
+	}
 }
 
 // aliveSpeedsLocked is aliveSpeeds for callers already holding c.mu.

@@ -3,7 +3,9 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -89,8 +91,64 @@ func TestMessageFramingRejectsVersionMismatch(t *testing.T) {
 	if !errors.Is(err, ErrProtoVersion) {
 		t.Fatalf("version mismatch must fail with ErrProtoVersion, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "v2") || !strings.Contains(err.Error(), "v1") {
+	ours := fmt.Sprintf("v%d", ProtoVersion)
+	theirs := fmt.Sprintf("v%d", ProtoVersion+1)
+	if !strings.Contains(err.Error(), ours) || !strings.Contains(err.Error(), theirs) {
 		t.Fatalf("version error must name both revisions: %v", err)
+	}
+}
+
+func TestV2CentralRejectsV1Peer(t *testing.T) {
+	// A v1 frame: magic, version 1, then the old 14-byte body header. A
+	// v2 build must reject it before trusting any length, with an error
+	// naming both revisions so the operator knows which side to upgrade.
+	v1 := []byte{protoMagic, 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	_, err := ReadMessage(bytes.NewReader(v1))
+	if !errors.Is(err, ErrProtoVersion) {
+		t.Fatalf("v1 peer must fail with ErrProtoVersion, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "v1") || !strings.Contains(err.Error(), "v2") {
+		t.Fatalf("error must name both v1 and v2: %v", err)
+	}
+}
+
+func TestMessageTraceContextAndTimingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Kind: KindResult, ImageID: 3, TileID: 9, NodeID: 1, Compressed: true,
+		TraceID: 0xdeadbeefcafe0001, SpanID: 0x42,
+		Timing: &ConvTiming{
+			RecvNs: 100, DecodeNs: 150, ComputeStartNs: 200,
+			ComputeEndNs: 900, EncodeNs: 950, SendNs: 1000,
+		},
+		Payload: []byte{7, 8, 9},
+	}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID {
+		t.Fatalf("trace context lost: %+v", out)
+	}
+	if out.Timing == nil || *out.Timing != *in.Timing {
+		t.Fatalf("timing record lost: %+v", out.Timing)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload corrupted after timing record: %v", out.Payload)
+	}
+	// Truncated timing record must error, not panic or misparse.
+	var short bytes.Buffer
+	if err := WriteMessage(&short, in); err != nil {
+		t.Fatal(err)
+	}
+	frame := short.Bytes()
+	cut := frame[:len(frame)-len(in.Payload)-8] // drop payload + tail of timing
+	binary.LittleEndian.PutUint32(cut[2:], uint32(len(cut)-6))
+	if _, err := ReadMessage(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated timing record must fail")
 	}
 }
 

@@ -11,12 +11,21 @@ import (
 )
 
 // arrival is one decoded intermediate result routed to its image's
-// collector.
+// collector, carrying everything the collector needs to reconstruct the
+// tile's phase timeline: the Central-side timestamps (central mono ns),
+// the Conv-side timing record, and the session's clock-offset estimate
+// at arrival time.
 type arrival struct {
 	tile int
 	node int
 	t    *tensor.Tensor
 	wire int
+
+	enqNs    int64 // task enqueued on the session
+	sentNs   int64 // task frame handed to the socket
+	recvNs   int64 // result frame read back
+	timing   *ConvTiming
+	offsetNs int64
 }
 
 // pendingKey identifies one outstanding tile: results are demultiplexed
@@ -55,34 +64,77 @@ func (col *imageCollector) abort(err error) {
 	})
 }
 
+// pendingEntry is one outstanding tile's table row: the collector it
+// routes to plus the Central-side timestamps of its latest dispatch
+// attempt (redispatch overwrites them, so the breakdown describes the
+// attempt that actually produced the result).
+type pendingEntry struct {
+	col    *imageCollector
+	node   int   // session the tile was last enqueued on
+	enqNs  int64 // central mono ns, last enqueue
+	sentNs int64 // central mono ns, frame handed to the socket
+}
+
 // demux is the pending table shared by every node session.
 type demux struct {
 	mu    sync.Mutex
-	m     map[pendingKey]*imageCollector
+	m     map[pendingKey]*pendingEntry
 	stale *telemetry.Counter // nil disables
 }
 
-func (d *demux) init() { d.m = make(map[pendingKey]*imageCollector) }
+func (d *demux) init() { d.m = make(map[pendingKey]*pendingEntry) }
 
 // register enters every tile of an image into the table.
 func (d *demux) register(col *imageCollector, tiles int) {
 	d.mu.Lock()
 	for t := 0; t < tiles; t++ {
-		d.m[pendingKey{col.img, uint32(t)}] = col
+		d.m[pendingKey{col.img, uint32(t)}] = &pendingEntry{col: col, node: -1}
 	}
 	d.mu.Unlock()
 }
 
-// claim removes and returns the collector for a key. The removal makes
-// delivery exactly-once: a duplicate or late result finds no entry.
-func (d *demux) claim(k pendingKey) (*imageCollector, bool) {
+// markEnqueued stamps a tile's dispatch-queue entry time and owner.
+func (d *demux) markEnqueued(k pendingKey, node int, ns int64) {
 	d.mu.Lock()
-	col, ok := d.m[k]
+	if e, ok := d.m[k]; ok {
+		e.node = node
+		e.enqNs = ns
+		e.sentNs = 0
+	}
+	d.mu.Unlock()
+}
+
+// markSent stamps the instant a tile's frame was handed to the socket.
+func (d *demux) markSent(k pendingKey, ns int64) {
+	d.mu.Lock()
+	if e, ok := d.m[k]; ok {
+		e.sentNs = ns
+	}
+	d.mu.Unlock()
+}
+
+// claim removes and returns the entry for a key. The removal makes
+// delivery exactly-once: a duplicate or late result finds no entry.
+func (d *demux) claim(k pendingKey) (*pendingEntry, bool) {
+	d.mu.Lock()
+	e, ok := d.m[k]
 	if ok {
 		delete(d.m, k)
 	}
 	d.mu.Unlock()
-	return col, ok
+	return e, ok
+}
+
+// perNode counts outstanding tiles by owning session (-1 = unassigned),
+// for the /debug/sessions snapshot.
+func (d *demux) perNode() map[int]int {
+	out := make(map[int]int)
+	d.mu.Lock()
+	for _, e := range d.m {
+		out[e.node]++
+	}
+	d.mu.Unlock()
+	return out
 }
 
 // dropImage removes an image's remaining entries (deadline hit or the
@@ -131,22 +183,31 @@ type nodeSession struct {
 	alive       bool
 	down        chan struct{} // closed when the session goes down
 	pendingSend *Message      // in-flight message a failed Send may strand
+	epochs      int           // connection epochs started (1 = original conn)
+	backoff     time.Duration // current reconnect backoff (0 when connected)
 
-	queueDepth *telemetry.Gauge // nil disables
+	// offset maps this Conv node's monotonic clock onto the Central's,
+	// refreshed from every task→result exchange (RTT-midpoint EWMA).
+	offset *telemetry.OffsetEstimator
+
+	queueDepth  *telemetry.Gauge // nil disables
+	offsetGauge *telemetry.Gauge // nil disables
 }
 
 func newNodeSession(id int, c *Central, conn Conn, dial func(context.Context) (Conn, error)) *nodeSession {
 	s := &nodeSession{
-		id:    id,
-		c:     c,
-		dial:  dial,
-		sendq: make(chan *Message, 256),
-		conn:  conn,
-		alive: true,
-		down:  make(chan struct{}),
+		id:     id,
+		c:      c,
+		dial:   dial,
+		sendq:  make(chan *Message, 256),
+		conn:   conn,
+		alive:  true,
+		down:   make(chan struct{}),
+		offset: telemetry.NewOffsetEstimator(0),
 	}
 	if c.metrics != nil {
 		s.queueDepth = c.metrics.SendQueueDepth.With(nodeLabel(id))
+		s.offsetGauge = c.metrics.ClockOffset.With(nodeLabel(id))
 	}
 	return s
 }
@@ -242,6 +303,7 @@ func (s *nodeSession) run() {
 	for {
 		s.mu.Lock()
 		conn := s.conn
+		s.epochs++
 		s.mu.Unlock()
 
 		stop := make(chan struct{})
@@ -280,6 +342,16 @@ func (s *nodeSession) run() {
 		if s.c.metrics != nil {
 			s.c.metrics.ConnDrops.With(nodeLabel(s.id)).Inc()
 		}
+		s.c.flight.Record("session-down", 0, -1, s.id, "transport failure")
+		// A failover strands in-flight work: dump the flight ring for
+		// every image that had tasks queued on this session.
+		seen := map[uint32]bool{}
+		for _, m := range orphans {
+			if m.Kind == KindTask && !seen[m.ImageID] {
+				seen[m.ImageID] = true
+				s.c.flight.Dump("session-failover", m.ImageID)
+			}
+		}
 		s.c.redispatch(orphans)
 		if s.dial == nil {
 			return
@@ -304,9 +376,13 @@ func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 			s.mu.Lock()
 			s.pendingSend = m
 			s.mu.Unlock()
+			// Stamp t0 just before the write so the uplink phase (and the
+			// offset estimator's request leg) includes the serialization.
+			s.c.pending.markSent(pendingKey{m.ImageID, m.TileID}, monoNow())
 			if err := conn.Send(m); err != nil {
 				return err
 			}
+			s.c.flight.Record("sent", m.ImageID, int(m.TileID), s.id, "")
 			s.mu.Lock()
 			s.pendingSend = nil
 			s.mu.Unlock()
@@ -315,20 +391,32 @@ func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 }
 
 // recvLoop decodes results off the connection and routes each through
-// the pending table to its image's collector.
+// the pending table to its image's collector, folding each exchange's
+// timestamps into the session's clock-offset estimate on the way.
 func (s *nodeSession) recvLoop(conn Conn) error {
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			return err
 		}
+		recvNs := monoNow()
 		if m.Kind != KindResult {
 			continue
 		}
-		col, ok := s.c.pending.claim(pendingKey{m.ImageID, m.TileID})
+		e, ok := s.c.pending.claim(pendingKey{m.ImageID, m.TileID})
 		if !ok {
 			s.c.pending.markStale()
+			s.c.flight.Record("stale", m.ImageID, int(m.TileID), s.id, "")
 			continue
+		}
+		var offsetNs int64
+		if m.Timing != nil && e.sentNs > 0 {
+			offsetNs, _ = s.offset.Update(e.sentNs, m.Timing.RecvNs, m.Timing.SendNs, recvNs)
+			if s.offsetGauge != nil {
+				s.offsetGauge.Set(float64(offsetNs) / 1e9)
+			}
+		} else {
+			offsetNs = s.offset.Offset()
 		}
 		var t *tensor.Tensor
 		var derr error
@@ -340,9 +428,15 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		if derr != nil {
 			// An undecodable result is as good as a missed tile: the
 			// image zero-fills it at the deadline.
+			s.c.flight.Record("decode-error", m.ImageID, int(m.TileID), s.id, derr.Error())
 			continue
 		}
-		col.ch <- arrival{tile: int(m.TileID), node: s.id, t: t, wire: len(m.Payload)}
+		s.c.flight.Record("result", m.ImageID, int(m.TileID), s.id, "")
+		e.col.ch <- arrival{
+			tile: int(m.TileID), node: s.id, t: t, wire: len(m.Payload),
+			enqNs: e.enqNs, sentNs: e.sentNs, recvNs: recvNs,
+			timing: m.Timing, offsetNs: offsetNs,
+		}
 	}
 }
 
@@ -352,6 +446,9 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 func (s *nodeSession) reconnect() bool {
 	backoff := reconnectBase
 	for {
+		s.mu.Lock()
+		s.backoff = backoff
+		s.mu.Unlock()
 		select {
 		case <-s.c.ctx.Done():
 			return false
@@ -364,8 +461,12 @@ func (s *nodeSession) reconnect() bool {
 			if s.c.metrics != nil && s.c.metrics.Wire != nil {
 				conn = InstrumentConn(conn, s.c.metrics.Wire)
 			}
+			s.mu.Lock()
+			s.backoff = 0
+			s.mu.Unlock()
 			s.revive(conn)
 			s.c.reviveNode(s.id)
+			s.c.flight.Record("session-reconnect", 0, -1, s.id, "")
 			return true
 		}
 		backoff *= 2
@@ -373,4 +474,21 @@ func (s *nodeSession) reconnect() bool {
 			backoff = reconnectMax
 		}
 	}
+}
+
+// debugInfo snapshots the session state for /debug/sessions.
+func (s *nodeSession) debugInfo() SessionDebug {
+	s.mu.Lock()
+	info := SessionDebug{
+		Node:      s.id,
+		Alive:     s.alive,
+		Epochs:    s.epochs,
+		BackoffMs: float64(s.backoff) / 1e6,
+	}
+	s.mu.Unlock()
+	info.QueueDepth = len(s.sendq)
+	info.ClockOffsetNs = s.offset.Offset()
+	info.RTTNs = s.offset.RTT()
+	info.OffsetSamples = s.offset.Samples()
+	return info
 }

@@ -23,7 +23,8 @@ const (
 )
 
 // Message is one protocol frame. Tiles carry the image ID and tile ID of
-// paper Figure 8 so results can be matched to requests.
+// paper Figure 8 so results can be matched to requests, plus a trace
+// context so every hop of a tile's journey lands under one trace.
 type Message struct {
 	Kind    MsgKind
 	ImageID uint32
@@ -32,7 +33,53 @@ type Message struct {
 	// Compressed marks Payload as a compress-pipeline payload rather
 	// than a raw tensor encoding.
 	Compressed bool
-	Payload    []byte
+	// TraceID is the per-image trace identifier; SpanID is the parent
+	// span (the tile dispatch) the receiver should attribute work to.
+	// Workers echo both back on the result frame.
+	TraceID uint64
+	SpanID  uint64
+	// Timing is the Conv-side timing record attached to result frames
+	// (nil on tasks and on results from a worker that did not time the
+	// tile). Timestamps are monotonic nanoseconds on the sender's clock;
+	// the Central maps them onto its own clock with the per-session
+	// offset estimator.
+	Timing  *ConvTiming
+	Payload []byte
+}
+
+// ConvTiming is the per-tile timing record a Conv node attaches to each
+// result: six monotonic timestamps (nanoseconds since the Conv process
+// epoch) bracketing every stage of the tile's stay on the node.
+type ConvTiming struct {
+	RecvNs         int64 // task frame read off the wire
+	DecodeNs       int64 // input tensor decoded
+	ComputeStartNs int64 // device free, Front compute begins (queue wait ends)
+	ComputeEndNs   int64 // Front+Boundary forward done
+	EncodeNs       int64 // result payload encoded
+	SendNs         int64 // result frame about to be written
+}
+
+// timingSize is the wire size of a ConvTiming record: 6 × int64.
+const timingSize = 48
+
+func (tm *ConvTiming) encode(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:], uint64(tm.RecvNs))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(tm.DecodeNs))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(tm.ComputeStartNs))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(tm.ComputeEndNs))
+	binary.LittleEndian.PutUint64(dst[32:], uint64(tm.EncodeNs))
+	binary.LittleEndian.PutUint64(dst[40:], uint64(tm.SendNs))
+}
+
+func decodeTiming(src []byte) *ConvTiming {
+	return &ConvTiming{
+		RecvNs:         int64(binary.LittleEndian.Uint64(src[0:])),
+		DecodeNs:       int64(binary.LittleEndian.Uint64(src[8:])),
+		ComputeStartNs: int64(binary.LittleEndian.Uint64(src[16:])),
+		ComputeEndNs:   int64(binary.LittleEndian.Uint64(src[24:])),
+		EncodeNs:       int64(binary.LittleEndian.Uint64(src[32:])),
+		SendNs:         int64(binary.LittleEndian.Uint64(src[40:])),
+	}
 }
 
 // Wire frame layout: every frame starts with a magic byte and a protocol
@@ -42,8 +89,10 @@ type Message struct {
 const (
 	protoMagic = 0xAD // "ADcnn"
 	// ProtoVersion is the wire protocol revision. Bump on any frame
-	// layout change.
-	ProtoVersion = 1
+	// layout change. v2 added the trace context (traceID + parent
+	// spanID) to every frame and the optional ConvTiming record to
+	// results.
+	ProtoVersion = 2
 )
 
 // ErrProtoVersion reports a peer speaking a different frame revision.
@@ -55,26 +104,49 @@ var ErrBadMagic = errors.New("core: bad frame magic (not an ADCNN peer?)")
 const maxFrame = 256 << 20 // 256 MiB guard against corrupt lengths
 
 // bodyHeader is the fixed-size message header inside the frame body:
-// kind(1) + imageID(4) + tileID(4) + nodeID(4) + compressed(1).
-const bodyHeader = 14
+// kind(1) + imageID(4) + tileID(4) + nodeID(4) + flags(1) +
+// traceID(8) + spanID(8).
+const bodyHeader = 30
+
+// Header flag bits.
+const (
+	flagCompressed = 1 << 0 // Payload is a compress-pipeline encoding
+	flagTiming     = 1 << 1 // a ConvTiming record precedes the payload
+)
 
 // WriteMessage frames and writes a message.
 func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Payload) > maxFrame {
 		return fmt.Errorf("core: payload %d exceeds frame limit", len(m.Payload))
 	}
-	var hdr [20]byte
+	body := uint32(len(m.Payload)) + bodyHeader
+	if m.Timing != nil {
+		body += timingSize
+	}
+	var hdr [6 + bodyHeader + timingSize]byte
 	hdr[0] = protoMagic
 	hdr[1] = ProtoVersion
-	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(m.Payload))+bodyHeader)
+	binary.LittleEndian.PutUint32(hdr[2:], body)
 	hdr[6] = byte(m.Kind)
 	binary.LittleEndian.PutUint32(hdr[7:], m.ImageID)
 	binary.LittleEndian.PutUint32(hdr[11:], m.TileID)
 	binary.LittleEndian.PutUint32(hdr[15:], m.NodeID)
+	var flags byte
 	if m.Compressed {
-		hdr[19] = 1
+		flags |= flagCompressed
 	}
-	if _, err := w.Write(hdr[:]); err != nil {
+	if m.Timing != nil {
+		flags |= flagTiming
+	}
+	hdr[19] = flags
+	binary.LittleEndian.PutUint64(hdr[20:], m.TraceID)
+	binary.LittleEndian.PutUint64(hdr[28:], m.SpanID)
+	n := 6 + bodyHeader
+	if m.Timing != nil {
+		m.Timing.encode(hdr[n:])
+		n += timingSize
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	_, err := w.Write(m.Payload)
@@ -83,7 +155,8 @@ func WriteMessage(w io.Writer, m *Message) error {
 
 // ReadMessage reads one framed message. A wrong magic byte or protocol
 // version fails with ErrBadMagic / ErrProtoVersion before any length is
-// trusted.
+// trusted; a v1 peer is named explicitly so the operator knows which
+// side to upgrade.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var pre [6]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
@@ -104,14 +177,25 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
+	flags := body[13]
 	m := &Message{
 		Kind:       MsgKind(body[0]),
 		ImageID:    binary.LittleEndian.Uint32(body[1:]),
 		TileID:     binary.LittleEndian.Uint32(body[5:]),
 		NodeID:     binary.LittleEndian.Uint32(body[9:]),
-		Compressed: body[13] == 1,
-		Payload:    body[14:],
+		Compressed: flags&flagCompressed != 0,
+		TraceID:    binary.LittleEndian.Uint64(body[14:]),
+		SpanID:     binary.LittleEndian.Uint64(body[22:]),
 	}
+	rest := body[bodyHeader:]
+	if flags&flagTiming != 0 {
+		if len(rest) < timingSize {
+			return nil, fmt.Errorf("core: frame advertises a timing record but carries %d bytes", len(rest))
+		}
+		m.Timing = decodeTiming(rest)
+		rest = rest[timingSize:]
+	}
+	m.Payload = rest
 	return m, nil
 }
 

@@ -55,6 +55,15 @@ type StreamBenchReport struct {
 	LiveSequential StreamBenchRun `json:"live_sequential"`
 	LivePipelined  StreamBenchRun `json:"live_pipelined"`
 	PipelineGain   float64        `json:"pipeline_gain"` // pipelined / sequential throughput
+	// PhaseMeansMs is the mean per-tile latency decomposition from the
+	// telemetry-enabled pass (dispatch_queue, uplink, node_queue,
+	// compute, downlink, collect), and PhaseSumVsTotalPct the relative
+	// gap between the summed phases and the measured end-to-end tile
+	// latency — ~0 by construction, tracked so a regression in the
+	// reconstruction shows up in the persisted report.
+	PhaseMeansMs       map[string]float64 `json:"phase_means_ms,omitempty"`
+	PhaseTiles         int                `json:"phase_tiles,omitempty"`
+	PhaseSumVsTotalPct float64            `json:"phase_sum_vs_total_pct"`
 }
 
 // streamRuntime wires a live Central with n in-process workers.
@@ -99,8 +108,9 @@ func summarize(images int, lat []float64, wall time.Duration) StreamBenchRun {
 }
 
 // measureStream pushes images through the runtime one at a time and
-// reports wall-clock throughput and per-image latency.
-func measureStream(c *core.Central, images, warmup int) (StreamBenchRun, error) {
+// reports wall-clock throughput and per-image latency. observe, when
+// non-nil, sees every measured image's stats (for phase accumulation).
+func measureStream(c *core.Central, images, warmup int, observe func(core.InferStats)) (StreamBenchRun, error) {
 	x := tensor.New(1, 3, 32, 32)
 	x.RandN(rand.New(rand.NewSource(7)), 1)
 	for i := 0; i < warmup; i++ {
@@ -116,6 +126,9 @@ func measureStream(c *core.Central, images, warmup int) (StreamBenchRun, error) 
 			return StreamBenchRun{}, err
 		}
 		lat = append(lat, ms(st.Latency))
+		if observe != nil {
+			observe(st)
+		}
 	}
 	return summarize(images, lat, time.Since(start)), nil
 }
@@ -166,7 +179,7 @@ func livePipelineComparison(opt models.Options, nodes, images, warmup, depth int
 		return measure(c)
 	}
 	seq, err = run(func(c *core.Central) (StreamBenchRun, error) {
-		return measureStream(c, images, warmup)
+		return measureStream(c, images, warmup, nil)
 	})
 	if err != nil {
 		return seq, pipe, err
@@ -204,7 +217,7 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 	if err != nil {
 		return nil, err
 	}
-	rep.Disabled, err = measureStream(c, images, warmup)
+	rep.Disabled, err = measureStream(c, images, warmup, nil)
 	stop()
 	if err != nil {
 		return nil, err
@@ -225,10 +238,40 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 	}
 	c.SetMetrics(met)
 	c.SetTrace(trace)
-	rep.Enabled, err = measureStream(c, images, warmup)
+	var phaseSum [core.NumPhases]time.Duration
+	var totalSum, phaseAll time.Duration
+	tiles := 0
+	rep.Enabled, err = measureStream(c, images, warmup, func(st core.InferStats) {
+		if st.Breakdown == nil {
+			return
+		}
+		for i := range st.Breakdown.Tiles {
+			t := &st.Breakdown.Tiles[i]
+			for p := range t.Phase {
+				phaseSum[p] += t.Phase[p]
+			}
+			phaseAll += t.PhaseSum()
+			totalSum += t.Total
+			tiles++
+		}
+	})
 	stop()
 	if err != nil {
 		return nil, err
+	}
+	if tiles > 0 {
+		rep.PhaseMeansMs = make(map[string]float64, core.NumPhases)
+		for p := 0; p < core.NumPhases; p++ {
+			rep.PhaseMeansMs[core.PhaseNames[p]] = ms(phaseSum[p] / time.Duration(tiles))
+		}
+		rep.PhaseTiles = tiles
+		if totalSum > 0 {
+			gap := phaseAll - totalSum
+			if gap < 0 {
+				gap = -gap
+			}
+			rep.PhaseSumVsTotalPct = float64(gap) / float64(totalSum) * 100
+		}
 	}
 
 	rep.OverheadPct = (rep.Disabled.ThroughputIPS - rep.Enabled.ThroughputIPS) /
@@ -281,6 +324,14 @@ func (r *StreamBenchReport) WriteText(w io.Writer) {
 			row.name, row.run.ThroughputIPS, row.run.MeanLatencyMs, row.run.P95LatencyMs)
 	}
 	fprintf(w, "  overhead: %.2f%% of throughput\n", r.OverheadPct)
+	if r.PhaseTiles > 0 {
+		fprintf(w, "  phase means over %d tiles (ms):", r.PhaseTiles)
+		for p := 0; p < core.NumPhases; p++ {
+			name := core.PhaseNames[p]
+			fprintf(w, " %s=%.3f", name, r.PhaseMeansMs[name])
+		}
+		fprintf(w, "  (phase-sum vs total gap %.3f%%)\n", r.PhaseSumVsTotalPct)
+	}
 	fprintf(w, "Live streaming (%s grid): sequential Infer loop vs Pipeline(depth=%d), %.0fms/tile Conv service time\n",
 		r.LiveGrid, r.PipelineDepth, r.TileDelayMs)
 	fprintf(w, "  %-20s %10s %12s %12s\n", "mode", "imgs/sec", "mean(ms)", "p95(ms)")

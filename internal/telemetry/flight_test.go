@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record("ev", uint32(i), i, -1, "")
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint32(6 + i); ev.Image != want {
+			t.Fatalf("event %d: image %d, want %d (oldest-first after wrap)", i, ev.Image, want)
+		}
+	}
+}
+
+func TestFlightDumpFiltersByImage(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Record("session-down", 0, -1, 2, "conn reset") // session-scoped: image 0
+	f.Record("enqueue", 7, 3, 1, "")
+	f.Record("enqueue", 8, 0, 1, "")
+	d := f.Dump("deadline-miss", 7)
+	if d.Reason != "deadline-miss" || d.Image != 7 {
+		t.Fatalf("dump header %+v", d)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("dump holds %d events, want image-7 + session-scoped", len(d.Events))
+	}
+	for _, ev := range d.Events {
+		if ev.Image != 7 && ev.Image != 0 {
+			t.Fatalf("dump leaked image %d", ev.Image)
+		}
+	}
+	if got := f.Dumps(); len(got) != 1 {
+		t.Fatalf("retained %d dumps", len(got))
+	}
+}
+
+func TestFlightDumpListBounded(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < maxFlightDumps+5; i++ {
+		f.Record("enqueue", uint32(i+1), 0, 0, "")
+		f.Dump("deadline-miss", uint32(i+1))
+	}
+	if got := len(f.Dumps()); got != maxFlightDumps {
+		t.Fatalf("retained %d dumps, want cap %d", got, maxFlightDumps)
+	}
+}
+
+func TestFlightHTTPEndpoint(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Record("deadline-miss", 3, 5, -1, "tile 5 of image 3 zero-filled")
+	f.Dump("deadline-miss", 3)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var page struct {
+		Recorded int           `json:"events_recorded"`
+		Capacity int           `json:"capacity"`
+		Dumps    []FlightDump  `json:"dumps"`
+		Recent   []FlightEvent `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("bad JSON from /debug/flight: %v", err)
+	}
+	if page.Recorded != 1 || page.Capacity != DefaultFlightSize {
+		t.Fatalf("page header %+v", page)
+	}
+	if len(page.Dumps) != 1 || len(page.Dumps[0].Events) != 1 {
+		t.Fatalf("dump missing from page: %+v", page.Dumps)
+	}
+	ev := page.Dumps[0].Events[0]
+	if ev.Image != 3 || ev.Tile != 5 || ev.Kind != "deadline-miss" {
+		t.Fatalf("dump event must name image and tile, got %+v", ev)
+	}
+
+	// Nil recorder serves an empty object, not a panic.
+	var nilRec *FlightRecorder
+	rec2 := httptest.NewRecorder()
+	nilRec.ServeHTTP(rec2, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec2.Body.String() != "{}\n" {
+		t.Fatalf("nil recorder served %q", rec2.Body.String())
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("x", 1, 2, 3, "")
+	if f.Events() != nil || f.Dumps() != nil {
+		t.Fatal("nil recorder must return nothing")
+	}
+	if d := f.Dump("r", 1); len(d.Events) != 0 {
+		t.Fatal("nil recorder dump must be empty")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				f.Record("ev", uint32(g+1), i, g, fmt.Sprintf("g%d", g))
+				if i%50 == 0 {
+					f.Dump("probe", uint32(g+1))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if len(f.Events()) != 64 {
+		t.Fatalf("ring should be full, holds %d", len(f.Events()))
+	}
+}

@@ -12,7 +12,12 @@ import (
 //	/metrics       Prometheus text format
 //	/healthz       liveness probe ("ok")
 //	/debug/pprof/  the standard Go profiler endpoints
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return Mux(r) }
+
+// Mux is Handler returning the concrete mux, so daemons can mount
+// extra debug endpoints (/debug/flight, /debug/sessions) beside the
+// standard set before serving.
+func Mux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -35,11 +40,17 @@ func Handler(r *Registry) http.Handler {
 // server for shutdown. The server's terminal error is ignored: metrics
 // are best-effort and must never take the inference path down.
 func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	return ServeMux(addr, Mux(r))
+}
+
+// ServeMux is Serve for a caller-built handler (typically Mux(r) plus
+// extra debug endpoints).
+func ServeMux(addr string, h http.Handler) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

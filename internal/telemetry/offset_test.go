@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// exchange simulates one request/response pair between a local clock and
+// a remote clock running at local+skew, with the given one-way delays
+// (all in nanoseconds, local clock), and feeds it to the estimator.
+func exchange(e *OffsetEstimator, localNow, skew, up, proc, down int64) (offset int64, nextLocal int64) {
+	t0 := localNow
+	t1 := t0 + up + skew // remote clock reading at arrival
+	t2 := t1 + proc
+	t3 := t0 + up + proc + down
+	off, _ := e.Update(t0, t1, t2, t3)
+	return off, t3
+}
+
+func TestOffsetConvergesUnderConstantSkew(t *testing.T) {
+	// Remote clock = local + skew. The additive convention is
+	// remote + Offset() = local, so the estimate must converge to -skew.
+	const skew = 3_000_000 // 3ms
+	e := NewOffsetEstimator(0)
+	now := int64(1_000)
+	for i := 0; i < 200; i++ {
+		_, now = exchange(e, now, skew, 50_000, 400_000, 50_000)
+		now += 1_000_000
+	}
+	got := e.Offset()
+	if diff := got + skew; diff < -5_000 || diff > 5_000 {
+		t.Fatalf("offset %d, want ~%d (symmetric paths: exact up to rounding)", got, -skew)
+	}
+	if e.Samples() != 200 {
+		t.Fatalf("samples %d, want 200", e.Samples())
+	}
+	if e.MinRTT() != 100_000 {
+		t.Fatalf("min RTT %d, want 100000 (excludes remote processing)", e.MinRTT())
+	}
+}
+
+func TestOffsetTracksDrift(t *testing.T) {
+	// The remote clock drifts 50ppm fast: after each 1ms step the skew
+	// grows by 50ns. The EWMA must follow within a few RTTs' worth.
+	e := NewOffsetEstimator(0.3)
+	now := int64(1_000)
+	skew := int64(1_000_000)
+	for i := 0; i < 2000; i++ {
+		_, now = exchange(e, now, skew, 30_000, 100_000, 30_000)
+		now += 1_000_000
+		skew += 50
+	}
+	got := e.Offset()
+	// Lag of an EWMA with weight a on a ramp of slope s per step is
+	// s(1-a)/a — 50·0.7/0.3 ≈ 117ns here; allow generous slack.
+	if diff := got + skew; diff < -20_000 || diff > 20_000 {
+		t.Fatalf("offset %d lags true -%d by %d, want within 20µs", got, skew, got+skew)
+	}
+}
+
+func TestOffsetBoundedUnderAsymmetricRTT(t *testing.T) {
+	// NTP-style midpoint estimation cannot see path asymmetry: with
+	// uplink u and downlink d the bias is exactly (d-u)/2. Verify the
+	// error never exceeds RTT/2 — the theoretical bound.
+	const skew = 2_000_000
+	const up, down = 1_600_000, 400_000 // heavily asymmetric
+	e := NewOffsetEstimator(0)
+	now := int64(1_000)
+	for i := 0; i < 100; i++ {
+		_, now = exchange(e, now, skew, up, 200_000, down)
+		now += 500_000
+	}
+	err := e.Offset() + skew // residual bias
+	if err < 0 {
+		err = -err
+	}
+	if bound := int64(up+down) / 2; err > bound {
+		t.Fatalf("offset error %d exceeds RTT/2 bound %d", err, bound)
+	}
+	// And the bias should be close to (down-up)/2 = -600µs in the stored
+	// (negated) convention: Offset = -skew - (up-down)/2.
+	want := -int64(skew) - (up-down)/2
+	if diff := e.Offset() - want; diff < -10_000 || diff > 10_000 {
+		t.Fatalf("offset %d, want ~%d for %dns/%dns asymmetry", e.Offset(), want, up, down)
+	}
+}
+
+func TestOffsetDeratesNoisySamples(t *testing.T) {
+	// Samples taken over a congested (high-RTT) exchange must move the
+	// estimate less than clean ones: converge on clean exchanges, then
+	// hit the estimator with wildly biased high-RTT samples and check
+	// the estimate barely moves.
+	const skew = 1_000_000
+	e := NewOffsetEstimator(0.2)
+	now := int64(1_000)
+	for i := 0; i < 100; i++ {
+		_, now = exchange(e, now, skew, 20_000, 50_000, 20_000)
+		now += 200_000
+	}
+	before := e.Offset()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		// 100× the RTT, all of it on the uplink: a grossly biased sample.
+		jitter := int64(2_000_000 + rng.Intn(2_000_000))
+		_, now = exchange(e, now, skew, jitter, 50_000, 20_000)
+		now += 200_000
+	}
+	after := e.Offset()
+	drift := after - before
+	if drift < 0 {
+		drift = -drift
+	}
+	// An un-derated EWMA (weight 0.2) would absorb ~98% of a ~1-2ms bias
+	// over 20 samples; the RTT derating must keep the drift far smaller.
+	if drift > 300_000 {
+		t.Fatalf("noisy samples moved the estimate by %dns — RTT derating not working", drift)
+	}
+}
+
+func TestOffsetRejectsNegativeRTT(t *testing.T) {
+	// RTT = (t3−t0)−(t2−t1) = −20 here: not a causally valid exchange.
+	e := NewOffsetEstimator(0)
+	if _, rtt := e.Update(100, 50, 60, 90); rtt >= 0 {
+		t.Fatalf("expected negative RTT back, got %d", rtt)
+	}
+	if e.Samples() != 0 {
+		t.Fatalf("rejected sample must not count, got %d", e.Samples())
+	}
+}
+
+func TestOffsetNilSafe(t *testing.T) {
+	var e *OffsetEstimator
+	e.Update(0, 1, 2, 3)
+	if e.Offset() != 0 || e.RTT() != 0 || e.MinRTT() != 0 || e.Samples() != 0 {
+		t.Fatal("nil estimator accessors must return zero")
+	}
+}
