@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"adcnn/internal/compress/codecbench"
 	"adcnn/internal/core"
 	"adcnn/internal/experiments"
 	"adcnn/internal/models"
@@ -24,11 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (kernels|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
+	exp := flag.String("exp", "all", "experiment to run (kernels|compress|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
 	images := flag.Int("images", 50, "images per latency measurement")
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernel microbenchmark report (-exp kernels)")
+	compressOut := flag.String("compress-out", "BENCH_compress.json", "output path for the boundary-codec microbenchmark report (-exp compress)")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "output path for the live-stream telemetry-overhead report (-exp stream)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline from the traced experiments (fig9, stream) to this file")
 	flag.Parse()
@@ -70,6 +72,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", *kernelsOut)
+		return
+	}
+
+	// Likewise for the boundary-codec suite: it measures the fused
+	// encoder/decoder against the retained scalar reference.
+	if *exp == "compress" {
+		rep := codecbench.Run()
+		rep.WriteText(w)
+		if err := rep.WriteJSON(*compressOut); err != nil {
+			fmt.Fprintf(os.Stderr, "compress: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *compressOut)
 		return
 	}
 

@@ -110,6 +110,16 @@ func main() {
 		f.Close()
 	}
 
+	if m.Opt.Clipped() && *quant > 0 {
+		// Same line the conv nodes emit, so mismatched clip/quant flags
+		// between the two ends show up immediately in the logs.
+		p := compress.NewPipeline(*quant, m.Opt.ClipHi-m.Opt.ClipLo)
+		q := p.Quantizer()
+		logger.Info("boundary codec",
+			"bits", *quant, "range", m.Opt.ClipHi-m.Opt.ClipLo,
+			"step", q.Step(), "zero_threshold", q.ZeroThreshold())
+	}
+
 	var conns []core.Conn
 	var addrs []string
 	for _, addr := range strings.Split(*nodeList, ",") {

@@ -57,6 +57,17 @@ func main() {
 		f.Close()
 	}
 
+	if m.Opt.Clipped() && *quant > 0 {
+		// Surface the exact fused-codec operating point: the zero threshold
+		// is what the single-pass encoder classifies runs against, so having
+		// it in the log makes sparsity numbers reproducible offline.
+		p := compress.NewPipeline(*quant, m.Opt.ClipHi-m.Opt.ClipLo)
+		q := p.Quantizer()
+		logger.Info("boundary codec",
+			"bits", *quant, "range", m.Opt.ClipHi-m.Opt.ClipLo,
+			"step", q.Step(), "zero_threshold", q.ZeroThreshold())
+	}
+
 	var met *core.Metrics
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()

@@ -8,14 +8,9 @@
 package compress
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"math"
 	"sync/atomic"
 
 	"adcnn/internal/quant"
-	"adcnn/internal/rle"
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
@@ -78,84 +73,22 @@ func (p Pipeline) Quantizer() quant.Quantizer { return quant.New(p.Bits, p.Range
 
 // Encode compresses a clipped-ReLU output tensor into a self-describing
 // payload: header (shape, range, bits) followed by the RLE stream of
-// quantization levels.
+// quantization levels. It runs the fused single-pass codec (see
+// EncodeInto); the scalar quantize-then-RLE original is retained as
+// refEncode for property tests and benchmarks.
 func (p Pipeline) Encode(t *tensor.Tensor) ([]byte, error) {
-	if t.Rank() > 255 {
-		return nil, fmt.Errorf("compress: rank %d too large", t.Rank())
-	}
-	q := p.Quantizer()
-	levels := q.EncodeSlice(t.Data)
-	stream, err := rle.Encode(levels, p.Bits)
-	if err != nil {
-		return nil, err
-	}
-	hdr := make([]byte, 0, 1+4*t.Rank()+4)
-	hdr = append(hdr, byte(t.Rank()))
-	var b4 [4]byte
-	for _, d := range t.Shape {
-		binary.LittleEndian.PutUint32(b4[:], uint32(d))
-		hdr = append(hdr, b4[:]...)
-	}
-	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(p.Range))
-	hdr = append(hdr, b4[:]...)
-	out := append(hdr, stream...)
-	if in := instr.Load(); in != nil {
-		zeros := 0
-		for _, l := range levels {
-			if l == 0 {
-				zeros++
-			}
-		}
-		in.rawBytes.Add(float64(RawSize(t)))
-		in.encodedBytes.Add(float64(len(out)))
-		in.tensors.Inc()
-		in.zeroLevels.Add(float64(zeros))
-		in.levels.Add(float64(len(levels)))
-	}
-	return out, nil
+	return p.EncodeInto(nil, t)
 }
 
-// Decode reverses Encode, returning the dequantized tensor.
+// Decode reverses Encode, returning the dequantized tensor. It runs the
+// fused decoder (see DecodeInto) into a fresh tensor; callers on the hot
+// path should call DecodeInto with a reused destination instead.
 func Decode(payload []byte) (*tensor.Tensor, error) {
-	if len(payload) < 1 {
-		return nil, errors.New("compress: empty payload")
-	}
-	rank := int(payload[0])
-	need := 1 + 4*rank + 4
-	if len(payload) < need {
-		return nil, errors.New("compress: truncated header")
-	}
-	shape := make([]int, rank)
-	for i := 0; i < rank; i++ {
-		shape[i] = int(binary.LittleEndian.Uint32(payload[1+4*i:]))
-	}
-	rng := math.Float32frombits(binary.LittleEndian.Uint32(payload[1+4*rank:]))
-	if rng <= 0 || rng != rng { // NaN check
-		return nil, fmt.Errorf("compress: corrupt range %v", rng)
-	}
-	levels, err := rle.Decode(payload[need:])
-	if err != nil {
+	t := &tensor.Tensor{}
+	if err := DecodeInto(t, payload); err != nil {
 		return nil, err
 	}
-	if len(levels) != tensor.Volume(shape) {
-		return nil, fmt.Errorf("compress: %d levels for shape %v", len(levels), shape)
-	}
-	if len(payload) > need+4 {
-		bits := int(payload[need+4])
-		if bits < 1 || bits > 16 {
-			return nil, fmt.Errorf("compress: corrupt bits %d", bits)
-		}
-		q := quant.New(bits, rng)
-		return tensor.FromSlice(q.DecodeSlice(levels), shape...), nil
-	}
-	return nil, errors.New("compress: missing RLE body")
-}
-
-// EncodedSize returns len(Encode(t)) without materialising the payload.
-func (p Pipeline) EncodedSize(t *tensor.Tensor) int {
-	q := p.Quantizer()
-	levels := q.EncodeSlice(t.Data)
-	return 1 + 4*t.Rank() + 4 + rle.CompressedSize(levels, p.Bits)
+	return t, nil
 }
 
 // RawSize returns the uncompressed float32 wire size of a tensor in

@@ -1,0 +1,320 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adcnn/internal/tensor"
+)
+
+// fusedSparseTensor builds a clipped-ReLU-shaped tensor: values in [0, rng]
+// with roughly the requested fraction of exact zeros, plus a sprinkle of
+// boundary-adjacent values that stress the zero-threshold classification.
+func fusedSparseTensor(r *rand.Rand, n int, sparsity float64, rng float32) *tensor.Tensor {
+	t := tensor.New(1, 1, 1, n)
+	step := NewPipeline(4, rng).Quantizer().Step()
+	for i := range t.Data {
+		switch {
+		case r.Float64() < sparsity:
+			t.Data[i] = 0
+		case r.Float64() < 0.1:
+			// Hug the level-0/level-1 boundary.
+			t.Data[i] = step * float32(r.Float64())
+		default:
+			t.Data[i] = rng * float32(r.Float64())
+		}
+	}
+	return t
+}
+
+// TestFusedEncodeMatchesReference pins the fused single-pass encoder
+// byte-identical to the retained quantize-then-RLE reference across
+// sparsities, bit widths, and ranges.
+func TestFusedEncodeMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, bits := range []int{1, 2, 4, 8, 12, 16} {
+		for _, rng := range []float32{0.5, 1, 6} {
+			p := NewPipeline(bits, rng)
+			for _, sp := range []float64{0, 0.5, 0.8, 0.95, 1} {
+				for trial := 0; trial < 20; trial++ {
+					x := fusedSparseTensor(r, 1+r.Intn(2048), sp, rng)
+					want, err := p.refEncode(x)
+					if err != nil {
+						t.Fatalf("refEncode: %v", err)
+					}
+					got, err := p.Encode(x)
+					if err != nil {
+						t.Fatalf("Encode: %v", err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("bits=%d rng=%v sparsity=%v: fused payload differs from reference (%d vs %d bytes)",
+							bits, rng, sp, len(got), len(want))
+					}
+					if n := p.EncodedSize(x); n != len(want) {
+						t.Fatalf("EncodedSize=%d, payload=%d bytes", n, len(want))
+					}
+					if rn := p.refEncodedSize(x); rn != len(want) {
+						t.Fatalf("refEncodedSize=%d, payload=%d bytes", rn, len(want))
+					}
+					if max := p.MaxEncodedSize(x); len(want) > max {
+						t.Fatalf("payload %d bytes exceeds MaxEncodedSize %d", len(want), max)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedEncodeMatchesReferenceQuick fuzzes arbitrary float patterns
+// (negatives, overshoots past Range, subnormals) through both encoders.
+func TestFusedEncodeMatchesReferenceQuick(t *testing.T) {
+	p := NewPipeline(4, 1)
+	f := func(vals []float32) bool {
+		for i, v := range vals {
+			if v != v { // NaN is outside the codec's contract
+				vals[i] = 0
+			}
+		}
+		x := tensor.FromSlice(vals, len(vals))
+		want, err1 := p.refEncode(x)
+		got, err2 := p.Encode(x)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedDecodeMatchesReference pins DecodeInto value-identical to the
+// reference decoder on round-tripped payloads.
+func TestFusedDecodeMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, bits := range []int{1, 4, 8, 12} {
+		p := NewPipeline(bits, 6)
+		for _, sp := range []float64{0.5, 0.8, 0.95} {
+			x := fusedSparseTensor(r, 4096, sp, 6)
+			payload, err := p.Encode(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := refDecode(payload)
+			if err != nil {
+				t.Fatalf("refDecode: %v", err)
+			}
+			got, err := Decode(payload)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !shapeEq(got.Shape, want.Shape) {
+				t.Fatalf("shape %v vs %v", got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("bits=%d sparsity=%v: value %d: fused %v vs reference %v",
+						bits, sp, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeIntoReusesStorage checks the documented storage contract:
+// a destination with enough capacity is reused in place, and shrinking
+// payloads never leak the old backing array past the pool.
+func TestDecodeIntoReusesStorage(t *testing.T) {
+	p := NewPipeline(4, 6)
+	r := rand.New(rand.NewSource(3))
+	big := fusedSparseTensor(r, 1024, 0.8, 6)
+	payload, err := p.Encode(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tensor.Tensor
+	if err := DecodeInto(&dst, payload); err != nil {
+		t.Fatal(err)
+	}
+	ptr := &dst.Data[0]
+	small := fusedSparseTensor(r, 100, 0.8, 6)
+	payload2, err := p.Encode(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(&dst, payload2); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Data) != 100 || &dst.Data[0] != ptr {
+		t.Fatalf("smaller decode should reuse the existing backing array")
+	}
+}
+
+// TestEncodeIntoAppends checks append semantics: existing bytes in dst
+// are preserved and the payload lands after them.
+func TestEncodeIntoAppends(t *testing.T) {
+	p := NewPipeline(4, 6)
+	x := tensor.FromSlice([]float32{0, 1, 0, 3.5}, 4)
+	prefix := []byte{0xde, 0xad}
+	out, err := p.EncodeInto(append([]byte(nil), prefix...), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatalf("prefix clobbered: %x", out[:2])
+	}
+	plain, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[2:], plain) {
+		t.Fatalf("appended payload differs from plain encode")
+	}
+}
+
+// TestEncodeIntoZeroAlloc: steady-state fused encode into a pre-sized
+// buffer must not allocate.
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	p := NewPipeline(4, 6)
+	r := rand.New(rand.NewSource(4))
+	x := fusedSparseTensor(r, 4096, 0.8, 6)
+	buf := tensor.GetBytes(p.MaxEncodedSize(x))
+	var err error
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, err = p.EncodeInto(buf[:0], x)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestDecodeIntoZeroAlloc: steady-state fused decode into a warm
+// destination must not allocate (after the one-time LUT build).
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	p := NewPipeline(4, 6)
+	r := rand.New(rand.NewSource(5))
+	x := fusedSparseTensor(r, 4096, 0.8, 6)
+	payload, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tensor.Tensor
+	if err := DecodeInto(&dst, payload); err != nil { // warm shape + LUT
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeInto(&dst, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestEncodedSizeZeroAlloc guards the satellite fix: EncodedSize (and
+// Ratio on top of it) must not materialise a throwaway level slice.
+func TestEncodedSizeZeroAlloc(t *testing.T) {
+	p := NewPipeline(4, 6)
+	r := rand.New(rand.NewSource(6))
+	x := fusedSparseTensor(r, 4096, 0.8, 6)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.EncodedSize(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodedSize allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestDecodeVolumeLimit: a tiny payload must not be able to declare a
+// near-2^31 tensor and drag the decoder into a giant allocation.
+func TestDecodeVolumeLimit(t *testing.T) {
+	// rank=1, dim=2^30, range=1.0, total=2^30, bits=4, one zero-run token.
+	payload := []byte{1, 0, 0, 0, 0x40}
+	payload = append(payload, 0, 0, 0x80, 0x3f) // range 1.0
+	payload = append(payload, 0, 0, 0, 0x40, 4) // total 2^30, bits 4
+	payload = append(payload, 0x00, 0x80, 0x80, 0x80, 0x80, 0x04)
+	if err := DecodeInto(&tensor.Tensor{}, payload); err == nil {
+		t.Fatal("decoder accepted a 2^30-element declaration")
+	}
+}
+
+// TestZeroThresholdEdgeRanges exercises the fused encoder where the
+// zero threshold is most fragile: denormal steps and huge ranges.
+func TestZeroThresholdEdgeRanges(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, rng := range []float32{1e-38, 1e-30, 1e30, math.MaxFloat32} {
+		p := NewPipeline(4, rng)
+		x := fusedSparseTensor(r, 512, 0.5, rng)
+		want, err := p.refEncode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("range %v: fused payload differs from reference", rng)
+		}
+	}
+}
+
+// Benchmarks for the fused hot paths at the paper's operating point
+// (4-bit, 0.8 sparsity). codecbench sweeps the full grid; these exist so
+// `go test -bench` and pprof work directly on the package.
+func BenchmarkFusedEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	t := fusedSparseTensor(r, 65536, 0.8, 6)
+	p := NewPipeline(4, 6)
+	buf := tensor.GetBytes(p.MaxEncodedSize(t))
+	defer tensor.PutBytes(buf)
+	b.SetBytes(int64(4 * t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.EncodeInto(buf[:0], t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+func BenchmarkFusedDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	t := fusedSparseTensor(r, 65536, 0.8, 6)
+	p := NewPipeline(4, 6)
+	payload, err := p.Encode(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst tensor.Tensor
+	if err := DecodeInto(&dst, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(&dst, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

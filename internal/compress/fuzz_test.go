@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"adcnn/internal/tensor"
+)
+
+// validPayload encodes a small representative tensor for the seed corpus.
+func validPayload(tb testing.TB) []byte {
+	tb.Helper()
+	p := NewPipeline(4, 6)
+	x := tensor.FromSlice([]float32{0, 0, 1.5, 0, 6, 0.2, 0, 0}, 1, 2, 2, 2)
+	payload, err := p.Encode(x)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return payload
+}
+
+// FuzzDecode hammers the fused decoder with corrupt payloads — broken
+// rank/shape/range headers, levels-vs-shape mismatches, truncated RLE
+// bodies, corrupt bits fields — and checks two properties:
+//
+//  1. no input makes DecodeInto panic or allocate unboundedly, and
+//  2. any input the fused decoder accepts, the retained reference
+//     decoder also accepts with identical shape and values (the fused
+//     path may reject more: its volume-overflow guards are stricter).
+func FuzzDecode(f *testing.F) {
+	valid := validPayload(f)
+	f.Add(valid)
+
+	// Corrupt rank: claims 200 dims with a 4-dim body.
+	rank := append([]byte(nil), valid...)
+	rank[0] = 200
+	f.Add(rank)
+
+	// Corrupt shape: one dim blown up to 2^30 (levels-vs-shape mismatch
+	// and a volume-limit probe in one).
+	shape := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(shape[1:], 1<<30)
+	f.Add(shape)
+
+	// Shape whose volume wraps negative in int64 multiplication order.
+	wrap := append([]byte(nil), valid...)
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint32(wrap[1+4*i:], 0xffffffff)
+	}
+	f.Add(wrap)
+
+	// Corrupt range: NaN, zero, negative.
+	for _, bad := range []float32{float32(math.NaN()), 0, -1} {
+		r := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(r[1+4*4:], math.Float32bits(bad))
+		f.Add(r)
+	}
+
+	// Corrupt bits field (0 and 17).
+	for _, b := range []byte{0, 17} {
+		bb := append([]byte(nil), valid...)
+		bb[1+4*4+4+4] = b
+		f.Add(bb)
+	}
+
+	// Truncated RLE body and truncated header.
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+
+	// Declared total that disagrees with the shape volume.
+	total := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(total[1+4*4+4:], 7)
+	f.Add(total)
+
+	// Zero-run declaring more symbols than the header's total.
+	over := append([]byte(nil), valid...)
+	over = over[:1+4*4+4+5]
+	over = append(over, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var dst tensor.Tensor
+		err := DecodeInto(&dst, payload)
+		if err != nil {
+			return
+		}
+		// Accepted: the reference decoder must agree bit for bit.
+		want, rerr := refDecode(payload)
+		if rerr != nil {
+			t.Fatalf("fused decoder accepted a payload the reference rejects: %v", rerr)
+		}
+		if !shapeEq(dst.Shape, want.Shape) {
+			t.Fatalf("shape %v vs reference %v", dst.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] && !(dst.Data[i] != dst.Data[i] && want.Data[i] != want.Data[i]) {
+				t.Fatalf("value %d: fused %v vs reference %v", i, dst.Data[i], want.Data[i])
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip feeds arbitrary byte-derived float patterns
+// through the fused encoder and checks the payload (a) matches the
+// reference encoder and (b) decodes back to the quantizer's fixed point.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0x3f, 0x80, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		if n == 0 {
+			return
+		}
+		vals := make([]float32, n)
+		for i := range vals {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			if v != v { // NaN is outside the codec's contract
+				v = 0
+			}
+			vals[i] = v
+		}
+		p := NewPipeline(4, 6)
+		x := tensor.FromSlice(vals, n)
+		got, err := p.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.refEncode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("fused and reference encoders disagree")
+		}
+		var dst tensor.Tensor
+		if err := DecodeInto(&dst, got); err != nil {
+			t.Fatalf("own payload rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
+)
+
+// TestCodecUnderInstrumentSwaps runs fused encodes and decodes from many
+// goroutines while Instrument is concurrently attached and detached —
+// the race detector verifies the atomic instrument pointer and the LUT
+// cache keep the hot path safe without locks.
+func TestCodecUnderInstrumentSwaps(t *testing.T) {
+	defer Instrument(nil) // leave the package-level hook clean
+
+	p := NewPipeline(4, 6)
+	x := fusedSparseTensor(rand.New(rand.NewSource(21)), 2048, 0.8, 6)
+	payload, err := p.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := tensor.GetBytes(p.MaxEncodedSize(x))
+			var dst tensor.Tensor
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := p.EncodeInto(buf[:0], x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf = out
+				if err := DecodeInto(&dst, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = p.EncodedSize(x)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Instrument(telemetry.NewRegistry())
+		Instrument(nil)
+	}
+	close(stop)
+	wg.Wait()
+}

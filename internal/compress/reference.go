@@ -1,0 +1,96 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"adcnn/internal/quant"
+	"adcnn/internal/rle"
+	"adcnn/internal/tensor"
+)
+
+// Retained scalar reference implementations of the boundary codec: the
+// original quantize-whole-tensor-then-RLE pipeline, kept unexported so
+// property tests and codecbench can pin the fused single-pass codec
+// (fused.go) byte-identical on encode and value-identical on decode.
+// These paths allocate freely and must not be called from the runtime.
+
+// refEncode is the reference for Pipeline.Encode/EncodeInto: it
+// materialises the full []uint16 level stream and feeds it through
+// package rle.
+func (p Pipeline) refEncode(t *tensor.Tensor) ([]byte, error) {
+	if t.Rank() > 255 {
+		return nil, fmt.Errorf("compress: rank %d too large", t.Rank())
+	}
+	q := p.Quantizer()
+	levels := q.EncodeSlice(t.Data)
+	stream, err := rle.Encode(levels, p.Bits)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, 1+4*t.Rank()+4)
+	hdr = append(hdr, byte(t.Rank()))
+	var b4 [4]byte
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(b4[:], uint32(d))
+		hdr = append(hdr, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(p.Range))
+	hdr = append(hdr, b4[:]...)
+	return append(hdr, stream...), nil
+}
+
+// refDecode is the reference for Decode/DecodeInto: rle.Decode to a level
+// stream, then a dequantization pass.
+func refDecode(payload []byte) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, errors.New("compress: empty payload")
+	}
+	rank := int(payload[0])
+	need := 1 + 4*rank + 4
+	if len(payload) < need {
+		return nil, errors.New("compress: truncated header")
+	}
+	shape := make([]int, rank)
+	for i := 0; i < rank; i++ {
+		shape[i] = int(binary.LittleEndian.Uint32(payload[1+4*i:]))
+	}
+	rng := math.Float32frombits(binary.LittleEndian.Uint32(payload[1+4*rank:]))
+	if rng <= 0 || rng != rng { // NaN check
+		return nil, fmt.Errorf("compress: corrupt range %v", rng)
+	}
+	levels, err := rle.Decode(payload[need:])
+	if err != nil {
+		return nil, err
+	}
+	if len(levels) != tensor.Volume(shape) {
+		return nil, fmt.Errorf("compress: %d levels for shape %v", len(levels), shape)
+	}
+	if len(payload) > need+4 {
+		bits := int(payload[need+4])
+		if bits < 1 || bits > 16 {
+			return nil, fmt.Errorf("compress: corrupt bits %d", bits)
+		}
+		q := quant.New(bits, rng)
+		return tensor.FromSlice(q.DecodeSlice(levels), shape...), nil
+	}
+	return nil, errors.New("compress: missing RLE body")
+}
+
+// RefEncodeForBench exposes the retained reference encoder so codecbench
+// (a separate package) can measure the before/after. Not for production
+// paths — it allocates per call by design.
+func RefEncodeForBench(p Pipeline, t *tensor.Tensor) ([]byte, error) { return p.refEncode(t) }
+
+// RefDecodeForBench is RefEncodeForBench's decode twin.
+func RefDecodeForBench(payload []byte) (*tensor.Tensor, error) { return refDecode(payload) }
+
+// refEncodedSize is the reference for Pipeline.EncodedSize: it quantizes
+// the whole tensor into a throwaway level slice just to measure it.
+func (p Pipeline) refEncodedSize(t *tensor.Tensor) int {
+	q := p.Quantizer()
+	levels := q.EncodeSlice(t.Data)
+	return 1 + 4*t.Rank() + 4 + rle.CompressedSize(levels, p.Bits)
+}

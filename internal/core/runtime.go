@@ -67,6 +67,14 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 		}
 	}()
 	var nextFree time.Time // Delay pacer: when the simulated device frees up
+	// Steady-state scratch, reused across tasks: the decoded input tensor
+	// (the model never retains inference inputs), the timing record, the
+	// result message, and the pooled encode buffer. Conn.Send only borrows
+	// the message, so all of it is ours again once Send returns.
+	x := new(tensor.Tensor)
+	tm := new(ConvTiming)
+	res := new(Message)
+	var encBuf []byte
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -86,11 +94,11 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 			return nil
 		case KindTask:
 			start := time.Now()
-			tm := &ConvTiming{RecvNs: monoNow()}
-			x, err := DecodeTensor(m.Payload)
-			if err != nil {
+			*tm = ConvTiming{RecvNs: monoNow()}
+			if err := DecodeTensorInto(x, m.Payload); err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
+			m.ReleasePayload()
 			tm.DecodeNs = monoNow()
 			// Delay models a device that serves tiles at a fixed rate: each
 			// task occupies the device for Delay of wall-clock time, and
@@ -115,16 +123,17 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 				}
 			}
 			tm.ComputeStartNs = monoNow()
-			out, compressed, err := w.computeEncode(x, tm)
+			out, compressed, err := w.computeEncode(x, tm, encBuf)
 			if err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
+			encBuf = out
 			if met != nil {
 				tasks.Inc()
 				met.WorkerProcess.ObserveDuration(time.Since(start).Nanoseconds())
 			}
 			tm.SendNs = monoNow()
-			res := &Message{
+			*res = Message{
 				Kind: KindResult, ImageID: m.ImageID, TileID: m.TileID,
 				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
 				TraceID: m.TraceID, SpanID: m.SpanID, Timing: tm,
@@ -145,9 +154,12 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 }
 
 // computeEncode runs one decoded tile through Front + Boundary and
-// encodes the result, stamping the compute-done and encode-done marks
-// into the timing record.
-func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming) ([]byte, bool, error) {
+// encodes the result into buf (a pooled scratch buffer the caller reuses
+// across tiles; too small and it is swapped for a bigger pooled one),
+// stamping the compute-done and encode-done marks into the timing
+// record. The returned slice is the (possibly replaced) buffer — the
+// caller must retain it as the next call's buf.
+func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
 	y := w.Model.Front.Forward(x, false)
 	opt := w.Model.Opt
 	clipped := opt.Clipped()
@@ -159,11 +171,24 @@ func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming) ([]byte, bool, 
 	tm.ComputeEndNs = monoNow()
 	if clipped && opt.QuantBits > 0 {
 		p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
-		out, err := p.Encode(y)
+		// Pre-size to the worst case so the fused encoder never grows the
+		// buffer mid-scan; at steady state the same buffer serves every tile.
+		if n := p.MaxEncodedSize(y); cap(buf) < n {
+			tensor.PutBytes(buf)
+			buf = tensor.GetBytes(n)
+		}
+		out, err := p.EncodeInto(buf[:0], y)
 		tm.EncodeNs = monoNow()
-		return out, true, err
+		if err != nil {
+			return buf[:0], true, err
+		}
+		return out, true, nil
 	}
-	out := EncodeTensor(y)
+	if n := TensorWireSize(y); cap(buf) < n {
+		tensor.PutBytes(buf)
+		buf = tensor.GetBytes(n)
+	}
+	out := AppendTensor(buf[:0], y)
 	tm.EncodeNs = monoNow()
 	return out, false, nil
 }
@@ -450,10 +475,17 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	}
 	counts := make(sched.Allocation, len(c.sessions)) // tiles actually enqueued per node
 	for ti, tl := range tiles {
+		// Serialise the tile into a pooled wire buffer; the session's send
+		// loop releases it once the frame is safely on the wire (a failed
+		// send keeps it intact for redispatch). The tile tensor itself is
+		// dead after serialisation.
+		tile := fdsp.ExtractTile(x, tl)
+		payload := AppendTensor(tensor.GetBytes(TensorWireSize(tile))[:0], tile)
+		tensor.PutTensor(tile)
 		task := &Message{
 			Kind: KindTask, ImageID: img, TileID: uint32(ti),
 			TraceID: traceID, SpanID: tileSpanID(img, ti),
-			Payload: EncodeTensor(fdsp.ExtractTile(x, tl)),
+			Payload: payload,
 		}
 		k := assignment[ti]
 		sent := false
@@ -593,7 +625,11 @@ collect:
 	shape := c.tileOutShape()
 	for i := range outTiles {
 		if outTiles[i] == nil {
-			outTiles[i] = tensor.New(shape...)
+			z := tensor.GetTensor(shape...)
+			for j := range z.Data {
+				z.Data[j] = 0
+			}
+			outTiles[i] = z
 			missed++
 			c.flight.Record("deadline-miss", h.img, i, -1,
 				fmt.Sprintf("tile %d of image %d zero-filled at T_L=%v", i, h.img, c.TL))
@@ -614,6 +650,12 @@ collect:
 	// The Central's compute stage is one resource: concurrent in-flight
 	// images run it in turn, which is exactly the pipeline's third stage.
 	merged := fdsp.Reassemble(outTiles, c.Model.Opt.Grid)
+	// Reassemble copies every tile into the merged tensor, so the
+	// pool-backed per-tile buffers (decoded results and zero fills alike)
+	// can go home immediately.
+	for _, t := range outTiles {
+		tensor.PutTensor(t)
+	}
 	c.backMu.Lock()
 	backSpan := tr.Begin("back", "central", 0)
 	out := c.Model.Back.Forward(merged, false)

@@ -383,9 +383,17 @@ func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 				return err
 			}
 			s.c.flight.Record("sent", m.ImageID, int(m.TileID), s.id, "")
+			// Release the task's pooled payload only if markDown has not
+			// claimed the message in the window after Send returned: a
+			// concurrent epoch teardown orphans pendingSend for redispatch,
+			// and a redispatched frame must keep its payload intact.
 			s.mu.Lock()
+			owned := s.pendingSend == m
 			s.pendingSend = nil
 			s.mu.Unlock()
+			if owned {
+				m.ReleasePayload()
+			}
 		}
 	}
 }
@@ -418,13 +426,18 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		} else {
 			offsetNs = s.offset.Offset()
 		}
-		var t *tensor.Tensor
+		// Decode into a pool-backed tensor, then hand the wire buffer
+		// straight back: the decoders fully copy the payload out, so the
+		// frame's bytes are dead the moment DecodeInto returns.
+		t := new(tensor.Tensor)
 		var derr error
 		if m.Compressed {
-			t, derr = compress.Decode(m.Payload)
+			derr = compress.DecodeInto(t, m.Payload)
 		} else {
-			t, derr = DecodeTensor(m.Payload)
+			derr = DecodeTensorInto(t, m.Payload)
 		}
+		wire := len(m.Payload)
+		m.ReleasePayload()
 		if derr != nil {
 			// An undecodable result is as good as a missed tile: the
 			// image zero-fills it at the deadline.
@@ -433,7 +446,7 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		}
 		s.c.flight.Record("result", m.ImageID, int(m.TileID), s.id, "")
 		e.col.ch <- arrival{
-			tile: int(m.TileID), node: s.id, t: t, wire: len(m.Payload),
+			tile: int(m.TileID), node: s.id, t: t, wire: wire,
 			enqNs: e.enqNs, sentNs: e.sentNs, recvNs: recvNs,
 			timing: m.Timing, offsetNs: offsetNs,
 		}

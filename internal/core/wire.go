@@ -43,8 +43,27 @@ type Message struct {
 	// tile). Timestamps are monotonic nanoseconds on the sender's clock;
 	// the Central maps them onto its own clock with the per-session
 	// offset estimator.
-	Timing  *ConvTiming
+	Timing *ConvTiming
+	// Payload is the frame body. Ownership: a message produced by
+	// Conn.Recv owns its payload, which is backed by a pooled wire buffer
+	// (tensor.GetBytes); the receiver must call ReleasePayload once the
+	// bytes have been consumed (for tile frames: right after the tensor
+	// decode that follows demux) — or simply drop the message and let the
+	// GC take the buffer. On Send the transport only borrows the payload:
+	// once Send returns, the buffer is the caller's again to reuse or
+	// release (stream transports have fully serialised it; the in-process
+	// pipe hands the peer a pooled copy).
 	Payload []byte
+}
+
+// ReleasePayload returns the payload's backing storage to the wire
+// buffer pool and clears the field. Safe to call twice, on a nil
+// payload, or on a payload that never came from the pool (non-pooled
+// backing is silently dropped). The caller must not retain views of the
+// payload (including decoded-in-place aliases) past this call.
+func (m *Message) ReleasePayload() {
+	tensor.PutBytes(m.Payload)
+	m.Payload = nil
 }
 
 // ConvTiming is the per-tile timing record a Conv node attaches to each
@@ -71,15 +90,13 @@ func (tm *ConvTiming) encode(dst []byte) {
 	binary.LittleEndian.PutUint64(dst[40:], uint64(tm.SendNs))
 }
 
-func decodeTiming(src []byte) *ConvTiming {
-	return &ConvTiming{
-		RecvNs:         int64(binary.LittleEndian.Uint64(src[0:])),
-		DecodeNs:       int64(binary.LittleEndian.Uint64(src[8:])),
-		ComputeStartNs: int64(binary.LittleEndian.Uint64(src[16:])),
-		ComputeEndNs:   int64(binary.LittleEndian.Uint64(src[24:])),
-		EncodeNs:       int64(binary.LittleEndian.Uint64(src[32:])),
-		SendNs:         int64(binary.LittleEndian.Uint64(src[40:])),
-	}
+func decodeTiming(tm *ConvTiming, src []byte) {
+	tm.RecvNs = int64(binary.LittleEndian.Uint64(src[0:]))
+	tm.DecodeNs = int64(binary.LittleEndian.Uint64(src[8:]))
+	tm.ComputeStartNs = int64(binary.LittleEndian.Uint64(src[16:]))
+	tm.ComputeEndNs = int64(binary.LittleEndian.Uint64(src[24:]))
+	tm.EncodeNs = int64(binary.LittleEndian.Uint64(src[32:]))
+	tm.SendNs = int64(binary.LittleEndian.Uint64(src[40:]))
 }
 
 // Wire frame layout: every frame starts with a magic byte and a protocol
@@ -114,7 +131,10 @@ const (
 	flagTiming     = 1 << 1 // a ConvTiming record precedes the payload
 )
 
-// WriteMessage frames and writes a message.
+// WriteMessage frames and writes a message. The header is staged in a
+// pooled scratch buffer rather than a stack array: the bytes escape
+// through the io.Writer interface, and a per-frame heap header would be
+// the last allocation left on the tile round trip.
 func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Payload) > maxFrame {
 		return fmt.Errorf("core: payload %d exceeds frame limit", len(m.Payload))
@@ -123,7 +143,9 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if m.Timing != nil {
 		body += timingSize
 	}
-	var hdr [6 + bodyHeader + timingSize]byte
+	scratch := tensor.GetBytes(6 + bodyHeader + timingSize)
+	defer tensor.PutBytes(scratch)
+	hdr := scratch
 	hdr[0] = protoMagic
 	hdr[1] = ProtoVersion
 	binary.LittleEndian.PutUint32(hdr[2:], body)
@@ -156,47 +178,81 @@ func WriteMessage(w io.Writer, m *Message) error {
 // ReadMessage reads one framed message. A wrong magic byte or protocol
 // version fails with ErrBadMagic / ErrProtoVersion before any length is
 // trusted; a v1 peer is named explicitly so the operator knows which
-// side to upgrade.
+// side to upgrade. The returned message's payload is a pooled wire
+// buffer — see Message.Payload for the release contract.
 func ReadMessage(r io.Reader) (*Message, error) {
-	var pre [6]byte
-	if _, err := io.ReadFull(r, pre[:]); err != nil {
+	m := &Message{}
+	if err := ReadMessageInto(r, m); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// ReadMessageInto reads one framed message into m, reusing m's Timing
+// record and the capacity of m.Payload so a receive loop that recycles
+// one Message (or calls ReleasePayload between frames) reads with zero
+// steady-state allocations. The frame header and timing record land in
+// stack scratch; only the payload bytes touch m.Payload, which is
+// re-taken from the wire buffer pool when too small. On error m is left
+// partially filled but its Payload storage remains valid to reuse or
+// release.
+func ReadMessageInto(r io.Reader, m *Message) error {
+	// Pooled scratch for the fixed-size frame sections (they escape
+	// through the io.Reader interface, so stack arrays would heap-allocate
+	// per frame); the payload reads straight into m.Payload.
+	scratch := tensor.GetBytes(bodyHeader + timingSize)
+	defer tensor.PutBytes(scratch)
+	pre := scratch[:6]
+	if _, err := io.ReadFull(r, pre); err != nil {
+		return err
+	}
 	if pre[0] != protoMagic {
-		return nil, fmt.Errorf("%w: got 0x%02x", ErrBadMagic, pre[0])
+		return fmt.Errorf("%w: got 0x%02x", ErrBadMagic, pre[0])
 	}
 	if pre[1] != ProtoVersion {
-		return nil, fmt.Errorf("%w: peer speaks v%d, this build speaks v%d",
+		return fmt.Errorf("%w: peer speaks v%d, this build speaks v%d",
 			ErrProtoVersion, pre[1], ProtoVersion)
 	}
 	n := binary.LittleEndian.Uint32(pre[2:])
 	if n < bodyHeader || n > maxFrame {
-		return nil, fmt.Errorf("core: bad frame length %d", n)
+		return fmt.Errorf("core: bad frame length %d", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	hdr := scratch[:bodyHeader]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
 	}
-	flags := body[13]
-	m := &Message{
-		Kind:       MsgKind(body[0]),
-		ImageID:    binary.LittleEndian.Uint32(body[1:]),
-		TileID:     binary.LittleEndian.Uint32(body[5:]),
-		NodeID:     binary.LittleEndian.Uint32(body[9:]),
-		Compressed: flags&flagCompressed != 0,
-		TraceID:    binary.LittleEndian.Uint64(body[14:]),
-		SpanID:     binary.LittleEndian.Uint64(body[22:]),
-	}
-	rest := body[bodyHeader:]
+	flags := hdr[13]
+	m.Kind = MsgKind(hdr[0])
+	m.ImageID = binary.LittleEndian.Uint32(hdr[1:])
+	m.TileID = binary.LittleEndian.Uint32(hdr[5:])
+	m.NodeID = binary.LittleEndian.Uint32(hdr[9:])
+	m.Compressed = flags&flagCompressed != 0
+	m.TraceID = binary.LittleEndian.Uint64(hdr[14:])
+	m.SpanID = binary.LittleEndian.Uint64(hdr[22:])
+	rest := int(n) - bodyHeader
 	if flags&flagTiming != 0 {
-		if len(rest) < timingSize {
-			return nil, fmt.Errorf("core: frame advertises a timing record but carries %d bytes", len(rest))
+		if rest < timingSize {
+			return fmt.Errorf("core: frame advertises a timing record but carries %d bytes", rest)
 		}
-		m.Timing = decodeTiming(rest)
-		rest = rest[timingSize:]
+		tb := scratch[:timingSize]
+		if _, err := io.ReadFull(r, tb); err != nil {
+			return err
+		}
+		if m.Timing == nil {
+			m.Timing = new(ConvTiming)
+		}
+		decodeTiming(m.Timing, tb)
+		rest -= timingSize
+	} else {
+		m.Timing = nil
 	}
-	m.Payload = rest
-	return m, nil
+	if cap(m.Payload) < rest {
+		tensor.PutBytes(m.Payload)
+		m.Payload = tensor.GetBytes(rest)
+	}
+	m.Payload = m.Payload[:rest]
+	_, err := io.ReadFull(r, m.Payload)
+	return err
 }
 
 // hostLittleEndian reports whether float32 words can be bulk-copied into
@@ -237,51 +293,96 @@ func getFloat32s(dst []float32, src []byte) {
 	}
 }
 
-// EncodeTensor serialises a tensor as shape + raw float32 data.
-func EncodeTensor(t *tensor.Tensor) []byte {
-	out := make([]byte, 1+4*t.Rank()+4*t.Len())
-	out[0] = byte(t.Rank())
-	off := 1
-	for _, d := range t.Shape {
-		binary.LittleEndian.PutUint32(out[off:], uint32(d))
-		off += 4
+// TensorWireSize is the exact byte length EncodeTensor/AppendTensor
+// produce for t, so callers can pre-size a pooled buffer.
+func TensorWireSize(t *tensor.Tensor) int { return 1 + 4*t.Rank() + 4*t.Len() }
+
+// AppendTensor serialises t (shape + raw float32 data) onto dst and
+// returns the extended slice. When dst has TensorWireSize spare
+// capacity — e.g. a buffer from tensor.GetBytes — no allocation occurs.
+func AppendTensor(dst []byte, t *tensor.Tensor) []byte {
+	off := len(dst)
+	need := TensorWireSize(t)
+	if cap(dst) < off+need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
 	}
-	putFloat32s(out[off:], t.Data)
-	return out
+	dst = dst[:off+need]
+	dst[off] = byte(t.Rank())
+	p := off + 1
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(dst[p:], uint32(d))
+		p += 4
+	}
+	putFloat32s(dst[p:], t.Data)
+	return dst
 }
 
-// DecodeTensor reverses EncodeTensor.
+// EncodeTensor serialises a tensor as shape + raw float32 data.
+func EncodeTensor(t *tensor.Tensor) []byte {
+	return AppendTensor(make([]byte, 0, TensorWireSize(t)), t)
+}
+
+// DecodeTensor reverses EncodeTensor into a fresh tensor. Hot paths
+// should use DecodeTensorInto with a recycled destination instead.
 func DecodeTensor(data []byte) (*tensor.Tensor, error) {
+	t := &tensor.Tensor{}
+	if err := DecodeTensorInto(t, data); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeTensorInto decodes an EncodeTensor payload into dst, reshaping
+// it in place. Like compress.DecodeInto, dst must own its storage: a
+// too-small backing array is swapped for one from the tensor buffer
+// pool, so a reused (or pool-released) destination decodes with zero
+// steady-state allocations. The payload bytes are fully copied out —
+// dst never aliases data, so the caller may release the wire buffer
+// immediately after this returns.
+func DecodeTensorInto(dst *tensor.Tensor, data []byte) error {
 	if len(data) < 1 {
-		return nil, errors.New("core: empty tensor payload")
+		return errors.New("core: empty tensor payload")
 	}
 	rank := int(data[0])
 	off := 1
 	if len(data) < off+4*rank {
-		return nil, errors.New("core: truncated tensor header")
+		return errors.New("core: truncated tensor header")
 	}
-	shape := make([]int, rank)
+	dst.Shape = dst.Shape[:0]
 	vol := 1
-	for i := range shape {
-		shape[i] = int(binary.LittleEndian.Uint32(data[off:]))
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(data[off:]))
 		off += 4
-		vol *= shape[i]
+		dst.Shape = append(dst.Shape, d)
+		vol *= d
 		// Guard against integer overflow from corrupt shape headers: no
 		// legitimate payload exceeds the frame limit.
 		if vol < 0 || vol > maxFrame/4 {
-			return nil, fmt.Errorf("core: tensor volume overflows frame limit")
+			return fmt.Errorf("core: tensor volume overflows frame limit")
 		}
 	}
 	if len(data) != off+4*vol {
-		return nil, fmt.Errorf("core: tensor payload %d bytes, want %d", len(data), off+4*vol)
+		return fmt.Errorf("core: tensor payload %d bytes, want %d", len(data), off+4*vol)
 	}
-	t := tensor.New(shape...)
-	getFloat32s(t.Data, data[off:])
-	return t, nil
+	if cap(dst.Data) < vol {
+		tensor.PutBuf(dst.Data)
+		dst.Data = tensor.GetBuf(vol)
+	}
+	dst.Data = dst.Data[:vol]
+	getFloat32s(dst.Data, data[off:])
+	return nil
 }
 
 // Conn is a bidirectional message channel between Central and one Conv
 // node.
+//
+// Send borrows m for the duration of the call: once it returns, the
+// caller owns m and m.Payload again and may overwrite or release them
+// (the stream transport has serialised the frame; the in-process pipe
+// enqueues a pooled copy). Recv transfers payload ownership to the
+// caller — see Message.Payload.
 type Conn interface {
 	Send(m *Message) error
 	Recv() (*Message, error)
@@ -312,10 +413,25 @@ func (c *chanConn) Send(m *Message) error {
 		return errors.New("core: connection closed")
 	default:
 	}
+	// Honour the Conn.Send borrow contract: the caller may reuse m and
+	// m.Payload the moment Send returns, so the peer must receive its
+	// own copy — struct, timing record, and a pooled payload clone the
+	// receiver can ReleasePayload exactly like a stream-read frame.
+	cp := new(Message)
+	*cp = *m
+	if m.Timing != nil {
+		tm := *m.Timing
+		cp.Timing = &tm
+	}
+	if m.Payload != nil {
+		cp.Payload = tensor.GetBytes(len(m.Payload))
+		copy(cp.Payload, m.Payload)
+	}
 	select {
 	case <-c.closed:
+		cp.ReleasePayload()
 		return errors.New("core: connection closed")
-	case c.out <- m:
+	case c.out <- cp:
 		return nil
 	}
 }

@@ -48,6 +48,36 @@ func (q Quantizer) Decode(level uint16) float32 {
 	return float32(level) * q.Step()
 }
 
+// ZeroThreshold returns the exact level-0 boundary T: for every finite,
+// non-NaN x, Encode(x) == 0 if and only if x < T. The fused boundary
+// codec classifies zero runs with one float compare against T instead of
+// a divide + round per element, so T must reproduce Encode's rounding
+// bit-exactly: it is the smallest float32 whose float32 quotient by
+// Step() reaches 0.5 (math.Round's half-away-from-zero cutover). The
+// candidate 0.5·Step() is nudged by ULPs until it straddles the cutover,
+// which terminates within a couple of steps.
+func (q Quantizer) ZeroThreshold() float32 {
+	step := q.Step()
+	if math.IsInf(float64(step), 1) {
+		// Range = +Inf: every finite x has Round(x/step) == 0, matching
+		// Encode, so everything below +Inf is a zero.
+		return step
+	}
+	t := 0.5 * step
+	for t > 0 {
+		prev := math.Nextafter32(t, 0)
+		if prev/step >= 0.5 {
+			t = prev
+			continue
+		}
+		break
+	}
+	for t/step < 0.5 {
+		t = math.Nextafter32(t, float32(math.Inf(1)))
+	}
+	return t
+}
+
 // Apply quantizes x in place (round-trip Encode∘Decode over a slice).
 func (q Quantizer) Apply(xs []float32) {
 	for i, v := range xs {

@@ -1,6 +1,7 @@
 package quant
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -128,4 +129,41 @@ func TestBadArgsPanic(t *testing.T) {
 			fn()
 		}()
 	}
+}
+
+// TestZeroThresholdBoundary proves the fused codec's contract: for every
+// finite non-NaN x, Encode(x) == 0 exactly when x < ZeroThreshold().
+// The threshold itself and its immediate float32 neighbours are the
+// critical probes — one ULP of slack there silently corrupts payloads.
+func TestZeroThresholdBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bits := range []int{1, 2, 4, 8, 12, 16} {
+		for _, r := range []float32{1e-38, 1e-6, 0.5, 1, 6, 1e6, 1e30, 3.4e38} {
+			q := New(bits, r)
+			zt := q.ZeroThreshold()
+			probes := []float32{
+				0, -1, zt, nextUp(zt), nextDown(zt),
+				nextDown(nextDown(zt)), 0.5 * q.Step(), q.Step(),
+			}
+			for i := 0; i < 200; i++ {
+				probes = append(probes, float32(rng.Float64())*q.Step())
+			}
+			for _, x := range probes {
+				isZero := q.Encode(x) == 0
+				belowT := x < zt
+				if isZero != belowT {
+					t.Fatalf("bits=%d range=%v: x=%v Encode=%d but x<T(%v)=%v",
+						bits, r, x, q.Encode(x), zt, belowT)
+				}
+			}
+		}
+	}
+}
+
+func nextUp(x float32) float32 {
+	return math.Nextafter32(x, float32(math.Inf(1)))
+}
+
+func nextDown(x float32) float32 {
+	return math.Nextafter32(x, float32(math.Inf(-1)))
 }

@@ -10,6 +10,12 @@
 //	then a token stream; each token starts with a control byte:
 //	  0x00       — a zero run follows as uvarint count
 //	  0x01       — a literal run follows: uvarint count, then packed levels
+//
+// This package is the retained scalar reference for the wire format: the
+// production hot path is the fused single-pass codec in internal/compress,
+// which emits and consumes exactly this stream without materialising the
+// intermediate []uint16. Property tests in compress pin the two
+// implementations byte-identical.
 package rle
 
 import (
@@ -18,10 +24,19 @@ import (
 	"fmt"
 )
 
+// Token control bytes of the wire format. Exported so the fused codec in
+// internal/compress can emit and parse the identical stream.
 const (
-	tokZeroRun = 0x00
-	tokLiteral = 0x01
+	TokZeroRun = 0x00
+	TokLiteral = 0x01
 )
+
+// MaxSymbols bounds the declared symbol count a payload may carry (2^26
+// levels = a 256 MiB float32 tensor, the wire frame limit). A handful of
+// token bytes can otherwise declare billions of zeros and turn a tiny
+// corrupt payload into a giant allocation. compress enforces the same
+// bound, so the reference and fused decoders accept the same streams.
+const MaxSymbols = 1 << 26
 
 // Encode compresses a stream of quantization levels. bits is the width of
 // each level (1..16); levels above the width are rejected.
@@ -44,7 +59,7 @@ func Encode(levels []uint16, bits int) ([]byte, error) {
 			for j < len(levels) && levels[j] == 0 {
 				j++
 			}
-			out = append(out, tokZeroRun)
+			out = append(out, TokZeroRun)
 			n := binary.PutUvarint(tmp[:], uint64(j-i))
 			out = append(out, tmp[:n]...)
 			i = j
@@ -57,7 +72,7 @@ func Encode(levels []uint16, bits int) ([]byte, error) {
 			}
 			j++
 		}
-		out = append(out, tokLiteral)
+		out = append(out, TokLiteral)
 		n := binary.PutUvarint(tmp[:], uint64(j-i))
 		out = append(out, tmp[:n]...)
 		out = appendPacked(out, levels[i:j], bits)
@@ -91,6 +106,9 @@ func Decode(data []byte) ([]uint16, error) {
 		return nil, errors.New("rle: truncated header")
 	}
 	total := int(binary.LittleEndian.Uint32(data[:4]))
+	if total > MaxSymbols {
+		return nil, fmt.Errorf("rle: declared length %d exceeds limit %d", total, MaxSymbols)
+	}
 	bits := int(data[4])
 	if bits < 1 || bits > 16 {
 		return nil, fmt.Errorf("rle: corrupt bits field %d", bits)
@@ -108,15 +126,17 @@ func Decode(data []byte) ([]uint16, error) {
 			return nil, errors.New("rle: bad run length")
 		}
 		pos += n
-		if int(count) > total-len(out) {
+		// Compare in uint64: a 10-byte varint can declare a count that
+		// wraps negative as an int and would sail past an int compare.
+		if count > uint64(total-len(out)) {
 			return nil, errors.New("rle: run overflows declared length")
 		}
 		switch tok {
-		case tokZeroRun:
+		case TokZeroRun:
 			for k := uint64(0); k < count; k++ {
 				out = append(out, 0)
 			}
-		case tokLiteral:
+		case TokLiteral:
 			need := (int(count)*bits + 7) / 8
 			if pos+need > len(data) {
 				return nil, errors.New("rle: truncated literal run")

@@ -76,6 +76,50 @@ func PutBuf(buf []float32) {
 	bufPools[bits.Len(uint(c))-1].Put(p)
 }
 
+// Byte-buffer arena. The wire path (frame payloads, boundary-codec output)
+// needs short-lived []byte scratch on every tile exchange; it recycles
+// through the same size-bucketed scheme as the float32 pools.
+
+var (
+	bytePools  [maxBucket + 1]sync.Pool
+	byteShells = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetBytes returns a byte scratch slice of length n with unspecified
+// contents. Pair it with PutBytes when done; losing a buffer is safe (the
+// GC reclaims it) but wastes the recycling.
+func GetBytes(n int) []byte {
+	if n < 0 {
+		panic("tensor: GetBytes negative size")
+	}
+	b := bucketFor(n)
+	if b > maxBucket {
+		return make([]byte, n)
+	}
+	if v := bytePools[b].Get(); v != nil {
+		p := v.(*[]byte)
+		s := *p
+		*p = nil
+		byteShells.Put(p)
+		return s[:n]
+	}
+	return make([]byte, n, 1<<b)
+}
+
+// PutBytes recycles a buffer obtained from GetBytes. Only exact
+// power-of-two capacities are accepted (anything else came from somewhere
+// other than GetBytes and is silently dropped). The caller must not use
+// buf afterwards.
+func PutBytes(buf []byte) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 || bits.Len(uint(c))-1 > maxBucket {
+		return
+	}
+	p := byteShells.Get().(*[]byte)
+	*p = buf[:0:c]
+	bytePools[bits.Len(uint(c))-1].Put(p)
+}
+
 // GetTensor returns a tensor with pooled backing storage and unspecified
 // contents. Release it with PutTensor. The Tensor header itself is a fresh
 // allocation; callers on a zero-alloc path should hold raw slices instead.

@@ -88,3 +88,43 @@ func TestGetBufAllocFree(t *testing.T) {
 		t.Fatalf("GetBuf/PutBuf allocates %v per cycle, want 0", allocs)
 	}
 }
+
+func TestGetPutBytesRoundTrip(t *testing.T) {
+	b := GetBytes(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want power-of-two 128", cap(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	PutBytes(b)
+	b2 := GetBytes(70)
+	if len(b2) != 70 {
+		t.Fatalf("len = %d, want 70", len(b2))
+	}
+	PutBytes(b2)
+}
+
+func TestPutBytesRejectsForeignBuffers(t *testing.T) {
+	PutBytes(make([]byte, 100))
+	PutBytes(nil)
+	b := GetBytes(100)
+	if len(b) != 100 || cap(b)&(cap(b)-1) != 0 {
+		t.Fatalf("pool returned foreign buffer: len %d cap %d", len(b), cap(b))
+	}
+}
+
+func TestGetBytesAllocFree(t *testing.T) {
+	GetBytes(1 << 12) // prime the bucket's first make
+	allocs := testing.AllocsPerRun(200, func() {
+		b := GetBytes(1 << 12)
+		PutBytes(b)
+	})
+	// Tolerate sub-1 noise: a GC sweep may empty the sync.Pool mid-run.
+	if allocs >= 0.5 {
+		t.Fatalf("GetBytes/PutBytes allocates %v per cycle, want 0", allocs)
+	}
+}
