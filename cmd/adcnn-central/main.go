@@ -70,6 +70,7 @@ func main() {
 	clipLo := flag.Float64("clip-lo", 0, "clipped ReLU lower bound")
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
+	quantized := flag.Bool("quantized", false, "int8 operating mode: quantize weights per channel, send quantized tiles, run the back layers through the int8 path")
 	verify := flag.Bool("verify", true, "check outputs against local execution")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/flight and /debug/sessions on this address (e.g. :9090)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (central + conv-side spans) to this file")
@@ -95,6 +96,7 @@ func main() {
 	}
 	m, err := models.Build(cfg, models.Options{
 		Grid: g, ClipLo: float32(*clipLo), ClipHi: float32(*clipHi), QuantBits: *quant,
+		Int8: *quantized,
 	}, *seed)
 	if err != nil {
 		die("build model", "err", err)
@@ -108,6 +110,13 @@ func main() {
 			die("load weights", "err", err)
 		}
 		f.Close()
+	}
+	if *quantized {
+		n, err := m.QuantizeInt8()
+		if err != nil {
+			die("int8 quantize", "err", err)
+		}
+		logger.Info("int8 inference enabled", "layers", n, "quantized_uplink", m.Int8InputOK())
 	}
 
 	if m.Opt.Clipped() && *quant > 0 {
@@ -190,12 +199,20 @@ func main() {
 	}
 	var total time.Duration
 	mismatches := 0
+	// In the int8 operating mode the distributed run quantizes each tile
+	// with its own affine while the local oracle quantizes the whole
+	// image, so outputs agree only to within accumulated quantization
+	// error — the verify tolerance widens accordingly.
+	verifyTol := float32(1e-4)
+	if *quantized {
+		verifyTol = 5e-2
+	}
 	report := func(i int, x *tensor.Tensor, out *tensor.Tensor, st core.InferStats) {
 		total += st.Latency
 		status := ""
 		if *verify {
 			want := m.Net.Forward(x, false)
-			if !out.Equal(want, 1e-4) {
+			if !out.Equal(want, verifyTol) {
 				status = "  MISMATCH vs local"
 				mismatches++
 			}

@@ -33,6 +33,7 @@ func main() {
 	clipLo := flag.Float64("clip-lo", 0, "clipped ReLU lower bound (0 with hi=0 disables)")
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
+	quantized := flag.Bool("quantized", false, "int8 operating mode: quantize weights per channel and serve quantized tiles through the int8 GEMM path")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9091)")
 	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	m, err := buildModel(*model, *grid, *seed, float32(*clipLo), float32(*clipHi), *quant)
+	m, err := buildModel(*model, *grid, *seed, float32(*clipLo), float32(*clipHi), *quant, *quantized)
 	if err != nil {
 		die("build model", "err", err)
 	}
@@ -55,6 +56,15 @@ func main() {
 			die("load weights", "err", err)
 		}
 		f.Close()
+	}
+	if *quantized {
+		// Quantize after the weights are final: the int8 snapshot freezes
+		// whatever the layers hold at this point.
+		n, err := m.QuantizeInt8()
+		if err != nil {
+			die("int8 quantize", "err", err)
+		}
+		logger.Info("int8 inference enabled", "layers", n, "levels_entry", m.Int8InputOK())
 	}
 
 	if m.Opt.Clipped() && *quant > 0 {
@@ -115,7 +125,7 @@ func main() {
 	}
 }
 
-func buildModel(name, grid string, seed int64, lo, hi float32, quant int) (*models.Model, error) {
+func buildModel(name, grid string, seed int64, lo, hi float32, quant int, int8Mode bool) (*models.Model, error) {
 	cfg, err := cliutil.SimConfigByName(name)
 	if err != nil {
 		return nil, err
@@ -124,6 +134,6 @@ func buildModel(name, grid string, seed int64, lo, hi float32, quant int) (*mode
 	if err != nil {
 		return nil, err
 	}
-	opt := models.Options{Grid: g, ClipLo: lo, ClipHi: hi, QuantBits: quant}
+	opt := models.Options{Grid: g, ClipLo: lo, ClipHi: hi, QuantBits: quant, Int8: int8Mode}
 	return models.Build(cfg, opt, seed)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"adcnn/internal/quant"
 	"adcnn/internal/tensor"
 )
 
@@ -20,13 +21,18 @@ func FuzzReadMessage(f *testing.F) {
 		Timing:  &ConvTiming{RecvNs: 10, DecodeNs: 20, ComputeStartNs: 30, ComputeEndNs: 40, EncodeNs: 50, SendNs: 60},
 		Payload: []byte("xyz")})
 	f.Add(timed.Bytes())
+	var quantized bytes.Buffer
+	_ = WriteMessage(&quantized, &Message{Kind: KindTask, ImageID: 9, TileID: 0,
+		Quantized: true, Payload: []byte{1, 4, 0, 0, 0, 0, 0, 128, 63, 7, 10, 20, 30, 40}})
+	f.Add(quantized.Bytes())
 	f.Add([]byte{})
-	// Minimal valid v2 frame: magic, version, length=bodyHeader, all-zero
-	// header fields (kind 1), no timing, empty payload.
+	// Minimal valid current-revision frame: magic, version,
+	// length=bodyHeader, all-zero header fields (kind 1), no timing,
+	// empty payload.
 	minimal := append([]byte{protoMagic, ProtoVersion, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...)
 	f.Add(minimal)
 	// Wrong magic and wrong version with otherwise-valid frames, plus a
-	// v1 frame (old 14-byte header) a v2 build must reject cleanly.
+	// v1 frame (old 14-byte header) a current build must reject cleanly.
 	f.Add(append([]byte{0x00, ProtoVersion, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...))
 	f.Add(append([]byte{protoMagic, ProtoVersion + 1, bodyHeader, 0, 0, 0, 1}, make([]byte, bodyHeader-1)...))
 	f.Add([]byte{protoMagic, 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
@@ -50,6 +56,7 @@ func FuzzReadMessage(f *testing.F) {
 		}
 		if m2.Kind != m.Kind || m2.ImageID != m.ImageID || m2.TileID != m.TileID ||
 			m2.NodeID != m.NodeID || m2.Compressed != m.Compressed ||
+			m2.Quantized != m.Quantized ||
 			m2.TraceID != m.TraceID || m2.SpanID != m.SpanID ||
 			!bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatal("frame round trip changed the message")
@@ -81,6 +88,41 @@ func FuzzDecodeTensor(f *testing.F) {
 		z, err := DecodeTensor(EncodeTensor(y))
 		if err != nil || !z.Equal(y, 0) {
 			t.Fatal("tensor round trip failed")
+		}
+	})
+}
+
+// FuzzDecodeQuantTensor: arbitrary quantized tensor payloads must never
+// panic; accepted payloads must round-trip through encode exactly.
+func FuzzDecodeQuantTensor(f *testing.F) {
+	x := tensor.New(1, 2, 3)
+	x.Data[0] = 0.5
+	x.Data[5] = -1.25
+	af := quant.Affine{Scale: 0.25, Zero: 128}
+	f.Add(AppendQuantTensor(nil, x, af))
+	f.Add([]byte{})
+	f.Add([]byte{1, 255, 255, 255, 255})
+	f.Add([]byte{0, 0, 0, 0, 0, 0}) // rank 0, scale 0 (rejected)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q QuantTile
+		if err := DecodeQuantTensorInto(&q, data); err != nil {
+			return
+		}
+		vol := 1
+		for _, d := range q.Shape {
+			vol *= d
+		}
+		if vol != len(q.Levels) {
+			t.Fatalf("shape %v volume %d != %d levels", q.Shape, vol, len(q.Levels))
+		}
+		// Re-encode from the decoded fields: dequantize with the decoded
+		// affine, then quantize back — levels must survive exactly because
+		// dequantize(q) lands on the centre of q's grid cell.
+		xt := tensor.New(q.Shape...)
+		tensor.DequantizeAffineSlice(xt.Data, q.Levels, q.Affine.Scale, q.Affine.Zero)
+		out := AppendQuantTensor(nil, xt, q.Affine)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("quantized tensor round trip changed the payload")
 		}
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"adcnn/internal/compress"
 	"adcnn/internal/fdsp"
 	"adcnn/internal/models"
+	"adcnn/internal/quant"
 	"adcnn/internal/sched"
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
@@ -72,6 +73,7 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 	// result message, and the pooled encode buffer. Conn.Send only borrows
 	// the message, so all of it is ours again once Send returns.
 	x := new(tensor.Tensor)
+	qt := new(QuantTile)
 	tm := new(ConvTiming)
 	res := new(Message)
 	var encBuf []byte
@@ -95,7 +97,12 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 		case KindTask:
 			start := time.Now()
 			*tm = ConvTiming{RecvNs: monoNow()}
-			if err := DecodeTensorInto(x, m.Payload); err != nil {
+			quantized := m.Quantized
+			if quantized {
+				if err := DecodeQuantTensorInto(qt, m.Payload); err != nil {
+					return fmt.Errorf("core: worker %d: %w", w.ID, err)
+				}
+			} else if err := DecodeTensorInto(x, m.Payload); err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
 			m.ReleasePayload()
@@ -123,7 +130,14 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 				}
 			}
 			tm.ComputeStartNs = monoNow()
-			out, compressed, err := w.computeEncode(x, tm, encBuf)
+			var out []byte
+			var compressed bool
+			var err error
+			if quantized {
+				out, compressed, err = w.computeEncodeLevels(qt, x, tm, encBuf)
+			} else {
+				out, compressed, err = w.computeEncode(x, tm, encBuf)
+			}
 			if err != nil {
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
@@ -160,7 +174,28 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 // record. The returned slice is the (possibly replaced) buffer — the
 // caller must retain it as the next call's buf.
 func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
-	y := w.Model.Front.Forward(x, false)
+	return w.boundaryEncode(w.Model.Front.Forward(x, false), tm, buf)
+}
+
+// computeEncodeLevels runs one quantized tile. When the model's front
+// opens with an int8-enabled plain convolution, the decoded levels feed
+// its quantized GEMM directly — the no-dequant fast path of the int8
+// operating mode. Otherwise (residual-entry front, or a worker that
+// never called QuantizeInt8) the tile is dequantized into x and takes
+// the ordinary f32 path, so a mixed deployment still computes correctly.
+func (w *Worker) computeEncodeLevels(q *QuantTile, x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
+	if len(q.Shape) == 4 && q.Shape[0] == 1 {
+		if y, ok := w.Model.ForwardFrontLevels(q.Levels, q.Shape[1], q.Shape[2], q.Shape[3], q.Affine); ok {
+			return w.boundaryEncode(y, tm, buf)
+		}
+	}
+	q.DequantizeInto(x)
+	return w.computeEncode(x, tm, buf)
+}
+
+// boundaryEncode applies the boundary ops to a Front output and encodes
+// the result into buf (pooled, reused across tiles — see computeEncode).
+func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
 	opt := w.Model.Opt
 	clipped := opt.Clipped()
 	if clipped {
@@ -473,6 +508,12 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	if met != nil || tr != nil {
 		dispatchAt = make([]time.Time, len(tiles))
 	}
+	// In the int8 operating mode the uplink carries quantized tiles: uint8
+	// levels plus a per-tile affine, 4× smaller than float32 and consumed
+	// directly by the workers' int8 entry convolution. Gated on the model
+	// actually supporting the levels entry; tiles whose value range defies
+	// a finite affine (NaN/Inf input) fall back to float32 per tile.
+	quantUplink := c.Model.Opt.Int8 && c.Model.Int8InputOK()
 	counts := make(sched.Allocation, len(c.sessions)) // tiles actually enqueued per node
 	for ti, tl := range tiles {
 		// Serialise the tile into a pooled wire buffer; the session's send
@@ -480,12 +521,23 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 		// send keeps it intact for redispatch). The tile tensor itself is
 		// dead after serialisation.
 		tile := fdsp.ExtractTile(x, tl)
-		payload := AppendTensor(tensor.GetBytes(TensorWireSize(tile))[:0], tile)
+		var payload []byte
+		sentQuant := false
+		if quantUplink {
+			mn, mx := tensor.MinMax(tile.Data)
+			if af, aerr := quant.AffineFor(mn, mx); aerr == nil {
+				payload = AppendQuantTensor(tensor.GetBytes(QuantTensorWireSize(tile))[:0], tile, af)
+				sentQuant = true
+			}
+		}
+		if !sentQuant {
+			payload = AppendTensor(tensor.GetBytes(TensorWireSize(tile))[:0], tile)
+		}
 		tensor.PutTensor(tile)
 		task := &Message{
 			Kind: KindTask, ImageID: img, TileID: uint32(ti),
 			TraceID: traceID, SpanID: tileSpanID(img, ti),
-			Payload: payload,
+			Quantized: sentQuant, Payload: payload,
 		}
 		k := assignment[ti]
 		sent := false

@@ -98,17 +98,19 @@ func TestMessageFramingRejectsVersionMismatch(t *testing.T) {
 	}
 }
 
-func TestV2CentralRejectsV1Peer(t *testing.T) {
+func TestCentralRejectsV1Peer(t *testing.T) {
 	// A v1 frame: magic, version 1, then the old 14-byte body header. A
-	// v2 build must reject it before trusting any length, with an error
-	// naming both revisions so the operator knows which side to upgrade.
+	// current build must reject it before trusting any length, with an
+	// error naming both revisions so the operator knows which side to
+	// upgrade.
 	v1 := []byte{protoMagic, 1, 14, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
 	_, err := ReadMessage(bytes.NewReader(v1))
 	if !errors.Is(err, ErrProtoVersion) {
 		t.Fatalf("v1 peer must fail with ErrProtoVersion, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "v1") || !strings.Contains(err.Error(), "v2") {
-		t.Fatalf("error must name both v1 and v2: %v", err)
+	ours := fmt.Sprintf("v%d", ProtoVersion)
+	if !strings.Contains(err.Error(), "v1") || !strings.Contains(err.Error(), ours) {
+		t.Fatalf("error must name both v1 and the current revision: %v", err)
 	}
 }
 

@@ -33,6 +33,12 @@ type Message struct {
 	// Compressed marks Payload as a compress-pipeline payload rather
 	// than a raw tensor encoding.
 	Compressed bool
+	// Quantized marks Payload as a quantized tensor encoding (uint8
+	// affine levels + scale/zero-point, see AppendQuantTensor) rather
+	// than raw float32 words. Task frames use it for the int8 operating
+	// mode's uplink: the Conv worker feeds the levels straight into the
+	// first convolution's int8 GEMM.
+	Quantized bool
 	// TraceID is the per-image trace identifier; SpanID is the parent
 	// span (the tile dispatch) the receiver should attribute work to.
 	// Workers echo both back on the result frame.
@@ -108,8 +114,11 @@ const (
 	// ProtoVersion is the wire protocol revision. Bump on any frame
 	// layout change. v2 added the trace context (traceID + parent
 	// spanID) to every frame and the optional ConvTiming record to
-	// results.
-	ProtoVersion = 2
+	// results. v3 added the quantized-payload flag (int8 operating
+	// mode); the frame layout is unchanged, but a v2 peer would
+	// misread a quantized payload as float32 words, so the version
+	// gate rejects the pairing outright.
+	ProtoVersion = 3
 )
 
 // ErrProtoVersion reports a peer speaking a different frame revision.
@@ -129,6 +138,7 @@ const bodyHeader = 30
 const (
 	flagCompressed = 1 << 0 // Payload is a compress-pipeline encoding
 	flagTiming     = 1 << 1 // a ConvTiming record precedes the payload
+	flagQuantized  = 1 << 2 // Payload is a quantized tensor encoding
 )
 
 // WriteMessage frames and writes a message. The header is staged in a
@@ -159,6 +169,9 @@ func WriteMessage(w io.Writer, m *Message) error {
 	}
 	if m.Timing != nil {
 		flags |= flagTiming
+	}
+	if m.Quantized {
+		flags |= flagQuantized
 	}
 	hdr[19] = flags
 	binary.LittleEndian.PutUint64(hdr[20:], m.TraceID)
@@ -227,6 +240,7 @@ func ReadMessageInto(r io.Reader, m *Message) error {
 	m.TileID = binary.LittleEndian.Uint32(hdr[5:])
 	m.NodeID = binary.LittleEndian.Uint32(hdr[9:])
 	m.Compressed = flags&flagCompressed != 0
+	m.Quantized = flags&flagQuantized != 0
 	m.TraceID = binary.LittleEndian.Uint64(hdr[14:])
 	m.SpanID = binary.LittleEndian.Uint64(hdr[22:])
 	rest := int(n) - bodyHeader

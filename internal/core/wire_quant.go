@@ -1,0 +1,127 @@
+package core
+
+// Quantized tensor encoding for the int8 operating mode's uplink: a task
+// tile travels as uint8 affine levels plus the (scale, zero-point) pair
+// that defines them — 4× smaller than the float32 encoding, and directly
+// consumable by the Conv worker's int8 GEMM without a dequant→f32→requant
+// round trip on the boundary tensor.
+//
+// Layout: rank(1) | dims(4·rank, u32 LE) | scale(4, f32 LE) | zero(1) |
+// levels(Π dims). A frame carrying this encoding sets flagQuantized.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"adcnn/internal/quant"
+	"adcnn/internal/tensor"
+)
+
+// QuantTile is a decoded quantized tensor payload: shape, the affine that
+// maps levels back to values (x ≈ Scale·(q − Zero)), and the raw levels.
+// Levels is backed by a pooled wire buffer when decoded with
+// DecodeQuantTensorInto — call Release (or keep reusing the struct) when
+// done.
+type QuantTile struct {
+	Shape  []int
+	Affine quant.Affine
+	Levels []uint8
+}
+
+// Release returns the levels storage to the wire buffer pool.
+func (q *QuantTile) Release() {
+	tensor.PutBytes(q.Levels)
+	q.Levels = nil
+}
+
+// QuantTensorWireSize is the exact byte length AppendQuantTensor produces
+// for t, so callers can pre-size a pooled buffer.
+func QuantTensorWireSize(t *tensor.Tensor) int { return 1 + 4*t.Rank() + 5 + t.Len() }
+
+// AppendQuantTensor quantizes t with af and appends the encoding onto
+// dst, returning the extended slice. When dst has QuantTensorWireSize
+// spare capacity no allocation occurs.
+func AppendQuantTensor(dst []byte, t *tensor.Tensor, af quant.Affine) []byte {
+	off := len(dst)
+	need := QuantTensorWireSize(t)
+	if cap(dst) < off+need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	dst[off] = byte(t.Rank())
+	p := off + 1
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(dst[p:], uint32(d))
+		p += 4
+	}
+	binary.LittleEndian.PutUint32(dst[p:], math.Float32bits(af.Scale))
+	p += 4
+	dst[p] = af.Zero
+	p++
+	tensor.QuantizeAffineSlice(dst[p:], t.Data, af.InvScale(), af.Zero)
+	return dst
+}
+
+// DecodeQuantTensorInto decodes an AppendQuantTensor payload into dst,
+// reusing the capacity of dst.Shape and dst.Levels (a too-small levels
+// buffer is swapped for one from the wire buffer pool), so a recycled
+// destination decodes with zero steady-state allocations. The payload
+// bytes are fully copied out — the caller may release the wire buffer
+// immediately after this returns.
+func DecodeQuantTensorInto(dst *QuantTile, data []byte) error {
+	if len(data) < 1 {
+		return errors.New("core: empty quantized tensor payload")
+	}
+	rank := int(data[0])
+	off := 1
+	if len(data) < off+4*rank+5 {
+		return errors.New("core: truncated quantized tensor header")
+	}
+	dst.Shape = dst.Shape[:0]
+	vol := 1
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		dst.Shape = append(dst.Shape, d)
+		vol *= d
+		if vol < 0 || vol > maxFrame {
+			return fmt.Errorf("core: quantized tensor volume overflows frame limit")
+		}
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	zero := data[off]
+	off++
+	if scale <= 0 || math.IsInf(float64(scale), 0) || math.IsNaN(float64(scale)) {
+		return fmt.Errorf("core: quantized tensor scale %g out of range", scale)
+	}
+	if len(data) != off+vol {
+		return fmt.Errorf("core: quantized tensor payload %d bytes, want %d", len(data), off+vol)
+	}
+	dst.Affine = quant.Affine{Scale: scale, Zero: zero}
+	if cap(dst.Levels) < vol {
+		tensor.PutBytes(dst.Levels)
+		dst.Levels = tensor.GetBytes(vol)
+	}
+	dst.Levels = dst.Levels[:vol]
+	copy(dst.Levels, data[off:])
+	return nil
+}
+
+// DequantizeInto expands the tile to float32 into dst, reshaping it in
+// place with pooled storage like DecodeTensorInto — the fallback for a
+// worker whose model cannot consume levels directly.
+func (q *QuantTile) DequantizeInto(dst *tensor.Tensor) {
+	vol := len(q.Levels)
+	dst.Shape = append(dst.Shape[:0], q.Shape...)
+	if cap(dst.Data) < vol {
+		tensor.PutBuf(dst.Data)
+		dst.Data = tensor.GetBuf(vol)
+	}
+	dst.Data = dst.Data[:vol]
+	tensor.DequantizeAffineSlice(dst.Data, q.Levels, q.Affine.Scale, q.Affine.Zero)
+}

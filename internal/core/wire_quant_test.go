@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/quant"
+	"adcnn/internal/tensor"
+)
+
+func TestQuantTensorCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x := tensor.New(1, 3, 5, 7)
+	x.RandU(rng, -2, 3)
+	mn, mx := tensor.MinMax(x.Data)
+	af, err := quant.AffineFor(mn, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AppendQuantTensor(nil, x, af)
+	if len(buf) != QuantTensorWireSize(x) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), QuantTensorWireSize(x))
+	}
+	if QuantTensorWireSize(x) >= TensorWireSize(x) {
+		t.Fatal("quantized encoding must be smaller than float32")
+	}
+	var q QuantTile
+	if err := DecodeQuantTensorInto(&q, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Shape) != 4 || q.Shape[0] != 1 || q.Shape[1] != 3 || q.Shape[2] != 5 || q.Shape[3] != 7 {
+		t.Fatalf("decoded shape %v", q.Shape)
+	}
+	if q.Affine != af {
+		t.Fatalf("decoded affine %+v, want %+v", q.Affine, af)
+	}
+	want := make([]uint8, x.Len())
+	tensor.QuantizeAffineSlice(want, x.Data, af.InvScale(), af.Zero)
+	for i := range want {
+		if q.Levels[i] != want[i] {
+			t.Fatalf("level %d: %d vs %d", i, q.Levels[i], want[i])
+		}
+	}
+	// DequantizeInto recovers values within one quantization step.
+	var y tensor.Tensor
+	q.DequantizeInto(&y)
+	if len(y.Shape) != 4 || y.Len() != x.Len() {
+		t.Fatalf("dequantized shape %v", y.Shape)
+	}
+	for i := range x.Data {
+		if d := math.Abs(float64(y.Data[i] - x.Data[i])); d > float64(af.Scale) {
+			t.Fatalf("dequant %d: |%g−%g| > step %g", i, y.Data[i], x.Data[i], af.Scale)
+		}
+	}
+	q.Release()
+	if q.Levels != nil {
+		t.Fatal("Release must clear Levels")
+	}
+}
+
+func TestDecodeQuantTensorRejectsCorrupt(t *testing.T) {
+	var q QuantTile
+	cases := [][]byte{
+		nil,
+		{4},                                  // truncated header
+		{1, 2, 0, 0, 0, 0, 0, 0, 0, 128, 10}, // scale 0
+		{1, 2, 0, 0, 0, 0, 0, 128, 127, 128, 10, 20}, // scale +Inf
+		{1, 2, 0, 0, 0, 0, 0, 128, 63, 128, 10},      // 1 level, want 2
+	}
+	for i, data := range cases {
+		if err := DecodeQuantTensorInto(&q, data); err == nil {
+			t.Fatalf("case %d: corrupt payload accepted", i)
+		}
+	}
+}
+
+// TestDistributedQuantizedMatchesLocal runs the full int8 operating mode
+// end to end — quantized uplink tiles, int8 Front on the workers, int8
+// Back on the Central — and pins the output against the f32 oracle. The
+// divergence is bounded by accumulated quantization error; the tolerance
+// is an empirical pin (~3× observed) so a regression that breaks the
+// levels path (not merely perturbs rounding) fails loudly.
+func TestDistributedQuantizedMatchesLocal(t *testing.T) {
+	cfg := models.VGGSim()
+	opt := models.Options{Grid: fdsp.Grid{Rows: 4, Cols: 4}, Int8: true}
+	m, err := models.Build(cfg, opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	wantF32 := m.Net.Forward(x, false).Clone()
+
+	if _, err := m.QuantizeInt8(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Int8InputOK() {
+		t.Fatal("VGGSim must support the quantized uplink")
+	}
+	c, _, stop := buildRuntimeConns(t, m, 4, 5*time.Second)
+	defer stop()
+	got, st, err := c.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilesMissed != 0 {
+		t.Fatalf("missed %d tiles with a generous deadline", st.TilesMissed)
+	}
+	// Local int8 forward differs from the distributed run only in the
+	// input affine (whole image vs per tile) — they must agree closely.
+	localQ := m.Net.Forward(x, false)
+	var maxLQ, maxF float64
+	for i := range got.Data {
+		if d := math.Abs(float64(got.Data[i] - localQ.Data[i])); d > maxLQ {
+			maxLQ = d
+		}
+		if d := math.Abs(float64(got.Data[i] - wantF32.Data[i])); d > maxF {
+			maxF = d
+		}
+	}
+	if maxLQ > 0.05 {
+		t.Fatalf("distributed int8 vs local int8 max |Δ| = %g", maxLQ)
+	}
+	if maxF > 0.25 {
+		t.Fatalf("distributed int8 vs f32 oracle max |Δ| = %g", maxF)
+	}
+	if got.ArgMax() != wantF32.ArgMax() {
+		t.Fatalf("int8 path changed the prediction: %d vs %d", got.ArgMax(), wantF32.ArgMax())
+	}
+}
+
+// TestQuantizedTaskF32WorkerFallback sends quantized tiles to a worker
+// whose model never called QuantizeInt8: it must dequantize and serve the
+// f32 path, so a mixed deployment degrades gracefully instead of failing.
+func TestQuantizedTaskF32WorkerFallback(t *testing.T) {
+	cfg := models.VGGSim()
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}, Int8: true}
+	cm, err := models.Build(cfg, opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := models.Build(cfg, opt, 42) // same weights, f32-only worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.QuantizeInt8(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := Pipe()
+	w := NewWorker(1, wm)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Serve(context.Background(), b)
+	}()
+	c, err := NewCentral(cm, []Conn{a}, 5*time.Second, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { c.Shutdown(); wg.Wait() }()
+
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rng, 1)
+	// Oracle: the worker's own f32 graph on the dequantized input — but
+	// the only quantization is the input tile encoding, so the f32 oracle
+	// on the raw input is close: Back runs int8 on the Central, hence the
+	// looser bound than the pure-f32 runtime tests use.
+	want := wm.Net.Forward(x, false)
+	got, _, err := c.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxD float64
+	for i := range got.Data {
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > maxD {
+			maxD = d
+		}
+	}
+	if maxD > 0.25 {
+		t.Fatalf("fallback path diverged: max |Δ| = %g", maxD)
+	}
+	if got.ArgMax() != want.ArgMax() {
+		t.Fatalf("fallback changed the prediction: %d vs %d", got.ArgMax(), want.ArgMax())
+	}
+}

@@ -1,0 +1,52 @@
+//go:build amd64 && !noasm
+
+package cpufeat
+
+// cpuid executes the CPUID instruction for (leaf, subleaf).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0.
+func xgetbv() (eax, edx uint32)
+
+const (
+	// leaf 1 ECX bits
+	bitFMA     = 1 << 12
+	bitSSE41   = 1 << 19
+	bitSSE42   = 1 << 20
+	bitOSXSAVE = 1 << 27
+	bitAVX     = 1 << 28
+	// leaf 7 EBX bits
+	bitAVX2     = 1 << 5
+	bitAVX512F  = 1 << 16
+	bitAVX512BW = 1 << 30
+	bitAVX512VL = 1 << 31
+	// XCR0 bits: SSE (XMM) and AVX (YMM) register state
+	xcr0SSE = 1 << 1
+	xcr0AVX = 1 << 2
+)
+
+func detect() Features {
+	var f Features
+	f.SSE2 = true // amd64 baseline
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.SSE41 = ecx1&bitSSE41 != 0
+	f.SSE42 = ecx1&bitSSE42 != 0
+	f.FMA = ecx1&bitFMA != 0
+	f.AVX = ecx1&bitAVX != 0
+	if ecx1&bitOSXSAVE != 0 {
+		lo, _ := xgetbv()
+		f.OSYMM = lo&(xcr0SSE|xcr0AVX) == (xcr0SSE | xcr0AVX)
+	}
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.AVX2 = ebx7&bitAVX2 != 0
+		f.AVX512F = ebx7&bitAVX512F != 0
+		f.AVX512BW = ebx7&bitAVX512BW != 0
+		f.AVX512VL = ebx7&bitAVX512VL != 0
+	}
+	return f
+}

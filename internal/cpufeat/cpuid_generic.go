@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package cpufeat
+
+// detect reports no SIMD features on non-amd64 platforms and under the
+// noasm build tag, steering kernel dispatch to the portable paths.
+func detect() Features { return Features{} }

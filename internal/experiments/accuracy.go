@@ -62,6 +62,10 @@ type AccuracyRow struct {
 
 	OrigMetric  float64
 	FinalMetric float64
+	// Int8Metric is the retrained model's metric with int8 quantized
+	// inference enabled (per-channel weights, dynamic activation affine) —
+	// the accuracy cost of the fast path, measured on the same test split.
+	Int8Metric float64
 
 	EpochsFDSP    int
 	EpochsClipped int
@@ -72,6 +76,10 @@ type AccuracyRow struct {
 
 // TotalEpochs returns the Table 1 "Total" column.
 func (r AccuracyRow) TotalEpochs() int { return r.EpochsFDSP + r.EpochsClipped + r.EpochsQuant }
+
+// Int8Delta is the metric change from switching the retrained model to
+// int8 inference (negative = int8 loses accuracy).
+func (r AccuracyRow) Int8Delta() float64 { return r.Int8Metric - r.FinalMetric }
 
 // AccuracyResult aggregates the retraining experiments.
 type AccuracyResult struct {
@@ -142,6 +150,14 @@ func RunAccuracy(setup AccuracySetup) (*AccuracyResult, error) {
 				}
 			}
 			row.CompressionRatio = measureCompression(pres.Final, test)
+			// Measure the int8 inference delta on the retrained weights:
+			// quantize, evaluate, then restore f32 so later stages (and the
+			// caller) see the unmodified model.
+			if _, err := pres.Final.QuantizeInt8(); err != nil {
+				return nil, fmt.Errorf("%s %v: int8 quantize: %w", cfg.Name, grid, err)
+			}
+			row.Int8Metric = trainer.Evaluate(pres.Final, test, 16)
+			pres.Final.ClearInt8()
 			res.Rows = append(res.Rows, row)
 		}
 	}
@@ -204,6 +220,12 @@ func (r *AccuracyResult) WriteText(w io.Writer) {
 	fprintf(w, "\nTable 2: Conv-node output size after pruning (fraction of raw)\n")
 	for _, row := range r.largestGridRows() {
 		fprintf(w, "  %-14s %8.4fx\n", row.Model, row.CompressionRatio)
+	}
+	fprintf(w, "\nInt8 quantized inference: retrained metric vs int8 metric\n")
+	fprintf(w, "  %-14s %-6s %10s %10s %7s\n", "model", "grid", "f32", "int8", "delta")
+	for _, row := range r.Rows {
+		fprintf(w, "  %-14s %-6s %10.3f %10.3f %+6.3f\n",
+			row.Model, row.Grid.String(), row.FinalMetric, row.Int8Metric, row.Int8Delta())
 	}
 }
 

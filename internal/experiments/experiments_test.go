@@ -66,9 +66,17 @@ func TestRunAccuracyQuick(t *testing.T) {
 	if row.CompressionRatio <= 0 || row.CompressionRatio > 0.5 {
 		t.Fatalf("compression ratio = %.4f, expected well below 0.5", row.CompressionRatio)
 	}
+	// Int8 inference on the retrained weights must be measured and stay
+	// close to the f32 metric (the whole point of the quantized mode).
+	if row.Int8Metric == 0 {
+		t.Fatal("int8 metric not measured")
+	}
+	if d := row.Int8Delta(); d < -0.1 {
+		t.Fatalf("int8 inference lost %.3f accuracy vs f32", -d)
+	}
 	var buf bytes.Buffer
 	res.WriteText(&buf)
-	for _, want := range []string{"Figure 10", "Table 1", "Table 2"} {
+	for _, want := range []string{"Figure 10", "Table 1", "Table 2", "Int8 quantized inference"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("missing %q in text output", want)
 		}

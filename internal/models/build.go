@@ -20,6 +20,12 @@ type Options struct {
 	// QuantBits inserts straight-through quantization after the clipped
 	// ReLU when > 0 (Algorithm 1 step 5). Requires a clipped ReLU.
 	QuantBits int
+	// Int8 selects the quantized operating mode: daemons that see it call
+	// Model.QuantizeInt8 after loading trained parameters (Build itself
+	// never quantizes — weights are random at build time) and exchange
+	// quantized task payloads when the peer supports them. f32 stays the
+	// default and the correctness oracle.
+	Int8 bool
 }
 
 // Partitioned reports whether FDSP is enabled.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"adcnn/internal/parallel"
+	"adcnn/internal/quant"
 	"adcnn/internal/tensor"
 )
 
@@ -22,6 +23,9 @@ type Conv2D struct {
 	// training caches
 	inShape []int
 	cols    []*tensor.Tensor // per-sample im2col matrices
+
+	// int8 inference snapshot (conv_int8.go); nil means f32 execution
+	int8w *quant.PerChannel
 }
 
 // NewConv2D creates a convolution layer with He-initialised weights.
@@ -95,6 +99,18 @@ func (c *Conv2D) ForwardInto(y, x *tensor.Tensor, train bool) {
 	// parallelises cleanly across the batch. Single-sample (and
 	// single-proc) calls take the direct loop: no closure, no goroutines,
 	// no allocations.
+	if !train && c.int8w != nil {
+		if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+			for i := 0; i < n; i++ {
+				c.forwardSampleInt8(y.Data, x.Data, i, h, w, oh, ow)
+			}
+			return
+		}
+		parallel.For(n, func(i int) {
+			c.forwardSampleInt8(y.Data, x.Data, i, h, w, oh, ow)
+		})
+		return
+	}
 	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i := 0; i < n; i++ {
 			c.forwardSample(y.Data, x.Data, i, h, w, oh, ow, train)

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+
+	"adcnn/internal/quant"
+	"adcnn/internal/tensor"
+)
+
+// Int8 inference path for Conv2D. QuantizeInt8 snapshots the current
+// weights as per-output-channel symmetric int8 in the packed layout the
+// int8 GEMM consumes; inference forwards then quantize each sample's
+// activations with a dynamic affine (min/max of the sample), run the
+// int8×uint8→int32 GEMM, and requantize straight into the f32 output:
+//
+//	y[oc][j] = s_w[oc]·s_x·(acc[oc][j] − zp·Σ_k w_q[oc][k]) + bias[oc]
+//
+// The f32 weights are untouched — training and the f32 oracle path keep
+// working — but the snapshot goes stale if weights change afterwards;
+// re-call QuantizeInt8 (or ClearInt8) after updating parameters.
+
+// QuantizeInt8 enables the int8 inference path, snapshotting the current
+// weights with one symmetric scale per output channel.
+func (c *Conv2D) QuantizeInt8() error {
+	kdim := c.InC * c.Geom.KH * c.Geom.KW
+	pc, err := quant.QuantizePerChannel(c.Weight.Value.Data, c.OutC, kdim, tensor.Int8KP(kdim))
+	if err != nil {
+		return fmt.Errorf("nn: %s: %w", c.label, err)
+	}
+	c.int8w = pc
+	return nil
+}
+
+// ClearInt8 drops the int8 snapshot, restoring the f32 inference path.
+func (c *Conv2D) ClearInt8() { c.int8w = nil }
+
+// Int8 reports whether the int8 inference path is enabled.
+func (c *Conv2D) Int8() bool { return c.int8w != nil }
+
+// forwardSampleInt8 is the int8 counterpart of forwardSample: quantizing
+// im2col into pooled uint8 scratch, int8 GEMM into pooled int32
+// accumulators, fused requantize+bias into ys. Zero allocations. If the
+// sample's activation range is non-finite (NaN/Inf input) it falls back
+// to the f32 path, which propagates the values faithfully.
+func (c *Conv2D) forwardSampleInt8(yd, xd []float32, i, h, w, oh, ow int) {
+	plane := oh * ow
+	sample := c.InC * h * w
+	outSample := c.OutC * plane
+	xs := xd[i*sample : (i+1)*sample]
+	ys := yd[i*outSample : (i+1)*outSample]
+	mn, mx := tensor.MinMax(xs)
+	af, err := quant.AffineFor(mn, mx)
+	if err != nil {
+		c.forwardSample(yd, xd, i, h, w, oh, ow, false)
+		return
+	}
+	kp := c.int8w.KP
+	bq := tensor.GetBytes(plane * kp)
+	tensor.Im2ColQuantSlice(bq, xs, c.InC, h, w, c.Geom, af.InvScale(), af.Zero, kp)
+	c.int8Gemm(ys, bq, plane, af)
+	tensor.PutBytes(bq)
+}
+
+// int8Gemm multiplies the packed activation columns against the int8
+// weight snapshot and requantizes each output channel row (with bias)
+// into ys[OutC][plane].
+func (c *Conv2D) int8Gemm(ys []float32, bq []uint8, plane int, af quant.Affine) {
+	acc := tensor.GetI32(c.OutC * plane)
+	tensor.GemmInt8DotInto(acc, c.int8w.Data, bq, c.OutC, plane, c.int8w.KP)
+	z := int32(af.Zero)
+	for oc := 0; oc < c.OutC; oc++ {
+		var b float32
+		if c.UseBias {
+			b = c.Bias.Value.Data[oc]
+		}
+		tensor.RequantizeI32Row(ys[oc*plane:(oc+1)*plane], acc[oc*plane:(oc+1)*plane],
+			c.int8w.Scales[oc]*af.Scale, z*c.int8w.RowSum[oc], b)
+	}
+	tensor.PutI32(acc)
+}
+
+// ForwardLevelsInto runs the int8 forward on a single sample whose
+// activations are already uint8 affine levels — a decoded wire payload —
+// writing the f32 output [1, OutC, OH, OW] into y. This is how the Conv
+// worker consumes a quantized tile without a dequant→f32→requant round
+// trip: the levels feed the quantized im2col gather directly, with
+// spatial padding reading as af.Zero (the level of 0.0). Requires
+// QuantizeInt8 to have been called.
+func (c *Conv2D) ForwardLevelsInto(y *tensor.Tensor, levels []uint8, h, w int, af quant.Affine) {
+	if c.int8w == nil {
+		panic(fmt.Sprintf("nn: %s ForwardLevelsInto without QuantizeInt8", c.label))
+	}
+	if len(levels) < c.InC*h*w {
+		panic(fmt.Sprintf("nn: %s levels slice %d below %d×%d×%d", c.label, len(levels), c.InC, h, w))
+	}
+	oh, ow := c.Geom.OutSize(h, w)
+	if y.Rank() != 4 || y.Shape[0] != 1 || y.Shape[1] != c.OutC || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("nn: %s output shape %v, want [1 %d %d %d]", c.label, y.Shape, c.OutC, oh, ow))
+	}
+	plane := oh * ow
+	kp := c.int8w.KP
+	bq := tensor.GetBytes(plane * kp)
+	tensor.Im2ColU8Slice(bq, levels, c.InC, h, w, c.Geom, af.Zero, kp)
+	c.int8Gemm(y.Data, bq, plane, af)
+	tensor.PutBytes(bq)
+}

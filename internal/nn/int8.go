@@ -1,0 +1,64 @@
+package nn
+
+// Layer-tree walkers for the int8 inference path: models enable or
+// disable quantized execution across a whole network without knowing its
+// block structure.
+
+// QuantizeInt8 walks a layer tree (through Sequential and Residual
+// containers) and snapshots int8 weights on every Conv2D and Linear.
+// It returns how many layers were quantized; on error the already
+// quantized layers keep their snapshots (call ClearInt8 to roll back).
+func QuantizeInt8(root Layer) (int, error) {
+	n := 0
+	var walk func(l Layer) error
+	walk = func(l Layer) error {
+		switch v := l.(type) {
+		case *Sequential:
+			for _, s := range v.Layers {
+				if err := walk(s); err != nil {
+					return err
+				}
+			}
+		case *Residual:
+			if err := walk(v.Body); err != nil {
+				return err
+			}
+			if v.Shortcut != nil {
+				return walk(v.Shortcut)
+			}
+		case *Conv2D:
+			if err := v.QuantizeInt8(); err != nil {
+				return err
+			}
+			n++
+		case *Linear:
+			if err := v.QuantizeInt8(); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	}
+	err := walk(root)
+	return n, err
+}
+
+// ClearInt8 walks a layer tree and drops every int8 snapshot, restoring
+// pure f32 inference.
+func ClearInt8(root Layer) {
+	switch v := root.(type) {
+	case *Sequential:
+		for _, s := range v.Layers {
+			ClearInt8(s)
+		}
+	case *Residual:
+		ClearInt8(v.Body)
+		if v.Shortcut != nil {
+			ClearInt8(v.Shortcut)
+		}
+	case *Conv2D:
+		v.ClearInt8()
+	case *Linear:
+		v.ClearInt8()
+	}
+}

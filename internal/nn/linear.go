@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"adcnn/internal/quant"
 	"adcnn/internal/tensor"
 )
 
@@ -51,6 +52,9 @@ type Linear struct {
 	Weight, Bias *Param
 
 	x *tensor.Tensor // cached input
+
+	// int8 inference snapshot (linear_int8.go); nil means f32 execution
+	int8w *quant.PerChannel
 }
 
 // NewLinear creates a fully connected layer with He-initialised weights.
@@ -84,6 +88,9 @@ func (l *Linear) ForwardInto(y, x *tensor.Tensor, train bool) {
 	n := x.Shape[0]
 	if y.Rank() != 2 || y.Shape[0] != n || y.Shape[1] != l.Out {
 		panic(fmt.Sprintf("nn: %s output shape %v, want [%d %d]", l.label, y.Shape, n, l.Out))
+	}
+	if !train && l.int8w != nil && l.forwardInt8(y, x) {
+		return
 	}
 	tensor.MatMulTransBInto(y, x, l.Weight.Value) // [N,In]·[Out,In]ᵀ = [N,Out]
 	bias := l.Bias.Value.Data

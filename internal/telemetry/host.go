@@ -3,6 +3,8 @@ package telemetry
 import (
 	"runtime"
 	"runtime/debug"
+
+	"adcnn/internal/cpufeat"
 )
 
 // Host describes the machine and build a benchmark report came from, so
@@ -13,6 +15,12 @@ type Host struct {
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
 	GitCommit string `json:"git_commit,omitempty"` // empty when built without VCS stamping
+	// CPUFeatures lists the detected SIMD features ("sse2,avx2,..."),
+	// empty off amd64 or under the noasm tag; GOAMD64 is the build's
+	// microarchitecture level when the build info records one. Together
+	// they attribute a benchmark run to the kernel tier it exercised.
+	CPUFeatures string `json:"cpu_features,omitempty"`
+	GOAMD64     string `json:"goamd64,omitempty"`
 }
 
 // HostInfo collects the current host/build metadata. The git commit
@@ -20,10 +28,11 @@ type Host struct {
 // modified tree) and is empty for plain `go test` builds.
 func HostInfo() Host {
 	h := Host{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		CPUFeatures: cpufeat.Detect().String(),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		var rev string
@@ -34,6 +43,8 @@ func HostInfo() Host {
 				rev = s.Value
 			case "vcs.modified":
 				dirty = s.Value == "true"
+			case "GOAMD64":
+				h.GOAMD64 = s.Value
 			}
 		}
 		if rev != "" {

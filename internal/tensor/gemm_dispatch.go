@@ -1,0 +1,58 @@
+package tensor
+
+import "fmt"
+
+// KernelTier identifies which micro-kernel implementation the GEMM
+// engine dispatches to. Tiers are ordered: a higher tier strictly
+// requires the CPU features of the lower ones.
+type KernelTier int
+
+const (
+	// TierGeneric is the portable pure-Go kernel (always available).
+	TierGeneric KernelTier = iota
+	// TierSSE is the amd64-baseline SSE kernel (4-wide f32).
+	TierSSE
+	// TierAVX2 is the AVX2+FMA kernel (8-wide f32, 16-byte int8 dot).
+	TierAVX2
+)
+
+// String names the tier for logs and benchmark reports.
+func (t KernelTier) String() string {
+	switch t {
+	case TierGeneric:
+		return "generic"
+	case TierSSE:
+		return "sse"
+	case TierAVX2:
+		return "avx2"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// detectedTier is the widest tier the host supports; kernelTier is the
+// tier actually dispatched, normally equal to detectedTier but lowerable
+// through SetKernelTier for baseline measurements and parity tests.
+var (
+	detectedTier = detectKernelTier()
+	kernelTier   = detectedTier
+)
+
+// DetectedKernelTier returns the widest micro-kernel tier the host CPU
+// (and OS register-state support) allows.
+func DetectedKernelTier() KernelTier { return detectedTier }
+
+// CurrentKernelTier returns the tier the GEMM engine is dispatching to.
+func CurrentKernelTier() KernelTier { return kernelTier }
+
+// SetKernelTier forces dispatch to a lower (or equal) tier than detected,
+// so benchmarks can measure e.g. the SSE baseline on an AVX2 host and
+// tests can exercise every reachable kernel. Requesting a tier above the
+// detected one is an error. Not safe to call concurrently with running
+// GEMMs; it is a measurement/testing knob, not a hot-path switch.
+func SetKernelTier(t KernelTier) error {
+	if t < TierGeneric || t > detectedTier {
+		return fmt.Errorf("tensor: kernel tier %v not available (detected %v)", t, detectedTier)
+	}
+	kernelTier = t
+	return nil
+}

@@ -1,0 +1,28 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+import "adcnn/internal/cpufeat"
+
+// detectKernelTier maps the host feature set onto the widest usable
+// kernel tier: AVX2 requires FMA and OS YMM-state support, SSE is the
+// amd64 baseline.
+func detectKernelTier() KernelTier {
+	if cpufeat.Detect().UsableAVX2() {
+		return TierAVX2
+	}
+	return TierSSE
+}
+
+// gemmAxpy2x4 dispatches the vectorised inner sweep. n is a multiple of
+// 4 and at least 4; slices are at least n long.
+func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
+	switch kernelTier {
+	case TierAVX2:
+		gemmKernel2x4AVX2(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], &aq[0], n)
+	case TierSSE:
+		gemmKernel2x4SSE(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], &aq[0], n)
+	default:
+		gemmAxpy2x4Generic(c0, c1, b0, b1, b2, b3, aq, n)
+	}
+}

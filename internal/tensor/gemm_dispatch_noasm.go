@@ -1,0 +1,12 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// detectKernelTier: no assembly kernels are linked in, so the portable
+// kernel is the only tier.
+func detectKernelTier() KernelTier { return TierGeneric }
+
+// gemmAxpy2x4 routes to the portable kernel.
+func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
+	gemmAxpy2x4Generic(c0, c1, b0, b1, b2, b3, aq, n)
+}

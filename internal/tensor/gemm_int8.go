@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"runtime"
+
+	"adcnn/internal/parallel"
+)
+
+// Int8 GEMM engine. The quantized inference path multiplies per-channel
+// int8 weights against uint8 affine-quantized activations, accumulating
+// exactly in int32 and requantizing back to float32 afterwards. Unlike
+// the f32 engine (axpy over a [k,n] B), both operands here are packed
+// dot-product style so every k sweep is two contiguous byte streams:
+//
+//	A: [m][kp] int8  — weight rows, zero-padded from k to kp
+//	B: [n][kp] uint8 — activation columns (transposed im2col), the
+//	                   k..kp-1 tail zero-filled
+//	C: [m][n] int32  — c[i*n+j] = Σ_k a[i][k]·b[j][k]
+//
+// kp is k rounded up to a multiple of int8KStep so the micro-kernels
+// never need a k tail. Because the A pad is zero the B pad value never
+// matters, but packers zero it anyway to keep buffers deterministic.
+
+const (
+	// int8KStep is the k granularity of the int8 micro-kernels: 16
+	// bytes per step (one SSE-width load, sign/zero-extended to 16
+	// words and multiply-accumulated exactly via VPMADDWD on AVX2).
+	int8KStep = 16
+	// int8MaxKP bounds kp so the int32 accumulator cannot overflow:
+	// each product is at most 128·255, so |acc| ≤ kp·32640 must stay
+	// below 2^31.
+	int8MaxKP = 65776
+	// int8ParallelMACs: m·n·kp below this runs inline.
+	int8ParallelMACs = 1 << 20
+)
+
+// Int8KP returns k rounded up to the packing granularity of the int8
+// GEMM operands.
+func Int8KP(k int) int { return (k + int8KStep - 1) &^ (int8KStep - 1) }
+
+// GemmInt8DotInto computes C = A·Bᵀ over the packed int8 layout above:
+// c[i*n+j] = Σ_k a[i*kp+k]·b[j*kp+k], exact int32 arithmetic. kp must be
+// a positive multiple of int8KStep and at most int8MaxKP.
+func GemmInt8DotInto(c []int32, a []int8, b []uint8, m, n, kp int) {
+	if kp <= 0 || kp%int8KStep != 0 || kp > int8MaxKP {
+		panic("tensor: GemmInt8DotInto kp must be a multiple of 16 in (0, 65776]")
+	}
+	if len(c) < m*n || len(a) < m*kp || len(b) < n*kp {
+		panic("tensor: GemmInt8DotInto operand shorter than its shape")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if int64(m)*int64(n)*int64(kp) < int8ParallelMACs || workers <= 1 || m < 4 {
+		gemmInt8Rows(c, a, b, 0, m, n, kp)
+		return
+	}
+	// Chunks are multiples of the 2-row register tile so only the last
+	// range per worker hits the remainder path.
+	chunk := (m + 4*workers - 1) / (4 * workers)
+	chunk = (chunk + 1) &^ 1
+	parallel.ForChunked(m, chunk, func(lo, hi int) {
+		gemmInt8Rows(c, a, b, lo, hi, n, kp)
+	})
+}
+
+// gemmInt8Rows fills C rows [lo, hi) with 2×4 register tiles.
+func gemmInt8Rows(c []int32, a []int8, b []uint8, lo, hi, n, kp int) {
+	var acc [8]int32
+	i := lo
+	for ; i+1 < hi; i += 2 {
+		a0 := a[i*kp : (i+1)*kp]
+		a1 := a[(i+1)*kp : (i+2)*kp]
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			int8Dot2x4(&acc, a0, a1,
+				b[j*kp:(j+1)*kp], b[(j+1)*kp:(j+2)*kp],
+				b[(j+2)*kp:(j+3)*kp], b[(j+3)*kp:(j+4)*kp], kp)
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = acc[0], acc[1], acc[2], acc[3]
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = acc[4], acc[5], acc[6], acc[7]
+		}
+		for ; j < n; j++ {
+			bj := b[j*kp : (j+1)*kp]
+			c0[j] = int8DotGeneric(a0, bj)
+			c1[j] = int8DotGeneric(a1, bj)
+		}
+	}
+	if i < hi {
+		ai := a[i*kp : (i+1)*kp]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			ci[j] = int8DotGeneric(ai, b[j*kp:(j+1)*kp])
+		}
+	}
+}
+
+// RefGemmInt8DotInto is the retained naive oracle for GemmInt8DotInto:
+// same contract, scalar triple loop.
+func RefGemmInt8DotInto(c []int32, a []int8, b []uint8, m, n, kp int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*kp : (i+1)*kp]
+		for j := 0; j < n; j++ {
+			br := b[j*kp : (j+1)*kp]
+			var s int32
+			for k := range ar {
+				s += int32(ar[k]) * int32(br[k])
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// int8DotGeneric is the scalar single-dot tail kernel.
+func int8DotGeneric(a []int8, b []uint8) int32 {
+	var s int32
+	for k := range a {
+		s += int32(a[k]) * int32(b[k])
+	}
+	return s
+}
+
+// RequantizeI32Row maps one output-channel row of int32 accumulators back
+// to float32: dst[j] = scale·(acc[j]−corr) + bias, where corr is the
+// zero-point correction zp·Σ_k w_q[k] and scale the product of the weight
+// channel scale and the activation scale.
+func RequantizeI32Row(dst []float32, acc []int32, scale float32, corr int32, bias float32) {
+	acc = acc[:len(dst)]
+	for j := range dst {
+		dst[j] = scale*float32(acc[j]-corr) + bias
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// int8DotKernel2x4AVX2 (gemm_int8_kernel_amd64.s) computes the eight dot
+// products of the 2×4 int8 register tile with AVX2: 16 k-bytes per step,
+// widened to 16-bit words (sign-extend for weights, zero-extend for
+// activations) and multiply-accumulated exactly with VPMADDWD — every
+// intermediate fits: |s8·u8| ≤ 128·255 and the pairwise sums stay far
+// inside int32 for kp ≤ int8MaxKP. kp must be a multiple of 16.
+//
+//go:noescape
+func int8DotKernel2x4AVX2(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+
+// int8Dot2x4 dispatches the int8 micro-kernel: AVX2 when the tier allows
+// it, the portable kernel otherwise (there is no SSE int8 kernel — the
+// baseline tier for int8 is pure Go).
+func int8Dot2x4(dst *[8]int32, a0, a1 []int8, b0, b1, b2, b3 []uint8, kp int) {
+	if kernelTier >= TierAVX2 {
+		int8DotKernel2x4AVX2(dst, &a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], kp)
+		return
+	}
+	int8Dot2x4Generic(dst, a0, a1, b0, b1, b2, b3, kp)
+}

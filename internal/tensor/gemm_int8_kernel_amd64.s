@@ -1,0 +1,136 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func int8DotKernel2x4AVX2(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+//
+// Eight dot products between two int8 weight rows and four uint8
+// activation columns, kp a multiple of 16. Per iteration: 16 bytes of
+// each operand row are widened to 16-bit words (VPMOVSXBW for the
+// signed weights, VPMOVZXBW for the unsigned activations), then
+// VPMADDWD multiplies word pairs and adds them into 8 int32 lanes —
+// exact, since |s8·u8| ≤ 32640 and a pair sum ≤ 65280 fits int32.
+// That retires 128 multiply-adds per iteration against six 16-byte
+// loads. The eight YMM accumulators are horizontally reduced at the
+// end.
+TEXT ·int8DotKernel2x4AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a0+8(FP), AX
+	MOVQ a1+16(FP), BX
+	MOVQ b0+24(FP), R8
+	MOVQ b1+32(FP), R9
+	MOVQ b2+40(FP), R10
+	MOVQ b3+48(FP), R11
+	MOVQ kp+56(FP), CX
+
+	VPXOR Y0, Y0, Y0 // row0·b0
+	VPXOR Y1, Y1, Y1 // row0·b1
+	VPXOR Y2, Y2, Y2 // row0·b2
+	VPXOR Y3, Y3, Y3 // row0·b3
+	VPXOR Y4, Y4, Y4 // row1·b0
+	VPXOR Y5, Y5, Y5 // row1·b1
+	VPXOR Y6, Y6, Y6 // row1·b2
+	VPXOR Y7, Y7, Y7 // row1·b3
+
+	XORQ DX, DX // byte offset into the packed rows
+	SHRQ $4, CX // iterations = kp/16
+	JZ   reduce
+
+loop:
+	VPMOVSXBW (AX)(DX*1), Y8   // a0: 16×s8 → 16×s16
+	VPMOVSXBW (BX)(DX*1), Y9   // a1
+	VPMOVZXBW (R8)(DX*1), Y10  // b0: 16×u8 → 16×s16 (0..255)
+	VPMOVZXBW (R9)(DX*1), Y11  // b1
+	VPMOVZXBW (R10)(DX*1), Y12 // b2
+	VPMOVZXBW (R11)(DX*1), Y13 // b3
+
+	VPMADDWD Y10, Y8, Y14
+	VPADDD   Y14, Y0, Y0
+	VPMADDWD Y11, Y8, Y14
+	VPADDD   Y14, Y1, Y1
+	VPMADDWD Y12, Y8, Y14
+	VPADDD   Y14, Y2, Y2
+	VPMADDWD Y13, Y8, Y14
+	VPADDD   Y14, Y3, Y3
+	VPMADDWD Y10, Y9, Y14
+	VPADDD   Y14, Y4, Y4
+	VPMADDWD Y11, Y9, Y14
+	VPADDD   Y14, Y5, Y5
+	VPMADDWD Y12, Y9, Y14
+	VPADDD   Y14, Y6, Y6
+	VPMADDWD Y13, Y9, Y14
+	VPADDD   Y14, Y7, Y7
+
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  loop
+
+reduce:
+	// Horizontal sum of each YMM accumulator: fold the upper 128-bit
+	// lane, then the 64-bit halves, then the 32-bit pair.
+	VEXTRACTI128 $1, Y0, X14
+	VPADDD       X14, X0, X0
+	VPSHUFD      $0x4E, X0, X14
+	VPADDD       X14, X0, X0
+	VPSHUFD      $0xB1, X0, X14
+	VPADDD       X14, X0, X0
+	VMOVD        X0, 0(DI)
+
+	VEXTRACTI128 $1, Y1, X14
+	VPADDD       X14, X1, X1
+	VPSHUFD      $0x4E, X1, X14
+	VPADDD       X14, X1, X1
+	VPSHUFD      $0xB1, X1, X14
+	VPADDD       X14, X1, X1
+	VMOVD        X1, 4(DI)
+
+	VEXTRACTI128 $1, Y2, X14
+	VPADDD       X14, X2, X2
+	VPSHUFD      $0x4E, X2, X14
+	VPADDD       X14, X2, X2
+	VPSHUFD      $0xB1, X2, X14
+	VPADDD       X14, X2, X2
+	VMOVD        X2, 8(DI)
+
+	VEXTRACTI128 $1, Y3, X14
+	VPADDD       X14, X3, X3
+	VPSHUFD      $0x4E, X3, X14
+	VPADDD       X14, X3, X3
+	VPSHUFD      $0xB1, X3, X14
+	VPADDD       X14, X3, X3
+	VMOVD        X3, 12(DI)
+
+	VEXTRACTI128 $1, Y4, X14
+	VPADDD       X14, X4, X4
+	VPSHUFD      $0x4E, X4, X14
+	VPADDD       X14, X4, X4
+	VPSHUFD      $0xB1, X4, X14
+	VPADDD       X14, X4, X4
+	VMOVD        X4, 16(DI)
+
+	VEXTRACTI128 $1, Y5, X14
+	VPADDD       X14, X5, X5
+	VPSHUFD      $0x4E, X5, X14
+	VPADDD       X14, X5, X5
+	VPSHUFD      $0xB1, X5, X14
+	VPADDD       X14, X5, X5
+	VMOVD        X5, 20(DI)
+
+	VEXTRACTI128 $1, Y6, X14
+	VPADDD       X14, X6, X6
+	VPSHUFD      $0x4E, X6, X14
+	VPADDD       X14, X6, X6
+	VPSHUFD      $0xB1, X6, X14
+	VPADDD       X14, X6, X6
+	VMOVD        X6, 24(DI)
+
+	VEXTRACTI128 $1, Y7, X14
+	VPADDD       X14, X7, X7
+	VPSHUFD      $0x4E, X7, X14
+	VPADDD       X14, X7, X7
+	VPSHUFD      $0xB1, X7, X14
+	VPADDD       X14, X7, X7
+	VMOVD        X7, 28(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,34 @@
+package tensor
+
+// int8Dot2x4Generic is the portable int8 micro-kernel, compiled on every
+// platform: eight dot products between two packed weight rows and four
+// packed activation columns, exact int32 accumulation. kp is a multiple
+// of int8KStep; all slices are at least kp long. The build-tag parity
+// test pins the assembly kernel against this implementation.
+func int8Dot2x4Generic(dst *[8]int32, a0, a1 []int8, b0, b1, b2, b3 []uint8, kp int) {
+	var s00, s01, s02, s03, s10, s11, s12, s13 int32
+	a0 = a0[:kp]
+	a1 = a1[:kp]
+	b0 = b0[:kp]
+	b1 = b1[:kp]
+	b2 = b2[:kp]
+	b3 = b3[:kp]
+	for k := 0; k < kp; k++ {
+		av0 := int32(a0[k])
+		av1 := int32(a1[k])
+		bv0 := int32(b0[k])
+		bv1 := int32(b1[k])
+		bv2 := int32(b2[k])
+		bv3 := int32(b3[k])
+		s00 += av0 * bv0
+		s01 += av0 * bv1
+		s02 += av0 * bv2
+		s03 += av0 * bv3
+		s10 += av1 * bv0
+		s11 += av1 * bv1
+		s12 += av1 * bv2
+		s13 += av1 * bv3
+	}
+	dst[0], dst[1], dst[2], dst[3] = s00, s01, s02, s03
+	dst[4], dst[5], dst[6], dst[7] = s10, s11, s12, s13
+}

@@ -1,8 +1,8 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package tensor
 
-// gemmKernel2x4Asm is the SSE micro-kernel (gemm_kernel_amd64.s): for two
+// gemmKernel2x4SSE is the SSE micro-kernel (gemm_kernel_amd64.s): for two
 // C rows and four packed A scalars per row it computes, 4 floats per step,
 //
 //	c0[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
@@ -11,10 +11,11 @@ package tensor
 // for j in [0, n). n must be a multiple of 4; callers handle the tail.
 //
 //go:noescape
-func gemmKernel2x4Asm(c0, c1, b0, b1, b2, b3, a *float32, n int)
+func gemmKernel2x4SSE(c0, c1, b0, b1, b2, b3, a *float32, n int)
 
-// gemmAxpy2x4 dispatches the vectorised inner sweep. n is a multiple of 4
-// and at least 4; slices are at least n long.
-func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
-	gemmKernel2x4Asm(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], &aq[0], n)
-}
+// gemmKernel2x4AVX2 computes the same update 8 floats per step with
+// YMM FMA (one 4-wide VEX-128 step handles n≡4 mod 8). Requires
+// AVX2+FMA and OS YMM support — dispatch only on TierAVX2.
+//
+//go:noescape
+func gemmKernel2x4AVX2(c0, c1, b0, b1, b2, b3, a *float32, n int)

@@ -1,8 +1,8 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 
-// func gemmKernel2x4Asm(c0, c1, b0, b1, b2, b3, a *float32, n int)
+// func gemmKernel2x4SSE(c0, c1, b0, b1, b2, b3, a *float32, n int)
 //
 // SSE (amd64 baseline) axpy micro-kernel over two C rows:
 //
@@ -12,7 +12,7 @@
 // for j in [0, n), n a multiple of 4. The eight A scalars are broadcast
 // into X8..X15 once; each loop iteration retires 64 flops against six
 // 16-byte loads and two stores.
-TEXT ·gemmKernel2x4Asm(SB), NOSPLIT, $0-64
+TEXT ·gemmKernel2x4SSE(SB), NOSPLIT, $0-64
 	MOVQ c0+0(FP), DI
 	MOVQ c1+8(FP), SI
 	MOVQ b0+16(FP), R8
@@ -87,4 +87,88 @@ loop:
 	JNZ  loop
 
 done:
+	RET
+
+// func gemmKernel2x4AVX2(c0, c1, b0, b1, b2, b3, a *float32, n int)
+//
+// AVX2+FMA widening of the kernel above: the same two-row axpy update,
+// 8 floats per step with fused multiply-add (128 flops per iteration
+// against six 32-byte loads and two stores). n is a multiple of 4; the
+// possible 4-column remainder after the 8-wide loop runs one VEX-128
+// step, keeping everything VEX-encoded so there is no SSE/AVX
+// transition penalty before VZEROUPPER.
+TEXT ·gemmKernel2x4AVX2(SB), NOSPLIT, $0-64
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ a+48(FP), AX
+	MOVQ n+56(FP), CX
+
+	// Broadcast a[0..7] across the eight lanes of Y8..Y15.
+	VBROADCASTSS 0(AX), Y8
+	VBROADCASTSS 4(AX), Y9
+	VBROADCASTSS 8(AX), Y10
+	VBROADCASTSS 12(AX), Y11
+	VBROADCASTSS 16(AX), Y12
+	VBROADCASTSS 20(AX), Y13
+	VBROADCASTSS 24(AX), Y14
+	VBROADCASTSS 28(AX), Y15
+
+	XORQ DX, DX // byte offset into the rows
+	MOVQ CX, BX
+	SHRQ $3, BX // 8-wide iterations = n/8
+	JZ   tail4
+
+loop8:
+	VMOVUPS (R8)(DX*1), Y0
+	VMOVUPS (R9)(DX*1), Y1
+	VMOVUPS (R10)(DX*1), Y2
+	VMOVUPS (R11)(DX*1), Y3
+	VMOVUPS (DI)(DX*1), Y4
+	VMOVUPS (SI)(DX*1), Y5
+
+	VFMADD231PS Y8, Y0, Y4  // Y4 += b0*a0
+	VFMADD231PS Y9, Y1, Y4  // Y4 += b1*a1
+	VFMADD231PS Y10, Y2, Y4 // Y4 += b2*a2
+	VFMADD231PS Y11, Y3, Y4 // Y4 += b3*a3
+	VFMADD231PS Y12, Y0, Y5 // Y5 += b0*a4
+	VFMADD231PS Y13, Y1, Y5 // Y5 += b1*a5
+	VFMADD231PS Y14, Y2, Y5 // Y5 += b2*a6
+	VFMADD231PS Y15, Y3, Y5 // Y5 += b3*a7
+
+	VMOVUPS Y4, (DI)(DX*1)
+	VMOVUPS Y5, (SI)(DX*1)
+
+	ADDQ $32, DX
+	DECQ BX
+	JNZ  loop8
+
+tail4:
+	ANDQ $7, CX // remainder columns: 0 or 4 (n is a multiple of 4)
+	JZ   done
+
+	VMOVUPS (R8)(DX*1), X0
+	VMOVUPS (R9)(DX*1), X1
+	VMOVUPS (R10)(DX*1), X2
+	VMOVUPS (R11)(DX*1), X3
+	VMOVUPS (DI)(DX*1), X4
+	VMOVUPS (SI)(DX*1), X5
+
+	VFMADD231PS X8, X0, X4
+	VFMADD231PS X9, X1, X4
+	VFMADD231PS X10, X2, X4
+	VFMADD231PS X11, X3, X4
+	VFMADD231PS X12, X0, X5
+	VFMADD231PS X13, X1, X5
+	VFMADD231PS X14, X2, X5
+	VFMADD231PS X15, X3, X5
+
+	VMOVUPS X4, (DI)(DX*1)
+	VMOVUPS X5, (SI)(DX*1)
+
+done:
+	VZEROUPPER
 	RET

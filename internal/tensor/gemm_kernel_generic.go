@@ -1,11 +1,11 @@
-//go:build !amd64
-
 package tensor
 
-// gemmAxpy2x4 is the portable fallback for the SSE micro-kernel: two C
-// rows updated with four packed A scalars each, j in [0, n), n a multiple
-// of 4.
-func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
+// gemmAxpy2x4Generic is the portable micro-kernel, compiled on every
+// platform: two C rows updated with four packed A scalars each, j in
+// [0, n), n a multiple of 4. On amd64 it is both the noasm fallback and
+// the reference the build-tag parity test pins the assembly kernels
+// against; elsewhere it is the only implementation.
+func gemmAxpy2x4Generic(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
 	a00, a01, a02, a03 := aq[0], aq[1], aq[2], aq[3]
 	a10, a11, a12, a13 := aq[4], aq[5], aq[6], aq[7]
 	x0 := c0[:n]

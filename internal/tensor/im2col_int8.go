@@ -1,0 +1,157 @@
+package tensor
+
+// Quantized im2col. The int8 conv forward consumes activations as uint8
+// affine levels q = clamp(round(x/scale) + zp, 0, 255), packed in the
+// transposed column layout the int8 GEMM expects: row j = output pixel
+// oy·OW+ox, column k = (ch·KH+kh)·KW+kw, rows padded from k to kp. The
+// two packers below build that matrix in one gather pass — one straight
+// from a float32 image (quantizing on the fly), one from an image that
+// is already uint8 levels (a decoded wire payload), which is how the
+// Conv worker skips the dequant→f32→requant round trip.
+
+// QuantizeAffine maps x to its uint8 affine level with invScale = 1/scale
+// and zpF = float32(zero point): clamp(round(x·invScale + zp), 0, 255),
+// rounding half away from zero toward +∞ after the shift. It is the
+// canonical scalar quantizer; the slice and im2col packers reproduce it
+// bit-exactly.
+func QuantizeAffine(x, invScale, zpF float32) uint8 {
+	v := x*invScale + zpF
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// QuantizeAffineSlice quantizes src into dst element-wise.
+func QuantizeAffineSlice(dst []uint8, src []float32, invScale float32, zp uint8) {
+	zpF := float32(zp)
+	dst = dst[:len(src)]
+	for i, x := range src {
+		dst[i] = QuantizeAffine(x, invScale, zpF)
+	}
+}
+
+// DequantizeAffineSlice reverses QuantizeAffineSlice up to rounding:
+// dst[i] = scale·(src[i]−zp).
+func DequantizeAffineSlice(dst []float32, src []uint8, scale float32, zp uint8) {
+	z := int32(zp)
+	dst = dst[:len(src)]
+	for i, q := range src {
+		dst[i] = scale * float32(int32(q)-z)
+	}
+}
+
+// MinMax scans xs and returns its minimum and maximum. An empty slice
+// returns (0, 0); NaNs propagate so callers can reject them.
+func MinMax(xs []float32) (mn, mx float32) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mn, mx = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		if v != v { // NaN poisons both bounds
+			return v, v
+		}
+	}
+	return mn, mx
+}
+
+// Im2ColQuantSlice gathers one C×H×W float32 image into the quantized
+// transposed column matrix dst[OH·OW][kp], applying QuantizeAffine to
+// every element. Spatial padding positions take the level zp (the affine
+// image of 0.0) and the kp tail of each row is zero-filled, so dst is
+// fully defined on return and pooled buffers are safe destinations.
+func Im2ColQuantSlice(dst []uint8, src []float32, c, h, w int, g ConvGeom, invScale float32, zp uint8, kp int) {
+	oh, ow := g.OutSize(h, w)
+	k := c * g.KH * g.KW
+	if kp < k {
+		panic("tensor: Im2ColQuantSlice kp below C·KH·KW")
+	}
+	dst = dst[:oh*ow*kp]
+	zpF := float32(zp)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := dst[(oy*ow+ox)*kp:][:kp]
+			ki := 0
+			for ch := 0; ch < c; ch++ {
+				img := src[ch*h*w:]
+				for kh := 0; kh < g.KH; kh++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= h {
+						for kw := 0; kw < g.KW; kw++ {
+							row[ki] = zp
+							ki++
+						}
+						continue
+					}
+					srow := img[iy*w:]
+					for kw := 0; kw < g.KW; kw++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < w {
+							row[ki] = QuantizeAffine(srow[ix], invScale, zpF)
+						} else {
+							row[ki] = zp
+						}
+						ki++
+					}
+				}
+			}
+			for ; ki < kp; ki++ {
+				row[ki] = 0
+			}
+		}
+	}
+}
+
+// Im2ColU8Slice is Im2ColQuantSlice for an image that is already uint8
+// levels: a pure gather, with spatial padding reading as pad (the level
+// representing 0.0 under the source's affine parameters).
+func Im2ColU8Slice(dst, src []uint8, c, h, w int, g ConvGeom, pad uint8, kp int) {
+	oh, ow := g.OutSize(h, w)
+	k := c * g.KH * g.KW
+	if kp < k {
+		panic("tensor: Im2ColU8Slice kp below C·KH·KW")
+	}
+	dst = dst[:oh*ow*kp]
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := dst[(oy*ow+ox)*kp:][:kp]
+			ki := 0
+			for ch := 0; ch < c; ch++ {
+				img := src[ch*h*w:]
+				for kh := 0; kh < g.KH; kh++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= h {
+						for kw := 0; kw < g.KW; kw++ {
+							row[ki] = pad
+							ki++
+						}
+						continue
+					}
+					srow := img[iy*w:]
+					for kw := 0; kw < g.KW; kw++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < w {
+							row[ki] = srow[ix]
+						} else {
+							row[ki] = pad
+						}
+						ki++
+					}
+				}
+			}
+			for ; ki < kp; ki++ {
+				row[ki] = 0
+			}
+		}
+	}
+}

@@ -39,7 +39,10 @@ type Result struct {
 type Report struct {
 	Timestamp string `json:"timestamp"`
 	telemetry.Host
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// KernelTier is the SIMD dispatch tier the host CPU selected
+	// (generic / sse / avx2) — the tier every non-forced result ran at.
+	KernelTier string   `json:"kernel_tier"`
 	Results    []Result `json:"results"`
 }
 
@@ -80,6 +83,28 @@ func gflops(m, k, n int, nsPerOp float64) float64 {
 	return 2 * float64(m) * float64(k) * float64(n) / nsPerOp
 }
 
+// benchGemmSlices measures the slice-level blocked f32 GEMM (the engine
+// the conv forward calls) at the current kernel tier and GOMAXPROCS.
+func benchGemmSlices(m, k, n int) (float64, int64) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = rng.Float32() - 0.5
+	}
+	for i := range b {
+		b[i] = rng.Float32() - 0.5
+	}
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			tensor.GemmInto(c, a, b, m, k, n)
+		}
+	})
+	return float64(r.NsPerOp()), r.AllocsPerOp()
+}
+
 // Run executes the kernel suite. It temporarily pins GOMAXPROCS for the
 // single-thread measurements and restores it afterwards.
 func Run() Report {
@@ -88,6 +113,7 @@ func Run() Report {
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		Host:       telemetry.HostInfo(),
 		GOMAXPROCS: maxProcs,
+		KernelTier: tensor.DetectedKernelTier().String(),
 	}
 	add := func(r Result) { rep.Results = append(rep.Results, r) }
 
@@ -134,6 +160,68 @@ func Run() Report {
 	}
 	runtime.GOMAXPROCS(maxProcs)
 
+	// SIMD tier comparison: the blocked f32 GEMM pinned to each dispatch
+	// tier the host supports, single thread, so the AVX2-vs-SSE gain is
+	// tracked explicitly. The SSE measurement doubles as the baseline the
+	// int8 acceptance criterion (≥2×) is judged against.
+	runtime.GOMAXPROCS(1)
+	detected := tensor.DetectedKernelTier()
+	var sseNs float64
+	for _, tier := range []tensor.KernelTier{tensor.TierGeneric, tensor.TierSSE, tensor.TierAVX2} {
+		if tensor.SetKernelTier(tier) != nil {
+			continue // above what this host supports
+		}
+		ns, al := benchGemm(s, s, s, func(c, a, b *tensor.Tensor) {
+			tensor.MatMulTransBInto(c, a, b)
+		})
+		add(Result{Name: "matmul_blocked_" + tier.String(), Shape: "256x256x256",
+			Threads: 1, NsPerOp: ns, GFlops: gflops(s, s, s, ns), AllocsPerOp: al,
+			SpeedupVsRef: refNs / ns})
+		if tier == tensor.TierSSE {
+			sseNs = ns
+		}
+	}
+	_ = tensor.SetKernelTier(detected)
+	if sseNs == 0 {
+		sseNs = newNs // no SSE tier (non-amd64 / noasm build): compare against the blocked engine
+	}
+
+	// Int8 quantized GEMM (s8×u8→s32 dot-product layout) on the
+	// acceptance shape and the zoo shapes, single thread. speedup_vs_ref
+	// is measured against the f32 SSE engine on the same shape — the
+	// ≥2× acceptance criterion for the quantized compute path.
+	benchInt8 := func(name string, m, k, n int, f32Ref float64) {
+		kp := tensor.Int8KP(k)
+		rng := rand.New(rand.NewSource(3))
+		a8 := make([]int8, m*kp)
+		b8 := make([]uint8, n*kp)
+		c32 := make([]int32, m*n)
+		for i := range a8 {
+			a8[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b8 {
+			b8[i] = uint8(rng.Intn(256))
+		}
+		br := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				tensor.GemmInt8DotInto(c32, a8, b8, m, n, kp)
+			}
+		})
+		ns := float64(br.NsPerOp())
+		add(Result{Name: name, Shape: fmt.Sprintf("%dx%dx%d", m, k, n),
+			Threads: 1, NsPerOp: ns, GFlops: gflops(m, k, n, ns),
+			AllocsPerOp: br.AllocsPerOp(), SpeedupVsRef: f32Ref / ns})
+	}
+	benchInt8("gemm_int8_dot", s, s, s, sseNs)
+	for _, cs := range ZooConvShapes {
+		_ = tensor.SetKernelTier(tensor.TierSSE) // ignore error off-amd64; tier stays generic
+		fNs, _ := benchGemmSlices(cs.M, cs.K, cs.N)
+		_ = tensor.SetKernelTier(detected)
+		benchInt8("gemm_int8_"+cs.Name, cs.M, cs.K, cs.N, fNs)
+	}
+	runtime.GOMAXPROCS(maxProcs)
+
 	// Model-zoo conv GEMM shapes at full parallelism.
 	for _, cs := range ZooConvShapes {
 		ns, al := benchGemm(cs.M, cs.K, cs.N, func(c, a, b *tensor.Tensor) {
@@ -165,6 +253,26 @@ func Run() Report {
 		GFlops:      2 * 64 * 64 * 9 * float64(oh*ow) / float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp()})
 
+	// The same layer through the int8 path: quantized weights, dynamic
+	// activation affine, fused requantize. The allocs column is the int8
+	// zero-allocation acceptance criterion; speedup_vs_ref compares
+	// against the f32 forward just measured.
+	if err := conv.QuantizeInt8(); err == nil {
+		conv.ForwardInto(y, x, false) // prime the int8 pools
+		qr := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				conv.ForwardInto(y, x, false)
+			}
+		})
+		add(Result{Name: "conv2d_forward_int8_64x64_3x3_56sq", Shape: "1x64x56x56",
+			Threads: maxProcs, NsPerOp: float64(qr.NsPerOp()),
+			GFlops:       2 * 64 * 64 * 9 * float64(oh*ow) / float64(qr.NsPerOp()),
+			AllocsPerOp:  qr.AllocsPerOp(),
+			SpeedupVsRef: float64(r.NsPerOp()) / float64(qr.NsPerOp())})
+		conv.ClearInt8()
+	}
+
 	// im2col kernel on the same feature map.
 	g := conv.Geom
 	colsLen := g.ColsLen(64, 56, 56)
@@ -194,7 +302,8 @@ func (r Report) WriteJSON(path string) error {
 
 // WriteText renders a human-readable table.
 func (r Report) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "kernel benchmarks (%s, %s, GOMAXPROCS=%d)\n", r.GoVersion, r.GOARCH, r.GOMAXPROCS)
+	fmt.Fprintf(w, "kernel benchmarks (%s, %s, GOMAXPROCS=%d, tier=%s)\n",
+		r.GoVersion, r.GOARCH, r.GOMAXPROCS, r.KernelTier)
 	fmt.Fprintf(w, "%-36s %-16s %8s %12s %9s %7s %9s\n",
 		"name", "shape", "threads", "ns/op", "GFLOP/s", "allocs", "vs-ref")
 	for _, res := range r.Results {
