@@ -7,7 +7,7 @@
 //	adcnn-bench -exp accuracy -quick
 //
 // Experiments: fig3, accuracy (= fig10 + table1 + table2), fig11,
-// table3, fig12, fig13, fig14, fig15, all.
+// table3, fig12, fig13, fig14, fig15, stream, slo, all.
 package main
 
 import (
@@ -25,13 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (kernels|compress|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|partition|locality|failure|all)")
+	exp := flag.String("exp", "all", "experiment to run (kernels|compress|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|slo|partition|locality|failure|all)")
 	images := flag.Int("images", 50, "images per latency measurement")
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernel microbenchmark report (-exp kernels)")
 	compressOut := flag.String("compress-out", "BENCH_compress.json", "output path for the boundary-codec microbenchmark report (-exp compress)")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "output path for the live-stream telemetry-overhead report (-exp stream)")
+	sloOut := flag.String("slo-out", "BENCH_slo.json", "output path for the SLO slow-node detection report (-exp slo)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline from the traced experiments (fig9, stream) to this file")
 	flag.Parse()
 
@@ -180,6 +181,22 @@ func main() {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", *streamOut)
+		return nil
+	})
+	run("slo", func() error {
+		// Gray-failure drill: inject a slow node into a live cluster and
+		// measure how fast the burn-rate SLO engine detects it, whether
+		// the health scorer blames the right node, and how fast the
+		// breach clears after recovery.
+		rep, err := experiments.SLOBench(experiments.SLOBenchConfig{})
+		if err != nil {
+			return err
+		}
+		rep.WriteText(w)
+		if err := rep.WriteJSON(*sloOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *sloOut)
 		return nil
 	})
 	run("locality", func() error {

@@ -24,9 +24,19 @@ import (
 	"adcnn/internal/core"
 	"adcnn/internal/dataset"
 	"adcnn/internal/models"
+	"adcnn/internal/sched"
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
+
+// disableZero maps a zero flag value to −1, the "objective disabled"
+// sentinel of core.SLOConfig (whose own zero means "use the default").
+func disableZero(v float64) float64 {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
 
 // dialNode dials addr with per-attempt timeouts and exponential backoff
 // until budget is spent, so a Central started before its Conv nodes
@@ -78,6 +88,10 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "stream images through a bounded pipeline of this depth (0 = sequential Infer loop)")
 	breakdown := flag.Bool("breakdown", false, "print the per-image mean phase decomposition after each image")
 	flightSize := flag.Int("flight-size", telemetry.DefaultFlightSize, "flight recorder ring capacity (events)")
+	sloP99 := flag.Duration("slo-p99", 250*time.Millisecond, "SLO: p99 tile round-trip latency objective (0 disables)")
+	sloMiss := flag.Float64("slo-miss-budget", core.DefaultMissBudget, "SLO: tolerated zero-fill fraction (0 disables)")
+	sloFast := flag.Duration("slo-fast", core.DefaultSLOWindows[0], "SLO: fast burn-rate window")
+	sloSlow := flag.Duration("slo-slow", core.DefaultSLOWindows[1], "SLO: slow burn-rate window")
 	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 	logger := cliutil.MustLogger(lf, "adcnn-central")
@@ -167,18 +181,47 @@ func main() {
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
-		central.SetMetrics(core.NewMetrics(reg))
+		met := core.NewMetrics(reg)
+		central.SetMetrics(met)
 		compress.Instrument(reg)
-		mux := telemetry.Mux(reg)
+
+		// Scheduler decision audit: every Algorithm 3 reallocation lands
+		// in a ring served at /debug/sched and logged at Debug level.
+		met.Sched.AttachAudit(sched.NewAudit(0, logger))
+
+		// SLO engine over the windowed instruments: a breach dumps the
+		// flight ring (naming the objective and the worst-health node)
+		// and flips /healthz to 503 so a load balancer drains us.
+		engine := core.NewSLOEngine(met, core.SLOConfig{
+			TileP99:    disableZero(sloP99.Seconds()),
+			MissBudget: disableZero(*sloMiss),
+			FastWindow: *sloFast,
+			SlowWindow: *sloSlow,
+		})
+		central.WireSLO(engine)
+		engine.Subscribe(func(tr telemetry.SLOTransition) {
+			logger.Warn("slo transition", "objective", tr.Objective,
+				"from", tr.FromName, "to", tr.ToName, "detail", tr.Detail)
+		})
+		go engine.Run(context.Background(), 0)
+
+		breachCheck := func() error {
+			if engine.Breached() {
+				return fmt.Errorf("slo breach: %+v", engine.Status())
+			}
+			return nil
+		}
+		mux := telemetry.MuxChecks(reg, breachCheck, breachCheck)
 		mux.Handle("/debug/flight", flight)
 		mux.Handle("/debug/sessions", central.SessionsHandler())
+		mux.Handle("/debug/sched", met.Sched.Audit())
 		_, bound, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			die("metrics server", "err", err)
 		}
 		logger.Info("debug endpoints up",
 			"addr", bound.String(),
-			"paths", "/metrics /healthz /debug/pprof /debug/flight /debug/sessions")
+			"paths", "/metrics /healthz /readyz /debug/pprof /debug/flight /debug/sessions /debug/sched")
 	}
 	var trace *telemetry.Trace
 	if *tracePath != "" {

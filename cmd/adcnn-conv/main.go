@@ -10,10 +10,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"adcnn/internal/cliutil"
@@ -78,17 +80,31 @@ func main() {
 			"step", q.Step(), "zero_threshold", q.ZeroThreshold())
 	}
 
+	// Probe semantics: /healthz is pure liveness ("the process is up and
+	// its model built") and always passes once we are serving — a Conv
+	// node with no Central attached is idle, not broken, so restarting
+	// it would be wrong. /readyz is readiness ("send me traffic"): 503
+	// until at least one Central session is attached, so an orchestrator
+	// can hold a rollout until the node is actually doing work.
+	var activeSessions atomic.Int64
 	var met *core.Metrics
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		met = core.NewMetrics(reg)
 		compress.Instrument(reg)
-		_, bound, err := telemetry.Serve(*metricsAddr, reg)
+		ready := func() error {
+			if activeSessions.Load() == 0 {
+				return errors.New("not ready: weights loaded, no central session attached")
+			}
+			return nil
+		}
+		mux := telemetry.MuxChecks(reg, nil, ready)
+		_, bound, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			die("metrics server", "err", err)
 		}
 		logger.Info("debug endpoints up", "addr", bound.String(),
-			"paths", "/metrics /healthz /debug/pprof")
+			"paths", "/metrics /healthz /readyz /debug/pprof")
 	}
 
 	// SIGINT/SIGTERM cancel the context, which closes every in-flight
@@ -117,7 +133,9 @@ func main() {
 		logger.Info("central connected", "node", *id, "peer", conn.RemoteAddr().String())
 		w := core.NewWorker(*id, m)
 		w.Metrics = met
+		activeSessions.Add(1)
 		go func() {
+			defer activeSessions.Add(-1)
 			if err := w.Serve(ctx, core.NewStreamConn(conn)); err != nil {
 				logger.Warn("serve ended", "node", *id, "err", err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strconv"
+	"time"
 
 	"adcnn/internal/sched"
 	"adcnn/internal/telemetry"
@@ -30,7 +31,15 @@ type Metrics struct {
 	PipelineDepth   *telemetry.Gauge                // admission slots held in a Pipeline
 	TilePhase       [NumPhases]*telemetry.Histogram // seconds, per-tile latency decomposition by phase
 	ClockOffset     *telemetry.GaugeVec             // node, estimated Conv-clock offset (seconds to add to map onto Central's clock)
+	NodeHealth      *telemetry.GaugeVec             // node, gray-failure anomaly score (0 = at baseline)
 	Sched           *sched.Monitor
+
+	// Sliding-window views of the live path, feeding the SLO engine and
+	// the ops console: the cumulative instruments answer "ever", these
+	// answer "the last few seconds".
+	TileLatencyWindow *telemetry.WindowedHistogram // seconds, tile round trip
+	TilesOKWindow     *telemetry.WindowedCounter   // tiles received in time
+	TilesMissWindow   *telemetry.WindowedCounter   // tiles zero-filled at T_L
 
 	// Worker side.
 	WorkerTasks      *telemetry.CounterVec // node
@@ -43,31 +52,44 @@ type Metrics struct {
 	Wire *WireMetrics
 }
 
+// windowSpan/windowSlots size the sliding-window instruments: 60s of
+// history at 250ms granularity, enough to serve any burn window the SLO
+// engine is configured with (up to the span) from one ring.
+const (
+	windowSpan  = 60 * time.Second
+	windowSlots = 240
+)
+
 // NewMetrics registers the runtime metric catalog on reg (see DESIGN.md
 // "Observability" for the name catalog).
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m := &Metrics{
-		Registry:         reg,
-		Images:           reg.Counter("adcnn_central_images_total", "Distributed inferences started."),
-		ImageLatency:     reg.Histogram("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference.", nil),
-		TileRoundTrip:    reg.Histogram("adcnn_central_tile_roundtrip_seconds", "Tile dispatch to intermediate-result arrival.", nil),
-		TilesDispatched:  reg.CounterVec("adcnn_central_tiles_dispatched_total", "Tiles sent to each Conv node.", "node"),
-		TilesReceived:    reg.CounterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
-		TilesMissed:      reg.Counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
-		ConnDrops:        reg.CounterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
-		InflightImages:   reg.Gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
-		SendQueueDepth:   reg.GaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
-		Reconnects:       reg.CounterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
-		StaleResults:     reg.Counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
-		PipelineDepth:    reg.Gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
-		ClockOffset:      reg.GaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
-		Sched:            sched.NewMonitor(reg),
-		WorkerTasks:      reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
-		WorkerProcess:    reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
-		WorkerRecvEOF:    reg.Counter("adcnn_worker_recv_eof_total", "Clean peer disconnects observed by workers."),
-		WorkerRecvErrors: reg.Counter("adcnn_worker_recv_errors_total", "Mid-stream receive failures observed by workers."),
-		WorkerSendErrors: reg.Counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
-		Wire:             NewWireMetrics(reg),
+		Registry:        reg,
+		Images:          reg.Counter("adcnn_central_images_total", "Distributed inferences started."),
+		ImageLatency:    reg.Histogram("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference.", nil),
+		TileRoundTrip:   reg.Histogram("adcnn_central_tile_roundtrip_seconds", "Tile dispatch to intermediate-result arrival.", nil),
+		TilesDispatched: reg.CounterVec("adcnn_central_tiles_dispatched_total", "Tiles sent to each Conv node.", "node"),
+		TilesReceived:   reg.CounterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
+		TilesMissed:     reg.Counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
+		ConnDrops:       reg.CounterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
+		InflightImages:  reg.Gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
+		SendQueueDepth:  reg.GaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
+		Reconnects:      reg.CounterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
+		StaleResults:    reg.Counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
+		PipelineDepth:   reg.Gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
+		ClockOffset:     reg.GaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
+		NodeHealth:      reg.GaugeVec("adcnn_central_node_health", "Gray-failure anomaly score per Conv node: worst relative deviation of the fast phase-time EWMA over the node's slow baseline (0 = at baseline).", "node"),
+		Sched:           sched.NewMonitor(reg),
+
+		TileLatencyWindow: telemetry.NewWindowedHistogram(windowSpan, windowSlots, nil),
+		TilesOKWindow:     telemetry.NewWindowedCounter(windowSpan, windowSlots),
+		TilesMissWindow:   telemetry.NewWindowedCounter(windowSpan, windowSlots),
+		WorkerTasks:       reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
+		WorkerProcess:     reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
+		WorkerRecvEOF:     reg.Counter("adcnn_worker_recv_eof_total", "Clean peer disconnects observed by workers."),
+		WorkerRecvErrors:  reg.Counter("adcnn_worker_recv_errors_total", "Mid-stream receive failures observed by workers."),
+		WorkerSendErrors:  reg.Counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
+		Wire:              NewWireMetrics(reg),
 	}
 	phases := reg.HistogramVec("adcnn_central_tile_phase_seconds",
 		"Per-tile latency decomposition: time spent in each phase of the tile's journey.", nil, "phase")

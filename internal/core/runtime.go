@@ -26,11 +26,34 @@ type Worker struct {
 	Model *models.Model
 	// Delay adds artificial per-tile latency — the live-runtime
 	// equivalent of throttling a device with CPUlimit, used to exercise
-	// the adaptive scheduler against a genuinely slow node.
+	// the adaptive scheduler against a genuinely slow node. Set before
+	// Serve starts; for mid-run changes use SetDelay.
 	Delay time.Duration
 	// Metrics, when set, records task counts, per-tile process time,
 	// wire traffic, and disconnect causes.
 	Metrics *Metrics
+
+	// dynDelay overrides Delay once SetDelay has been called (value is
+	// delay+1 so an explicit SetDelay(0) is distinguishable from unset).
+	dynDelay atomic.Int64
+}
+
+// SetDelay changes the per-tile delay while Serve is running — the
+// race-safe path for injecting a mid-run slowdown (gray-failure and SLO
+// experiments).
+func (w *Worker) SetDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.dynDelay.Store(int64(d) + 1)
+}
+
+// tileDelay returns the delay in effect for the next task.
+func (w *Worker) tileDelay() time.Duration {
+	if v := w.dynDelay.Load(); v > 0 {
+		return time.Duration(v - 1)
+	}
+	return w.Delay
 }
 
 // NewWorker creates a Conv-node worker around a model instance (the
@@ -116,11 +139,11 @@ func (w *Worker) Serve(ctx context.Context, conn Conn) error {
 			// does — and it underestimates pipelining on a loaded host.
 			// The wait sits between decode and compute, so it shows up in
 			// the timing record as queue time, like a busy real device.
-			if w.Delay > 0 {
+			if delay := w.tileDelay(); delay > 0 {
 				if nextFree.Before(start) {
 					nextFree = start
 				}
-				nextFree = nextFree.Add(w.Delay)
+				nextFree = nextFree.Add(delay)
 				if rem := time.Until(nextFree); rem > 0 {
 					select {
 					case <-time.After(rem):
@@ -263,6 +286,7 @@ type Central struct {
 	metrics *Metrics
 	trace   *telemetry.Trace
 	flight  *telemetry.FlightRecorder
+	health  *HealthTracker
 
 	// traceBase salts per-image trace IDs so traces from successive runs
 	// don't collide when merged; the image ID is folded in per image.
@@ -293,6 +317,7 @@ func (c *Central) SetMetrics(m *Metrics) {
 	}
 	if m != nil {
 		c.pending.stale = m.StaleResults
+		c.health = NewHealthTracker(len(c.Conns), m.NodeHealth)
 	}
 }
 
@@ -636,6 +661,7 @@ collect:
 						met.TilePhase[p].ObserveDuration(int64(tb.Phase[p]))
 					}
 				}
+				c.health.Observe(a.node, &tb)
 				h.tracePhases(&tb, a.sentNs)
 			}
 			if h.dispatchAt != nil {
@@ -643,6 +669,8 @@ collect:
 				if met != nil {
 					met.TilesReceived.With(nodeLabel(a.node)).Inc()
 					met.TileRoundTrip.ObserveDuration(rt.Nanoseconds())
+					met.TileLatencyWindow.ObserveDuration(rt.Nanoseconds())
+					met.TilesOKWindow.Inc()
 				}
 				tr.Span(fmt.Sprintf("tile %d", a.tile), "tile", a.node+1,
 					tr.Offset(h.dispatchAt[a.tile]), rt,
@@ -668,7 +696,7 @@ collect:
 	c.mu.Unlock()
 	if met != nil {
 		met.Sched.ObserveSpeeds(speeds)
-		met.Sched.ObserveAllocation(h.alloc, speeds)
+		met.Sched.ObserveAllocation(h.alloc, speeds, h.img)
 	}
 
 	// Zero-fill missing tiles (paper: "start executing the later layers by
@@ -690,6 +718,7 @@ collect:
 	if missed > 0 {
 		if met != nil {
 			met.TilesMissed.Add(float64(missed))
+			met.TilesMissWindow.Add(float64(missed))
 		}
 		tr.Instant("zero-fill", "central", 0, tr.Offset(time.Now()),
 			map[string]any{"image": h.img, "missed": missed, "trace_id": TraceIDString(h.traceID)})

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adcnn/internal/core"
+	"adcnn/internal/fdsp"
+	"adcnn/internal/models"
+	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
+)
+
+// SLOBench measures the observability stack end to end: how fast does
+// the burn-rate SLO engine detect a gray-failing node, does the health
+// scorer finger the right one, and does the breach clear once the node
+// recovers? The experiment runs a live in-process cluster, streams
+// images continuously, calibrates the latency objective from a healthy
+// baseline, then makes one node serve tiles factor× slower mid-run —
+// the injected equivalent of a thermally-throttled edge device — and
+// records every SLO transition with timestamps.
+
+// SLOBenchConfig parameterizes the run; zero values take defaults.
+//
+// Factor scales the *measured* healthy tile p99, not BaseDelay: the
+// injected node's per-tile service time becomes Factor×p99 while the
+// objective sits at 2.5×p99, so the slow node is unambiguously bad and
+// the healthy nodes unambiguously good regardless of how loaded the
+// host running the experiment is.
+type SLOBenchConfig struct {
+	Nodes      int           // cluster size (default 4)
+	BaseDelay  time.Duration // healthy per-tile Conv service time (default 2ms)
+	Factor     float64       // injected service time, ×(baseline p99) (default 5)
+	FastWindow time.Duration // SLO fast burn window (default 500ms)
+	SlowWindow time.Duration // SLO slow burn window (default 2s)
+	Baseline   time.Duration // healthy traffic before calibration (default 1.5×slow)
+	Timeout    time.Duration // per-phase wait bound (default 6×slow)
+}
+
+func (c *SLOBenchConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 2 * time.Millisecond
+	}
+	if c.Factor <= 1 {
+		c.Factor = 5
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 500 * time.Millisecond
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 2 * time.Second
+	}
+	if c.Baseline <= 0 {
+		c.Baseline = c.SlowWindow + c.SlowWindow/2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 6 * c.SlowWindow
+	}
+}
+
+// SLOTimedTransition is one engine transition stamped relative to the
+// run clock.
+type SLOTimedTransition struct {
+	AtMs float64 `json:"at_ms"` // since run start
+	telemetry.SLOTransition
+}
+
+// SLOBenchReport is the persisted artifact (BENCH_slo.json).
+type SLOBenchReport struct {
+	Timestamp string `json:"timestamp"`
+	telemetry.Host
+	Model string `json:"model"`
+	Grid  string `json:"grid"`
+	Nodes int    `json:"nodes"`
+
+	BaseDelayMs  float64 `json:"base_delay_ms"`
+	Factor       float64 `json:"inject_factor"`
+	FastWindowMs float64 `json:"fast_window_ms"`
+	SlowWindowMs float64 `json:"slow_window_ms"`
+
+	BaselineP99Ms float64 `json:"baseline_p99_ms"` // calibrated healthy tile p99
+	ThresholdMs   float64 `json:"threshold_ms"`    // latency objective derived from it
+
+	InjectNode      int     `json:"inject_node"`
+	InjectAtMs      float64 `json:"inject_at_ms"`
+	InjectedDelayMs float64 `json:"injected_delay_ms"` // Factor × baseline p99
+	PaceMs          float64 `json:"pace_ms"`           // per-image period after calibration
+
+	WarnAtMs           float64   `json:"warn_at_ms"`    // first ok→warn after injection (0 = none)
+	BreachAtMs         float64   `json:"breach_at_ms"`  // first →breach after injection (0 = none)
+	RecoverAtMs        float64   `json:"recover_at_ms"` // first →ok after the node healed (0 = none)
+	DetectionMs        float64   `json:"detection_ms"`  // breach − inject
+	WithinTwoFastWin   bool      `json:"within_two_fast_windows"`
+	HealthAtBreach     []float64 `json:"health_at_breach,omitempty"`
+	WorstNodeAtBreach  int       `json:"worst_node_at_breach"`
+	WorstIsInjected    bool      `json:"worst_is_injected"`
+	WorstPhaseAtBreach string    `json:"worst_phase_at_breach,omitempty"`
+
+	Images      int                  `json:"images"`
+	FlightDumps int                  `json:"flight_dumps"`
+	Transitions []SLOTimedTransition `json:"transitions"`
+}
+
+// SLOBench runs the slow-node injection experiment.
+func SLOBench(cfg SLOBenchConfig) (*SLOBenchReport, error) {
+	cfg.fill()
+	rep := &SLOBenchReport{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Host:         telemetry.HostInfo(),
+		Model:        models.VGGSim().Name,
+		Grid:         "2x2",
+		Nodes:        cfg.Nodes,
+		BaseDelayMs:  ms(cfg.BaseDelay),
+		Factor:       cfg.Factor,
+		FastWindowMs: ms(cfg.FastWindow),
+		SlowWindowMs: ms(cfg.SlowWindow),
+		InjectNode:   cfg.Nodes - 1,
+	}
+
+	// One tile per node: the injected node's slowdown lands on exactly
+	// its share of tiles, so the bad fraction is 1/Nodes by design.
+	opt := models.Options{Grid: fdsp.Grid{Rows: 2, Cols: 2}}
+	reg := telemetry.NewRegistry()
+	met := core.NewMetrics(reg)
+	c, workers, stop, err := streamRuntime(opt, cfg.Nodes, func(w *core.Worker) {
+		w.Delay = cfg.BaseDelay
+		w.Metrics = met
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	c.SetMetrics(met)
+	flight := telemetry.NewFlightRecorder(0)
+	c.SetFlightRecorder(flight)
+
+	// Continuous traffic until the run ends. paceNs, once set, caps the
+	// image rate at one per pace period: the injection slows the cluster
+	// down, and without pacing that rate shift skews the good/bad tile
+	// mix inside the burn windows and stretches the measured detection
+	// latency for reasons that have nothing to do with the SLO engine.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var paceNs atomic.Int64
+	x := tensor.New(1, 3, 32, 32)
+	x.RandN(rand.New(rand.NewSource(7)), 1)
+	images := 0
+	trafficDone := make(chan error, 1)
+	go func() {
+		for ctx.Err() == nil {
+			t0 := time.Now()
+			if _, _, err := c.Infer(x); err != nil {
+				if ctx.Err() == nil {
+					trafficDone <- err
+					return
+				}
+				break
+			}
+			images++
+			if p := paceNs.Load(); p > 0 {
+				if d := time.Duration(p) - time.Since(t0); d > 0 {
+					wait(ctx, d)
+				}
+			}
+		}
+		trafficDone <- nil
+	}()
+	start := time.Now()
+	since := func(t time.Time) float64 { return ms(t.Sub(start)) }
+
+	// Phase 1 — healthy baseline: warm the EWMAs and the windows, then
+	// calibrate everything off the observed healthy p99: the objective at
+	// 2.5×p99, the injected service time at Factor×p99 (Factor=5 puts bad
+	// tiles at 2× the threshold), and the paced image period comfortably
+	// above the injected delay so throughput holds through the injection.
+	wait(ctx, cfg.Baseline)
+	p99 := met.TileLatencyWindow.Quantile(cfg.SlowWindow, 0.99)
+	if p99 <= 0 || p99 != p99 {
+		cancel()
+		<-trafficDone
+		return nil, fmt.Errorf("experiments: no baseline traffic (p99=%v)", p99)
+	}
+	rep.BaselineP99Ms = p99 * 1e3
+	threshold := 2.5 * p99
+	rep.ThresholdMs = threshold * 1e3
+	injectDelay := time.Duration(cfg.Factor * p99 * float64(time.Second))
+	rep.InjectedDelayMs = ms(injectDelay)
+	pace := injectDelay + injectDelay/2
+	paceNs.Store(int64(pace))
+	rep.PaceMs = ms(pace)
+
+	engine := core.NewSLOEngine(met, core.SLOConfig{
+		TileP99:    threshold,
+		MissBudget: -1, // latency objective only: no tiles are dropped here
+		FastWindow: cfg.FastWindow,
+		SlowWindow: cfg.SlowWindow,
+	})
+	c.WireSLO(engine)
+	var mu sync.Mutex
+	var transitions []SLOTimedTransition
+	engine.Subscribe(func(tr telemetry.SLOTransition) {
+		mu.Lock()
+		transitions = append(transitions, SLOTimedTransition{AtMs: since(tr.At), SLOTransition: tr})
+		mu.Unlock()
+	})
+	go engine.Run(ctx, cfg.FastWindow/10)
+
+	// Let the engine judge the healthy state and let a full slow window
+	// of paced traffic accumulate, so the windows hold a uniform-density
+	// stream when the injection hits.
+	wait(ctx, cfg.SlowWindow)
+
+	// Phase 2 — inject: the last node serves tiles at Factor× the
+	// healthy p99.
+	injectAt := time.Now()
+	rep.InjectAtMs = since(injectAt)
+	workers[rep.InjectNode].SetDelay(injectDelay)
+
+	seen := func(to telemetry.SLOState, after float64) (float64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, tr := range transitions {
+			if tr.To == to && tr.AtMs >= after {
+				return tr.AtMs, true
+			}
+		}
+		return 0, false
+	}
+	breachAt, ok := waitFor(ctx, cfg.Timeout, func() (float64, bool) {
+		return seen(telemetry.SLOBreach, rep.InjectAtMs)
+	})
+	if ok {
+		rep.BreachAtMs = breachAt
+		rep.DetectionMs = breachAt - rep.InjectAtMs
+		rep.WithinTwoFastWin = rep.DetectionMs <= 2*ms(cfg.FastWindow)
+		if at, ok := seen(telemetry.SLOWarn, rep.InjectAtMs); ok {
+			rep.WarnAtMs = at
+		}
+		rep.HealthAtBreach = c.Health().Scores()
+		node, _, phase := c.Health().Worst()
+		rep.WorstNodeAtBreach = node
+		rep.WorstIsInjected = node == rep.InjectNode
+		rep.WorstPhaseAtBreach = phase
+	}
+
+	// Phase 3 — recover: restore the node and wait for the breach to
+	// drain out of the slow window.
+	recoverStart := time.Now()
+	workers[rep.InjectNode].SetDelay(cfg.BaseDelay)
+	if ok {
+		if at, found := waitFor(ctx, cfg.Timeout, func() (float64, bool) {
+			return seen(telemetry.SLOOK, since(recoverStart))
+		}); found {
+			rep.RecoverAtMs = at
+		}
+	}
+
+	cancel()
+	if err := <-trafficDone; err != nil {
+		return nil, err
+	}
+	rep.Images = images
+	rep.FlightDumps = len(flight.Dumps())
+	mu.Lock()
+	rep.Transitions = transitions
+	mu.Unlock()
+	return rep, nil
+}
+
+// wait sleeps d or until ctx is done.
+func wait(ctx context.Context, d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// waitFor polls cond (10ms cadence) until it reports found, the timeout
+// elapses, or ctx is done.
+func waitFor(ctx context.Context, timeout time.Duration, cond func() (float64, bool)) (float64, bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if v, ok := cond(); ok {
+			return v, true
+		}
+		wait(ctx, 10*time.Millisecond)
+	}
+	return cond()
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *SLOBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteText renders the detection timeline.
+func (r *SLOBenchReport) WriteText(w io.Writer) {
+	fprintf(w, "SLO slow-node injection (%s %s, %d nodes, %s/%s, %d CPUs)\n",
+		r.Model, r.Grid, r.Nodes, r.GOOS, r.GOARCH, r.NumCPU)
+	fprintf(w, "  baseline p99 %.2fms -> objective p99 < %.2fms (windows %0.fms/%0.fms, burn warn/breach %.0f/%.0f)\n",
+		r.BaselineP99Ms, r.ThresholdMs, r.FastWindowMs, r.SlowWindowMs,
+		telemetry.DefaultWarnBurn, telemetry.DefaultBreachBurn)
+	fprintf(w, "  injected node %d at %.0fms: %.1fms per-tile service time (%.0fx baseline p99; healthy base %.1fms, pace %.1fms/image)\n",
+		r.InjectNode, r.InjectAtMs, r.InjectedDelayMs, r.Factor, r.BaseDelayMs, r.PaceMs)
+	if r.BreachAtMs > 0 {
+		fprintf(w, "  warn at %.0fms, breach at %.0fms -> detection latency %.0fms (within 2 fast windows: %v)\n",
+			r.WarnAtMs, r.BreachAtMs, r.DetectionMs, r.WithinTwoFastWin)
+		fprintf(w, "  health at breach %v -> worst node %d (%s), injected-node attribution: %v\n",
+			r.HealthAtBreach, r.WorstNodeAtBreach, r.WorstPhaseAtBreach, r.WorstIsInjected)
+	} else {
+		fprintf(w, "  NO BREACH DETECTED within the timeout\n")
+	}
+	if r.RecoverAtMs > 0 {
+		fprintf(w, "  recovered (ok) at %.0fms, %.0fms after the node healed\n",
+			r.RecoverAtMs, r.RecoverAtMs-r.BreachAtMs)
+	}
+	fprintf(w, "  %d images streamed, %d flight dumps, %d SLO transitions\n",
+		r.Images, r.FlightDumps, len(r.Transitions))
+	for _, tr := range r.Transitions {
+		fprintf(w, "    %8.0fms  %-18s %-5s -> %-6s  %s\n",
+			tr.AtMs, tr.Objective, tr.FromName, tr.ToName, tr.Detail)
+	}
+}

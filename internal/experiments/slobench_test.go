@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSLOBenchDetectsInjectedSlowNode runs the full injection experiment
+// at reduced scale and asserts the acceptance criteria: the breach fires
+// within two fast-window periods of the injection, the health scorer
+// ranks the injected node worst, and the objective recovers after the
+// node heals.
+//
+// The hard invariants (breach fires, flight ring dumps, recovery) must
+// hold on every attempt. The two timing-sensitive criteria — detection
+// latency and worst-node attribution — get retries, and if every
+// attempt shows the healthy nodes scoring anomalous too (the signature
+// of an oversubscribed host, e.g. `go test ./...` running every other
+// package in parallel beside this one), the run is inconclusive about
+// the engine rather than a failure of it, and the test skips.
+func TestSLOBenchDetectsInjectedSlowNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-cluster experiment")
+	}
+	const attempts = 3
+	var rep *SLOBenchReport
+	for i := 0; i < attempts; i++ {
+		var err error
+		rep, err = SLOBench(SLOBenchConfig{
+			BaseDelay:  2 * time.Millisecond,
+			FastWindow: 500 * time.Millisecond,
+			SlowWindow: 1500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("SLOBench: %v", err)
+		}
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Logf("attempt %d report:\n%s", i+1, sb.String())
+
+		// Hard invariants: load can stretch the timeline, but the breach
+		// machinery itself must work.
+		if rep.BreachAtMs == 0 {
+			t.Fatal("SLO never breached after the slow-node injection")
+		}
+		if rep.RecoverAtMs == 0 {
+			t.Error("SLO never recovered after the node healed")
+		}
+		if rep.FlightDumps == 0 {
+			t.Error("breach should have dumped the flight recorder")
+		}
+		if rep.BaselineP99Ms <= 0 || rep.ThresholdMs <= rep.BaselineP99Ms {
+			t.Errorf("threshold %.2fms should sit above baseline p99 %.2fms",
+				rep.ThresholdMs, rep.BaselineP99Ms)
+		}
+		if len(rep.Transitions) < 2 {
+			t.Errorf("expected at least breach+recovery transitions, got %v", rep.Transitions)
+		}
+		if rep.WithinTwoFastWin && rep.WorstIsInjected {
+			return
+		}
+		t.Logf("attempt %d: detection %.0fms (bound %.0fms), worst node %d (want %d) — retrying",
+			i+1, rep.DetectionMs, 2*rep.FastWindowMs, rep.WorstNodeAtBreach, rep.InjectNode)
+	}
+	// Every attempt missed the timing/attribution bar. If the healthy
+	// nodes also scored anomalous, the host was contended and the run
+	// says nothing about the engine.
+	anomalousHealthy := 0
+	for n, h := range rep.HealthAtBreach {
+		if n != rep.InjectNode && h > 1 {
+			anomalousHealthy++
+		}
+	}
+	if anomalousHealthy >= 2 {
+		t.Skipf("host too contended for timing assertions: %d healthy nodes scored anomalous at breach (scores %v)",
+			anomalousHealthy, rep.HealthAtBreach)
+	}
+	if !rep.WithinTwoFastWin {
+		t.Errorf("detection latency %.0fms exceeds two fast windows (%.0fms)",
+			rep.DetectionMs, 2*rep.FastWindowMs)
+	}
+	if !rep.WorstIsInjected {
+		t.Errorf("worst-health node at breach = %d, want injected node %d (scores %v)",
+			rep.WorstNodeAtBreach, rep.InjectNode, rep.HealthAtBreach)
+	}
+}

@@ -66,8 +66,11 @@ type StreamBenchReport struct {
 	PhaseSumVsTotalPct float64            `json:"phase_sum_vs_total_pct"`
 }
 
-// streamRuntime wires a live Central with n in-process workers.
-func streamRuntime(opt models.Options, n int) (*core.Central, []*core.Worker, func(), error) {
+// streamRuntime wires a live Central with n in-process workers. setup,
+// when non-nil, configures each worker (delay, metrics) before its Serve
+// goroutine starts — mutating Worker fields after Serve is running races
+// with its reads.
+func streamRuntime(opt models.Options, n int, setup func(*core.Worker)) (*core.Central, []*core.Worker, func(), error) {
 	m, err := models.Build(models.VGGSim(), opt, 42)
 	if err != nil {
 		return nil, nil, nil, err
@@ -79,6 +82,9 @@ func streamRuntime(opt models.Options, n int) (*core.Central, []*core.Worker, fu
 		a, b := core.Pipe()
 		conns[i] = a
 		workers[i] = core.NewWorker(i+1, m)
+		if setup != nil {
+			setup(workers[i])
+		}
 		wg.Add(1)
 		go func(w *core.Worker, conn core.Conn) {
 			defer wg.Done()
@@ -168,14 +174,11 @@ func measurePipelined(c *core.Central, images, warmup, depth int) (StreamBenchRu
 // compute that the Central can overlap with its own back layers.
 func livePipelineComparison(opt models.Options, nodes, images, warmup, depth int, delay time.Duration) (seq, pipe StreamBenchRun, err error) {
 	run := func(measure func(*core.Central) (StreamBenchRun, error)) (StreamBenchRun, error) {
-		c, workers, stop, err := streamRuntime(opt, nodes)
+		c, _, stop, err := streamRuntime(opt, nodes, func(w *core.Worker) { w.Delay = delay })
 		if err != nil {
 			return StreamBenchRun{}, err
 		}
 		defer stop()
-		for _, w := range workers {
-			w.Delay = delay
-		}
 		return measure(c)
 	}
 	seq, err = run(func(c *core.Central) (StreamBenchRun, error) {
@@ -213,7 +216,7 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 	}
 
 	// Pass 1: telemetry fully disabled.
-	c, _, stop, err := streamRuntime(opt, nodes)
+	c, _, stop, err := streamRuntime(opt, nodes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -229,15 +232,20 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 	met := core.NewMetrics(reg)
 	compress.Instrument(reg)
 	defer compress.Instrument(nil)
-	c, workers, stop, err := streamRuntime(opt, nodes)
+	c, _, stop, err = streamRuntime(opt, nodes, func(w *core.Worker) { w.Metrics = met })
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range workers {
-		w.Metrics = met
-	}
-	c.SetMetrics(met)
+	c.SetMetrics(met) // also attaches the windowed instruments and health tracker
 	c.SetTrace(trace)
+	// The SLO engine and flight recorder run live during the enabled pass
+	// so the <2% overhead gate covers the whole observability layer, not
+	// just the counters: window rotation, burn evaluation, health EWMAs.
+	sloCtx, sloStop := context.WithCancel(context.Background())
+	engine := core.NewSLOEngine(met, core.SLOConfig{})
+	c.SetFlightRecorder(telemetry.NewFlightRecorder(0))
+	c.WireSLO(engine)
+	go engine.Run(sloCtx, 0)
 	var phaseSum [core.NumPhases]time.Duration
 	var totalSum, phaseAll time.Duration
 	tiles := 0
@@ -255,6 +263,7 @@ func StreamBench(images int, trace *telemetry.Trace) (*StreamBenchReport, error)
 			tiles++
 		}
 	})
+	sloStop()
 	stop()
 	if err != nil {
 		return nil, err

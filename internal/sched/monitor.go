@@ -3,6 +3,7 @@ package sched
 import (
 	"strconv"
 	"sync"
+	"time"
 
 	"adcnn/internal/telemetry"
 )
@@ -16,6 +17,9 @@ import (
 //	adcnn_sched_realloc_total      allocations that shifted tiles between
 //	                               nodes relative to the previous one
 //
+// When an Audit ring is attached the Monitor also appends a structured
+// Decision record for the first allocation and for every reallocation,
+// with trigger attribution from the speed drift since the previous one.
 // All methods are nil-receiver safe so call sites need no guards.
 type Monitor struct {
 	speed      *telemetry.GaugeVec
@@ -23,8 +27,11 @@ type Monitor struct {
 	allocs     *telemetry.Counter
 	reallocs   *telemetry.Counter
 
-	mu   sync.Mutex
-	last Allocation
+	mu         sync.Mutex
+	last       Allocation
+	lastSpeeds []float64
+	seen       bool
+	audit      *Audit
 }
 
 // NewMonitor registers the scheduler metrics on reg.
@@ -47,15 +54,41 @@ func (m *Monitor) ObserveSpeeds(speeds []float64) {
 	}
 }
 
-// ObserveAllocation publishes one allocation's objective and counts a
-// reallocation event when the tile split changed since the last image.
-func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64) {
+// AttachAudit wires a decision-audit ring into the monitor. Safe to
+// call once before traffic; a nil audit leaves auditing off.
+func (m *Monitor) AttachAudit(a *Audit) {
 	if m == nil {
 		return
 	}
-	m.bottleneck.Set(a.Bottleneck(speeds))
+	m.mu.Lock()
+	m.audit = a
+	m.mu.Unlock()
+}
+
+// Audit returns the attached decision ring (nil when none).
+func (m *Monitor) Audit() *Audit {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.audit
+}
+
+// ObserveAllocation publishes one allocation's objective, counts a
+// reallocation event when the tile split changed since the last image,
+// and — when an Audit is attached — records the decision with its s_k
+// inputs, objective delta, and trigger attribution. image identifies
+// the inference the allocation was computed for.
+func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64, image uint32) {
+	if m == nil {
+		return
+	}
+	objAfter := a.Bottleneck(speeds)
+	m.bottleneck.Set(objAfter)
 	m.allocs.Inc()
 	m.mu.Lock()
+	first := !m.seen
 	changed := len(m.last) == len(a)
 	if changed {
 		same := true
@@ -67,9 +100,34 @@ func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64) {
 		}
 		changed = !same
 	}
+	var d *Decision
+	if m.audit != nil && (first || changed) {
+		d = &Decision{
+			At:       time.Now(),
+			Image:    image,
+			Speeds:   append([]float64(nil), speeds...),
+			Next:     append(Allocation(nil), a...),
+			ObjAfter: objAfter,
+		}
+		if first {
+			d.ObjBefore = objAfter
+			d.Trigger = "initial"
+		} else {
+			d.Prev = append(Allocation(nil), m.last...)
+			d.ObjBefore = d.Prev.Bottleneck(speeds)
+			d.TilesMoved = tilesMoved(d.Prev, a)
+			d.Trigger = attributeTrigger(m.lastSpeeds, speeds)
+		}
+	}
+	audit := m.audit
 	m.last = append(m.last[:0], a...)
+	m.lastSpeeds = append(m.lastSpeeds[:0], speeds...)
+	m.seen = true
 	m.mu.Unlock()
 	if changed {
 		m.reallocs.Inc()
+	}
+	if d != nil {
+		audit.record(*d)
 	}
 }

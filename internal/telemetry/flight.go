@@ -121,6 +121,24 @@ func (f *FlightRecorder) Dump(reason string, image uint32) FlightDump {
 	return d
 }
 
+// DumpAll snapshots the entire ring into the retained dump list —
+// for triggers that are not scoped to one image, like an SLO breach,
+// where the events leading up to the transition may span many images
+// and sessions. Image is 0 in the resulting dump.
+func (f *FlightRecorder) DumpAll(reason string) FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{Reason: reason, At: time.Now(), Events: f.eventsLocked()}
+	f.dumps = append(f.dumps, d)
+	if len(f.dumps) > maxFlightDumps {
+		f.dumps = f.dumps[len(f.dumps)-maxFlightDumps:]
+	}
+	return d
+}
+
 // Dumps returns a copy of the retained dumps, oldest first.
 func (f *FlightRecorder) Dumps() []FlightDump {
 	if f == nil {

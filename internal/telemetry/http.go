@@ -7,32 +7,65 @@ import (
 	"net/http/pprof"
 )
 
+// Check is a liveness or readiness probe: nil means healthy, an error
+// is rendered into the 503 body so the operator sees *why* from curl.
+type Check func() error
+
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics       Prometheus text format
-//	/healthz       liveness probe ("ok")
+//	/healthz       liveness probe ("ok", or 503 with the failing check's error)
+//	/readyz        readiness probe (same contract as /healthz)
 //	/debug/pprof/  the standard Go profiler endpoints
+//
+// Daemons mount additional debug endpoints on the mux before serving:
+// the Central adds /debug/flight (flight-recorder ring + dumps),
+// /debug/sessions (per-node session state) and /debug/sched (scheduler
+// decision audit); see Mux.
 func Handler(r *Registry) http.Handler { return Mux(r) }
 
 // Mux is Handler returning the concrete mux, so daemons can mount
-// extra debug endpoints (/debug/flight, /debug/sessions) beside the
-// standard set before serving.
-func Mux(r *Registry) *http.ServeMux {
+// extra debug endpoints (/debug/flight, /debug/sessions, /debug/sched)
+// beside the standard set before serving. Probes always pass; use
+// MuxChecks to wire real liveness/readiness.
+func Mux(r *Registry) *http.ServeMux { return MuxChecks(r, nil, nil) }
+
+// MuxChecks is Mux with explicit probes: /healthz serves live and
+// /readyz serves ready (a nil Check always passes). The split follows
+// the usual load-balancer contract — liveness says "don't restart me",
+// readiness says "send me traffic": a Conv node is live from startup
+// but not ready until it holds weights and a Central session; a
+// Central flips /healthz to 503 while any SLO objective is in breach
+// so a balancer drains it.
+func MuxChecks(r *Registry, live, ready Check) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", probeHandler(live))
+	mux.HandleFunc("/readyz", probeHandler(ready))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// probeHandler renders one Check as a probe endpoint.
+func probeHandler(check Check) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err.Error())
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // Serve starts the metrics endpoint on addr in a background goroutine

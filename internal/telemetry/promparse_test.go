@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParsePrometheusRoundTrip feeds WritePrometheus output straight
+// back through the parser — the exact contract adcnn-top relies on.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adcnn_images_total", "images").Add(42)
+	reg.GaugeVec("adcnn_central_node_speed", "s_k", "node").With("0").Set(1.5)
+	reg.GaugeVec("adcnn_central_node_speed", "s_k", "node").With("1").Set(2.25)
+	h := reg.Histogram("adcnn_tile_seconds", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse of own exposition failed: %v", err)
+	}
+
+	if v, ok := s.Value("adcnn_images_total"); !ok || v != 42 {
+		t.Fatalf("counter = %v (ok=%v), want 42", v, ok)
+	}
+	if v, ok := s.Value("adcnn_central_node_speed", "node", "1"); !ok || v != 2.25 {
+		t.Fatalf("labeled gauge = %v (ok=%v), want 2.25", v, ok)
+	}
+	if got := s.LabelValues("adcnn_central_node_speed", "node"); len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("LabelValues = %v, want [0 1]", got)
+	}
+
+	upper, cum := s.Buckets("adcnn_tile_seconds")
+	if len(upper) != 3 || len(cum) != 4 {
+		t.Fatalf("buckets: upper=%v cum=%v", upper, cum)
+	}
+	if cum[len(cum)-1] != 100 {
+		t.Fatalf("+Inf cum = %d, want 100", cum[len(cum)-1])
+	}
+	p50 := QuantileFromBuckets(upper, cum, 0.50)
+	if p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within first bucket", p50)
+	}
+	p95 := QuantileFromBuckets(upper, cum, 0.95)
+	if p95 <= 0.1 || p95 > 1 {
+		t.Fatalf("p95 = %v, want in the 1s bucket", p95)
+	}
+}
+
+func TestParsePrometheusEscapes(t *testing.T) {
+	in := `m{l="a\"b\\c\nd"} 3`
+	s, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("m", "l", "a\"b\\c\nd"); !ok || v != 3 {
+		t.Fatalf("escaped label lookup failed: %v %v", v, ok)
+	}
+}
+
+func TestParsePrometheusMalformed(t *testing.T) {
+	for _, in := range []string{
+		"name_only",
+		"m{unterminated 1",
+		`m{l="v"} notafloat`,
+		`m{l=noquote} 1`,
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Fatalf("%q parsed without error", in)
+		}
+	}
+	// Comments and blank lines are fine.
+	if s, err := ParsePrometheus(strings.NewReader("# HELP x y\n\n# TYPE x counter\nx 1\n")); err != nil || len(s.Samples) != 1 {
+		t.Fatalf("comment handling: %v %+v", err, s)
+	}
+}
+
+func TestDeltaBuckets(t *testing.T) {
+	prev := []uint64{5, 10, 20}
+	cur := []uint64{8, 14, 30}
+	if got := DeltaBuckets(cur, prev); got[0] != 3 || got[1] != 4 || got[2] != 10 {
+		t.Fatalf("delta = %v", got)
+	}
+	if DeltaBuckets(cur, []uint64{1, 2}) != nil {
+		t.Fatal("layout mismatch must return nil")
+	}
+	if DeltaBuckets([]uint64{1, 2, 3}, prev) != nil {
+		t.Fatal("counter reset must return nil")
+	}
+}
+
+func TestQuantileFromBucketsEdgeCases(t *testing.T) {
+	if !math.IsNaN(QuantileFromBuckets(nil, nil, 0.5)) {
+		t.Fatal("empty histogram must be NaN")
+	}
+	if !math.IsNaN(QuantileFromBuckets([]float64{1}, []uint64{0, 0}, 0.5)) {
+		t.Fatal("zero-count histogram must be NaN")
+	}
+	// All mass in the overflow bucket: clamp to the last finite bound.
+	if got := QuantileFromBuckets([]float64{1, 2}, []uint64{0, 0, 10}, 0.99); got != 2 {
+		t.Fatalf("overflow clamp = %v, want 2", got)
+	}
+}

@@ -263,8 +263,13 @@ type Histogram struct {
 	max    float64
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values (NaN, ±Inf) are dropped:
+// a single NaN would silently corrupt the sum and poison every quantile
+// interpolated from it, and ±Inf pins min/max forever.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
 	h.mu.Lock()
 	h.counts[i]++
@@ -428,6 +433,52 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		cum += c
 	}
 	return s.Max
+}
+
+// FractionAbove estimates the fraction of observations strictly above v
+// by linear interpolation inside the bucket containing v (the same
+// interpolation Quantile uses, so the two agree: FractionAbove(Quantile(q))
+// ≈ 1−q). Returns 0 for an empty histogram.
+func (s HistogramSnapshot) FractionAbove(v float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if v < s.Min {
+		return 1
+	}
+	if v >= s.Max {
+		return 0
+	}
+	var below, cum uint64
+	for i, c := range s.Counts {
+		lo := s.Min
+		if i > 0 {
+			lo = s.Upper[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Upper) && s.Upper[i] < hi {
+			hi = s.Upper[i]
+		}
+		if i < len(s.Upper) && s.Upper[i] < v {
+			cum += c
+			continue
+		}
+		// v falls in this bucket (or past the last finite bound).
+		below = cum
+		if c > 0 && hi > lo {
+			frac := (v - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			below += uint64(frac * float64(c))
+		}
+		break
+	}
+	above := float64(s.Count-below) / float64(s.Count)
+	return math.Max(0, math.Min(1, above))
 }
 
 // Snapshot captures every family, sorted by metric name and label tuple.

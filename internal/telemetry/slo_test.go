@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloFixture builds a latency SLO over a fake-clocked windowed histogram
+// registered into an engine, returning the pieces the tests drive.
+func sloFixture(t *testing.T, reg *Registry) (*SLOEngine, *WindowedHistogram, *fakeClock) {
+	t.Helper()
+	w, clk := newTestWindowHist(8*time.Second, 16, []float64{0.005, 0.01, 0.05, 0.1})
+	e := NewSLOEngine(reg)
+	// p90 < 10ms, fast 1s / slow 4s. Budget 10%: breach needs a bad
+	// fraction ≥ 80% sustained across both windows.
+	e.Register(NewLatencySLO("tile_latency_p90", w, 0.90, 0.010, time.Second, 4*time.Second))
+	return e, w, clk
+}
+
+func TestSLOLatencyBreachAndRecovery(t *testing.T) {
+	reg := NewRegistry()
+	e, w, clk := sloFixture(t, reg)
+
+	var mu sync.Mutex
+	var seen []SLOTransition
+	e.Subscribe(func(tr SLOTransition) {
+		mu.Lock()
+		seen = append(seen, tr)
+		mu.Unlock()
+	})
+
+	// Healthy traffic: everything under threshold, state stays ok.
+	for i := 0; i < 100; i++ {
+		w.Observe(0.002)
+	}
+	if trs := e.Tick(time.Now()); len(trs) != 0 {
+		t.Fatalf("healthy traffic fired transitions: %+v", trs)
+	}
+
+	// Gray failure: all observations blow the threshold. Fill both the
+	// fast and slow windows so both burns saturate.
+	for step := 0; step < 10; step++ {
+		for i := 0; i < 50; i++ {
+			w.Observe(0.08)
+		}
+		clk.advance(500 * time.Millisecond)
+	}
+	trs := e.Tick(time.Now())
+	if len(trs) == 0 {
+		t.Fatal("sustained badness fired no transition")
+	}
+	last := trs[len(trs)-1]
+	if last.To != SLOBreach {
+		t.Fatalf("expected breach, got %s (fast=%.1f slow=%.1f)", last.ToName, last.FastBurn, last.SlowBurn)
+	}
+	if !e.Breached() {
+		t.Fatal("Breached() false after breach transition")
+	}
+	if v, ok := reg.Value("adcnn_slo_state", "tile_latency_p90"); !ok || v != float64(SLOBreach) {
+		t.Fatalf("adcnn_slo_state gauge = %v (ok=%v), want %d", v, ok, SLOBreach)
+	}
+
+	// Recovery: the bad observations age out of both windows.
+	clk.advance(10 * time.Second)
+	for i := 0; i < 100; i++ {
+		w.Observe(0.002)
+	}
+	e.Tick(time.Now())
+	if e.Breached() {
+		t.Fatalf("breach did not clear after windows drained: %+v", e.Status())
+	}
+	st := e.Status()
+	if len(st) != 1 || st[0].State != "ok" {
+		t.Fatalf("status after recovery: %+v", st)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 {
+		t.Fatalf("subscriber saw %d transitions, want breach+recovery", len(seen))
+	}
+	if seen[len(seen)-1].To != SLOOK {
+		t.Fatalf("final transition %s, want ok", seen[len(seen)-1].ToName)
+	}
+}
+
+func TestSLOMinEventsAbstains(t *testing.T) {
+	e, w, _ := sloFixture(t, nil)
+	// Three terrible observations: fewer than MinEvents, so the
+	// objective must hold ok rather than indict a p90 on 3 samples.
+	for i := 0; i < 3; i++ {
+		w.Observe(0.08)
+	}
+	if trs := e.Tick(time.Now()); len(trs) != 0 {
+		t.Fatalf("abstention floor ignored: %+v", trs)
+	}
+	if got := e.Status()[0].State; got != "ok" {
+		t.Fatalf("state %s, want ok under MinEvents", got)
+	}
+}
+
+func TestSLOWarnBeforeBreach(t *testing.T) {
+	e, w, clk := sloFixture(t, nil)
+	// Warm the slow window with healthy traffic, then push a bad burst
+	// into only the fast window: fast burn spikes but slow burn stays
+	// below BreachBurn → warn, not breach.
+	for step := 0; step < 6; step++ {
+		for i := 0; i < 200; i++ {
+			w.Observe(0.002)
+		}
+		clk.advance(500 * time.Millisecond)
+	}
+	for i := 0; i < 200; i++ {
+		w.Observe(0.08)
+	}
+	trs := e.Tick(time.Now())
+	if len(trs) != 1 || trs[0].To != SLOWarn {
+		t.Fatalf("want single ok→warn transition, got %+v", trs)
+	}
+	if e.Breached() {
+		t.Fatal("short burst must not count as breach")
+	}
+}
+
+func TestSLORatioObjective(t *testing.T) {
+	good, clk := newTestWindowCounter(8*time.Second, 16)
+	bad := NewWindowedCounter(8*time.Second, 16)
+	bad.ring.nowNs = clk.now
+	e := NewSLOEngine(nil)
+	// Zero-fill budget 5%: breach at bad fraction ≥ 40% on both windows.
+	e.Register(NewRatioSLO("zero_fill", good, bad, 0.05, time.Second, 4*time.Second))
+
+	for step := 0; step < 10; step++ {
+		good.Add(10)
+		bad.Add(10) // 50% bad — 10× the budget
+		clk.advance(500 * time.Millisecond)
+	}
+	e.Tick(time.Now())
+	if !e.Breached() {
+		t.Fatalf("50%% zero-fill on a 5%% budget must breach: %+v", e.Status())
+	}
+
+	clk.advance(10 * time.Second)
+	for i := 0; i < 20; i++ {
+		good.Add(10)
+	}
+	e.Tick(time.Now())
+	if e.Breached() {
+		t.Fatal("ratio breach did not recover")
+	}
+}
+
+func TestSLORegisterValidation(t *testing.T) {
+	e := NewSLOEngine(nil)
+	mustPanic := func(name string, s *SLO) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register did not panic", name)
+			}
+		}()
+		e.Register(s)
+	}
+	w := NewWindowedHistogram(time.Second, 4, nil)
+	c := NewWindowedCounter(time.Second, 4)
+	mustPanic("no source", &SLO{Name: "x", FastWindow: time.Second, SlowWindow: time.Second})
+	mustPanic("both sources", &SLO{Name: "x", Hist: w, Good: c, Bad: c,
+		Quantile: 0.9, Threshold: 1, Budget: 0.1, FastWindow: time.Second, SlowWindow: time.Second})
+	mustPanic("fast > slow", &SLO{Name: "x", Hist: w, Quantile: 0.9, Threshold: 1,
+		FastWindow: 2 * time.Second, SlowWindow: time.Second})
+}
+
+func TestSLONilEngine(t *testing.T) {
+	var e *SLOEngine
+	e.Register(&SLO{})
+	e.Subscribe(func(SLOTransition) {})
+	if e.Tick(time.Now()) != nil || e.Breached() || e.Status() != nil {
+		t.Fatal("nil engine must be inert")
+	}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	// 10% of observations above threshold on a 1% budget → burn 10.
+	w, _ := newTestWindowHist(time.Second, 1, []float64{0.01, 0.1})
+	for i := 0; i < 90; i++ {
+		w.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(0.05)
+	}
+	s := NewLatencySLO("x", w, 0.99, 0.01, time.Second, time.Second)
+	burn, n := s.burn(time.Second)
+	if n != 100 {
+		t.Fatalf("events %d, want 100", n)
+	}
+	if math.Abs(burn-10) > 1.5 {
+		t.Fatalf("burn %.2f, want ~10 (10%% bad / 1%% budget)", burn)
+	}
+}
