@@ -11,11 +11,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -86,6 +89,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (central + conv-side spans) to this file")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "total dial budget per conv node (retry with backoff)")
 	pipeline := flag.Int("pipeline", 0, "stream images through a bounded pipeline of this depth (0 = sequential Infer loop)")
+	replicas := flag.Int("replicas", 1, "cluster mode: run this many Central replicas over the same conv pool (each conv node serves one session per replica)")
 	breakdown := flag.Bool("breakdown", false, "print the per-image mean phase decomposition after each image")
 	flightSize := flag.Int("flight-size", telemetry.DefaultFlightSize, "flight recorder ring capacity (events)")
 	sloP99 := flag.Duration("slo-p99", 250*time.Millisecond, "SLO: p99 tile round-trip latency objective (0 disables)")
@@ -143,16 +147,30 @@ func main() {
 			"step", q.Step(), "zero_threshold", q.ZeroThreshold())
 	}
 
-	var conns []core.Conn
 	var addrs []string
 	for _, addr := range strings.Split(*nodeList, ",") {
-		addr = strings.TrimSpace(addr)
+		addrs = append(addrs, strings.TrimSpace(addr))
+	}
+
+	if *replicas > 1 {
+		runCluster(logger, die, m, clusterConfig{
+			addrs: addrs, replicas: *replicas,
+			cfg: cfg, opt: m.Opt, seed: *seed, weights: *weights, quantized: *quantized,
+			tl: *tl, gamma: *gamma, images: *images, depth: *pipeline,
+			verify: *verify, breakdown: *breakdown,
+			metricsAddr: *metricsAddr, connectTimeout: *connectTimeout,
+			flightSize: *flightSize,
+		})
+		return
+	}
+
+	var conns []core.Conn
+	for _, addr := range addrs {
 		c, err := dialNode(addr, *connectTimeout)
 		if err != nil {
 			die("connect to conv node", "err", err)
 		}
 		conns = append(conns, core.NewStreamConn(c))
-		addrs = append(addrs, addr)
 	}
 	central, err := core.NewCentral(m, conns, *tl, *gamma)
 	if err != nil {
@@ -304,6 +322,202 @@ func main() {
 	fmt.Printf("mean latency: %v over %d images; throughput %.2f imgs/s; %d mismatches\n",
 		(total / time.Duration(*images)).Round(time.Microsecond), *images,
 		float64(*images)/wall.Seconds(), mismatches)
+	if mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// clusterConfig carries the flag values the multi-replica path needs.
+type clusterConfig struct {
+	addrs          []string
+	replicas       int
+	cfg            models.Config
+	opt            models.Options
+	seed           int64
+	weights        string
+	quantized      bool
+	tl             time.Duration
+	gamma          float64
+	images         int
+	depth          int
+	verify         bool
+	breakdown      bool
+	metricsAddr    string
+	connectTimeout time.Duration
+	flightSize     int
+}
+
+// runCluster is the -replicas N path: N full Centrals — each with its
+// own connections, statistics, and pending table — drive the same Conv
+// pool through core.Cluster, which partitions node capacity by demand
+// and steals queued images between replicas. Images are submitted
+// round-robin across replica origins and reported in submission order.
+func runCluster(logger *slog.Logger, die func(string, ...any), oracle *models.Model, cc clusterConfig) {
+	var reg *telemetry.Registry
+	if cc.metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		compress.Instrument(reg)
+	}
+	// One audit ring and one flight ring for the whole cluster: replica
+	// reallocations and cluster rebalances interleave in the same
+	// decision history, which is exactly the view a postmortem wants.
+	audit := sched.NewAudit(0, logger)
+	flight := telemetry.NewFlightRecorder(cc.flightSize)
+
+	build := func(r int) (*core.Central, error) {
+		// Each replica gets its own model instance (same seed, same
+		// weights, so all replicas compute identical back layers) —
+		// Central serializes back-layer execution per instance, and
+		// replicas must not contend on one model's scratch state.
+		mr, err := models.Build(cc.cfg, cc.opt, cc.seed)
+		if err != nil {
+			return nil, err
+		}
+		if cc.weights != "" {
+			f, err := os.Open(cc.weights)
+			if err != nil {
+				return nil, err
+			}
+			if err := mr.Net.LoadParams(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			f.Close()
+		}
+		if cc.quantized {
+			if _, err := mr.QuantizeInt8(); err != nil {
+				return nil, err
+			}
+		}
+		var conns []core.Conn
+		for _, addr := range cc.addrs {
+			nc, err := dialNode(addr, cc.connectTimeout)
+			if err != nil {
+				return nil, err
+			}
+			conns = append(conns, core.NewStreamConn(nc))
+		}
+		cen, err := core.NewCentral(mr, conns, cc.tl, cc.gamma)
+		if err != nil {
+			return nil, err
+		}
+		for k, addr := range cc.addrs {
+			addr := addr
+			cen.SetDialer(k, func(ctx context.Context) (core.Conn, error) {
+				d := net.Dialer{}
+				nc, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewStreamConn(nc), nil
+			})
+		}
+		cen.SetFlightRecorder(flight)
+		if reg != nil {
+			met := core.NewReplicaMetrics(reg, strconv.Itoa(r))
+			cen.SetMetrics(met)
+			met.Sched.AttachAudit(audit)
+		}
+		return cen, nil
+	}
+
+	cl, err := core.NewCluster(build, core.ClusterOptions{
+		Replicas: cc.replicas, Depth: cc.depth, Registry: reg, Audit: audit,
+	})
+	if err != nil {
+		die("new cluster", "err", err)
+	}
+	defer cl.Shutdown()
+	logger.Info("cluster up", "replicas", cc.replicas, "nodes", len(cc.addrs))
+
+	if cc.metricsAddr != "" {
+		mux := telemetry.MuxChecks(reg, nil, nil)
+		mux.Handle("/debug/flight", flight)
+		mux.Handle("/debug/sched", audit)
+		mux.Handle("/debug/sessions", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			all := make(map[string][]core.SessionDebug, cl.Replicas())
+			for r := 0; r < cl.Replicas(); r++ {
+				all[strconv.Itoa(r)] = cl.Replica(r).DebugSessions()
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(all)
+		}))
+		_, bound, err := telemetry.ServeMux(cc.metricsAddr, mux)
+		if err != nil {
+			die("metrics server", "err", err)
+		}
+		logger.Info("debug endpoints up", "addr", bound.String(),
+			"paths", "/metrics /healthz /readyz /debug/pprof /debug/flight /debug/sessions /debug/sched")
+	}
+
+	set, err := synthSet(cc.cfg, cc.images, cc.seed+100)
+	if err != nil {
+		die("build dataset", "err", err)
+	}
+	verifyTol := float32(1e-4)
+	if cc.quantized {
+		verifyTol = 5e-2
+	}
+
+	// Submit from a feeder goroutine (Submit blocks on admission once a
+	// replica's queue is full) and collect in submission order here.
+	type pendingImg struct {
+		i  int
+		ch <-chan core.ClusterResult
+	}
+	pend := make(chan pendingImg, cc.replicas*4)
+	go func() {
+		defer close(pend)
+		for i := 0; i < cc.images; i++ {
+			x, _ := set.Batch(i, 1)
+			ch, err := cl.Submit(context.Background(), i%cc.replicas, x)
+			if err != nil {
+				ec := make(chan core.ClusterResult, 1)
+				ec <- core.ClusterResult{Origin: i % cc.replicas, Err: err}
+				ch = ec
+			}
+			pend <- pendingImg{i, ch}
+		}
+	}()
+
+	wallStart := time.Now()
+	var total time.Duration
+	mismatches := 0
+	executed := make([]int, cc.replicas)
+	for p := range pend {
+		r := <-p.ch
+		if r.Err != nil {
+			die("cluster image failed", "image", p.i, "err", r.Err)
+		}
+		executed[r.Replica]++
+		total += r.Stats.Latency
+		status := ""
+		if cc.verify {
+			x, _ := set.Batch(p.i, 1)
+			want := oracle.Net.Forward(x, false)
+			if !r.Out.Equal(want, verifyTol) {
+				status = "  MISMATCH vs local"
+				mismatches++
+			}
+		}
+		stolen := ""
+		if r.Replica != r.Origin {
+			stolen = fmt.Sprintf(" (stolen %d<-%d)", r.Replica, r.Origin)
+		}
+		fmt.Printf("image %2d: replica %d  latency %8v  missed %d  alloc %v%s%s\n",
+			p.i, r.Replica, r.Stats.Latency.Round(time.Microsecond),
+			r.Stats.TilesMissed, r.Stats.Alloc, stolen, status)
+		if cc.breakdown {
+			r.Stats.Breakdown.WriteText(os.Stdout)
+		}
+	}
+	wall := time.Since(wallStart)
+	fmt.Printf("mean latency: %v over %d images; throughput %.2f imgs/s; %d mismatches\n",
+		(total / time.Duration(cc.images)).Round(time.Microsecond), cc.images,
+		float64(cc.images)/wall.Seconds(), mismatches)
+	fmt.Printf("cluster: executed per replica %v; steals %v\n", executed, cl.Steals())
 	if mismatches > 0 {
 		os.Exit(1)
 	}

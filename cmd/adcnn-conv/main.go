@@ -10,13 +10,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
+	"time"
 
 	"adcnn/internal/cliutil"
 	"adcnn/internal/compress"
@@ -36,6 +38,7 @@ func main() {
 	clipHi := flag.Float64("clip-hi", 0, "clipped ReLU upper bound")
 	quant := flag.Int("quant", 0, "quantization bits (0 = off)")
 	quantized := flag.Bool("quantized", false, "int8 operating mode: quantize weights per channel and serve quantized tiles through the int8 GEMM path")
+	queue := flag.Int("session-queue", 0, "per-session bounded compute queue depth (0 = default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9091)")
 	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -80,31 +83,44 @@ func main() {
 			"step", q.Step(), "zero_threshold", q.ZeroThreshold())
 	}
 
+	// One worker, one NodeServer: every Central that connects gets an
+	// independent session (own epoch, timing buffers, bounded compute
+	// queue) while sharing the node's one simulated device, so N
+	// replicas see the node's real capacity split between them.
+	w := core.NewWorker(*id, m)
+	ns := core.NewNodeServer(w, *queue)
+
 	// Probe semantics: /healthz is pure liveness ("the process is up and
 	// its model built") and always passes once we are serving — a Conv
 	// node with no Central attached is idle, not broken, so restarting
 	// it would be wrong. /readyz is readiness ("send me traffic"): 503
-	// until at least one Central session is attached, so an orchestrator
-	// can hold a rollout until the node is actually doing work.
-	var activeSessions atomic.Int64
-	var met *core.Metrics
+	// until at least one session is attached — "≥ 1", not "exactly 1",
+	// because a node serving several Central replicas is more ready, not
+	// less — so an orchestrator can hold a rollout until the node is
+	// actually doing work.
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
-		met = core.NewMetrics(reg)
+		w.Metrics = core.NewMetrics(reg)
 		compress.Instrument(reg)
 		ready := func() error {
-			if activeSessions.Load() == 0 {
+			if ns.ActiveSessions() == 0 {
 				return errors.New("not ready: weights loaded, no central session attached")
 			}
 			return nil
 		}
 		mux := telemetry.MuxChecks(reg, nil, ready)
+		mux.Handle("/debug/worker", http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(ns.Sessions())
+		}))
 		_, bound, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			die("metrics server", "err", err)
 		}
 		logger.Info("debug endpoints up", "addr", bound.String(),
-			"paths", "/metrics /healthz /readyz /debug/pprof")
+			"paths", "/metrics /healthz /readyz /debug/worker /debug/pprof")
 	}
 
 	// SIGINT/SIGTERM cancel the context, which closes every in-flight
@@ -121,6 +137,12 @@ func main() {
 		ln.Close()
 	}()
 	logger.Info("conv node serving", "node", *id, "model", *model, "grid", *grid, "addr", ln.Addr().String())
+	// Transient Accept failures (EMFILE, ECONNABORTED, momentary stack
+	// hiccups) must not take the daemon down — every attached Central
+	// session would die with it. Log, back off, retry; only shutdown
+	// ends the loop.
+	acceptBackoff := 10 * time.Millisecond
+	const acceptBackoffMax = time.Second
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -128,16 +150,24 @@ func main() {
 				logger.Info("shutting down", "node", *id)
 				return
 			}
-			die("accept", "err", err)
+			logger.Warn("accept failed, retrying", "node", *id, "err", err, "backoff", acceptBackoff)
+			select {
+			case <-time.After(acceptBackoff):
+			case <-ctx.Done():
+				logger.Info("shutting down", "node", *id)
+				return
+			}
+			if acceptBackoff *= 2; acceptBackoff > acceptBackoffMax {
+				acceptBackoff = acceptBackoffMax
+			}
+			continue
 		}
-		logger.Info("central connected", "node", *id, "peer", conn.RemoteAddr().String())
-		w := core.NewWorker(*id, m)
-		w.Metrics = met
-		activeSessions.Add(1)
+		acceptBackoff = 10 * time.Millisecond
+		logger.Info("central connected", "node", *id, "peer", conn.RemoteAddr().String(),
+			"sessions", ns.ActiveSessions()+1)
 		go func() {
-			defer activeSessions.Add(-1)
-			if err := w.Serve(ctx, core.NewStreamConn(conn)); err != nil {
-				logger.Warn("serve ended", "node", *id, "err", err)
+			if err := ns.ServeConn(ctx, core.NewStreamConn(conn)); err != nil {
+				logger.Warn("session ended", "node", *id, "err", err)
 			}
 		}()
 	}

@@ -134,7 +134,21 @@ func (d *dash) poll(addr string) *scrapeSet {
 	}
 	s.metrics, s.err = telemetry.ParsePrometheus(strings.NewReader(string(raw)))
 	if body, err := d.fetch(addr, "/debug/sessions"); err == nil {
-		_ = json.Unmarshal(body, &s.sessions)
+		// Single-Central mode serves an array; cluster mode serves a map
+		// of replica id -> sessions. In cluster mode the node table shows
+		// the lowest replica's view (states rarely diverge — every replica
+		// talks to the same nodes).
+		if json.Unmarshal(body, &s.sessions) != nil || len(s.sessions) == 0 {
+			var byRep map[string][]sessionRow
+			if json.Unmarshal(body, &byRep) == nil && len(byRep) > 0 {
+				keys := make([]string, 0, len(byRep))
+				for k := range byRep {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				s.sessions = byRep[keys[0]]
+			}
+		}
 	}
 	if body, err := d.fetch(addr, "/debug/sched"); err == nil {
 		var page schedPage
@@ -167,7 +181,7 @@ func (d *dash) render() string {
 	}
 	imgRate := d.rate(m, prev.metrics, "adcnn_central_images_total", dt)
 	missRate := d.rate(m, prev.metrics, "adcnn_central_tiles_missed_total", dt)
-	inflight, _ := m.Value("adcnn_central_inflight_images")
+	inflight, _ := sumName(m, "adcnn_central_inflight_images")
 	fmt.Fprintf(&b, "\n  images %6.1f/s   inflight %2.0f   zero-fill %5.2f/s",
 		imgRate, inflight, missRate)
 
@@ -203,6 +217,27 @@ func (d *dash) render() string {
 			}
 			fmt.Fprintf(&b, "   %-18s %-14s burn fast %5.1f  slow %5.1f\n",
 				r.name, state, r.fastBurn, r.slowBurn)
+		}
+	}
+
+	// ---- cluster replicas (only present in -replicas N mode).
+	if reps := m.LabelValues("adcnn_cluster_images_total", "replica"); len(reps) > 0 {
+		fmt.Fprintf(&b, "\n  %s\n", d.bold("replicas"))
+		fmt.Fprintf(&b, "   %-7s %-8s %-6s %-7s %s\n",
+			"replica", "imgs/s", "queue", "steals", "node shares")
+		shareNodes := m.LabelValues("adcnn_cluster_share", "node")
+		for _, r := range reps {
+			tput := d.rateWith(m, prev.metrics, "adcnn_cluster_images_total", dt, "replica", r)
+			queue, _ := m.Value("adcnn_cluster_queue_depth", "replica", r)
+			steals, _ := m.Value("adcnn_cluster_steals_total", "replica", r)
+			var shares []string
+			for _, n := range shareNodes {
+				if v, ok := m.Value("adcnn_cluster_share", "replica", r, "node", n); ok {
+					shares = append(shares, fmt.Sprintf("n%s:%.2f", n, v))
+				}
+			}
+			fmt.Fprintf(&b, "   %-7s %-8.1f %-6.0f %-7.0f %s\n",
+				r, tput, queue, steals, strings.Join(shares, " "))
 		}
 	}
 
@@ -291,17 +326,49 @@ func (d *dash) render() string {
 	return b.String()
 }
 
-// rate computes a counter's per-second delta between two scrapes.
+// rate computes a counter's per-second delta between two scrapes,
+// summed over all of the family's samples — so in cluster mode, where
+// every family carries a replica label, the headline rates aggregate
+// across replicas instead of picking an arbitrary one.
 func (d *dash) rate(cur, prev *telemetry.PromScrape, name string, dt float64) float64 {
-	cv, ok := cur.Value(name)
+	cv, ok := sumName(cur, name)
 	if !ok || prev == nil {
 		return 0
 	}
-	pv, _ := prev.Value(name)
+	pv, _ := sumName(prev, name)
 	if cv < pv {
 		return 0
 	}
 	return (cv - pv) / dt
+}
+
+// rateWith is rate for one labeled sample (no summing).
+func (d *dash) rateWith(cur, prev *telemetry.PromScrape, name string, dt float64, labels ...string) float64 {
+	cv, ok := cur.Value(name, labels...)
+	if !ok || prev == nil {
+		return 0
+	}
+	pv, _ := prev.Value(name, labels...)
+	if cv < pv {
+		return 0
+	}
+	return (cv - pv) / dt
+}
+
+// sumName sums every sample of a family regardless of labels.
+func sumName(s *telemetry.PromScrape, name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	var v float64
+	found := false
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			v += smp.Value
+			found = true
+		}
+	}
+	return v, found
 }
 
 // phaseLine renders mean per-phase time from the histogram sum/count

@@ -31,11 +31,9 @@ type SessionDebug struct {
 // call before the first Infer (the sessions spin up on first use, so
 // the list is empty until then).
 func (c *Central) DebugSessions() []SessionDebug {
-	c.mu.Lock()
-	sessions := c.sessions
-	c.mu.Unlock()
+	sessions := c.rep.snapshot()
 	out := make([]SessionDebug, 0, len(sessions))
-	perNode := c.pending.perNode()
+	perNode := c.rep.pending.perNode()
 	for _, s := range sessions {
 		info := s.debugInfo()
 		info.PendingTiles = perNode[s.id]

@@ -67,6 +67,17 @@ func NewHealthTracker(n int, gauge *telemetry.GaugeVec) *HealthTracker {
 	return &HealthTracker{nodes: make([]nodeHealth, n), gauge: gauge}
 }
 
+// Grow adds n fresh slots for nodes that joined after construction
+// (Central.AddNode). Nil-receiver safe.
+func (t *HealthTracker) Grow(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.nodes = append(t.nodes, make([]nodeHealth, n)...)
+	t.mu.Unlock()
+}
+
 // Observe folds one tile's phase decomposition into node's EWMAs and
 // refreshes its score.
 func (t *HealthTracker) Observe(node int, tb *TileBreakdown) {

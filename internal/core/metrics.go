@@ -63,36 +63,93 @@ const (
 // NewMetrics registers the runtime metric catalog on reg (see DESIGN.md
 // "Observability" for the name catalog).
 func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return newMetrics(reg, "")
+}
+
+// NewReplicaMetrics registers the same catalog with a leading "replica"
+// label on every family, for processes hosting several Central replicas
+// on one registry: each replica gets its own bundle (same family
+// objects, curried to its replica value), so per-replica throughput,
+// queue depth and node shares are separable in one scrape. A registry
+// must use either the labeled or the unlabeled schema, never both.
+func NewReplicaMetrics(reg *telemetry.Registry, replica string) *Metrics {
+	return newMetrics(reg, replica)
+}
+
+func newMetrics(reg *telemetry.Registry, replica string) *Metrics {
+	// The catalog is written once against the builders; replica == ""
+	// yields exactly the historical schema, anything else prefixes every
+	// family with the replica label and pre-binds it.
+	counter := func(name, help string) *telemetry.Counter {
+		if replica == "" {
+			return reg.Counter(name, help)
+		}
+		return reg.CounterVec(name, help, "replica").With(replica)
+	}
+	gauge := func(name, help string) *telemetry.Gauge {
+		if replica == "" {
+			return reg.Gauge(name, help)
+		}
+		return reg.GaugeVec(name, help, "replica").With(replica)
+	}
+	hist := func(name, help string) *telemetry.Histogram {
+		if replica == "" {
+			return reg.Histogram(name, help, nil)
+		}
+		return reg.HistogramVec(name, help, nil, "replica").With(replica)
+	}
+	counterVec := func(name, help string, labels ...string) *telemetry.CounterVec {
+		if replica == "" {
+			return reg.CounterVec(name, help, labels...)
+		}
+		return reg.CounterVec(name, help, append([]string{"replica"}, labels...)...).Curry(replica)
+	}
+	gaugeVec := func(name, help string, labels ...string) *telemetry.GaugeVec {
+		if replica == "" {
+			return reg.GaugeVec(name, help, labels...)
+		}
+		return reg.GaugeVec(name, help, append([]string{"replica"}, labels...)...).Curry(replica)
+	}
+	histVec := func(name, help string, labels ...string) *telemetry.HistogramVec {
+		if replica == "" {
+			return reg.HistogramVec(name, help, nil, labels...)
+		}
+		return reg.HistogramVec(name, help, nil, append([]string{"replica"}, labels...)...).Curry(replica)
+	}
+	mon := sched.NewMonitor
+	if replica != "" {
+		mon = func(reg *telemetry.Registry) *sched.Monitor { return sched.NewReplicaMonitor(reg, replica) }
+	}
 	m := &Metrics{
 		Registry:        reg,
-		Images:          reg.Counter("adcnn_central_images_total", "Distributed inferences started."),
-		ImageLatency:    reg.Histogram("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference.", nil),
-		TileRoundTrip:   reg.Histogram("adcnn_central_tile_roundtrip_seconds", "Tile dispatch to intermediate-result arrival.", nil),
-		TilesDispatched: reg.CounterVec("adcnn_central_tiles_dispatched_total", "Tiles sent to each Conv node.", "node"),
-		TilesReceived:   reg.CounterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
-		TilesMissed:     reg.Counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
-		ConnDrops:       reg.CounterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
-		InflightImages:  reg.Gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
-		SendQueueDepth:  reg.GaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
-		Reconnects:      reg.CounterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
-		StaleResults:    reg.Counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
-		PipelineDepth:   reg.Gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
-		ClockOffset:     reg.GaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
-		NodeHealth:      reg.GaugeVec("adcnn_central_node_health", "Gray-failure anomaly score per Conv node: worst relative deviation of the fast phase-time EWMA over the node's slow baseline (0 = at baseline).", "node"),
-		Sched:           sched.NewMonitor(reg),
+		Images:          counter("adcnn_central_images_total", "Distributed inferences started."),
+		ImageLatency:    hist("adcnn_central_image_latency_seconds", "End-to-end latency of one distributed inference."),
+		TileRoundTrip:   hist("adcnn_central_tile_roundtrip_seconds", "Tile dispatch to intermediate-result arrival."),
+		TilesDispatched: counterVec("adcnn_central_tiles_dispatched_total", "Tiles sent to each Conv node.", "node"),
+		TilesReceived:   counterVec("adcnn_central_tiles_received_total", "Tile results received within the drop deadline.", "node"),
+		TilesMissed:     counter("adcnn_central_tiles_missed_total", "Tiles zero-filled at the deadline T_L."),
+		ConnDrops:       counterVec("adcnn_central_conn_drops_total", "Conv-node connections marked dead after a transport failure.", "node"),
+		InflightImages:  gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
+		SendQueueDepth:  gaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
+		Reconnects:      counterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
+		StaleResults:    counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
+		PipelineDepth:   gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
+		ClockOffset:     gaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
+		NodeHealth:      gaugeVec("adcnn_central_node_health", "Gray-failure anomaly score per Conv node: worst relative deviation of the fast phase-time EWMA over the node's slow baseline (0 = at baseline).", "node"),
+		Sched:           mon(reg),
 
 		TileLatencyWindow: telemetry.NewWindowedHistogram(windowSpan, windowSlots, nil),
 		TilesOKWindow:     telemetry.NewWindowedCounter(windowSpan, windowSlots),
 		TilesMissWindow:   telemetry.NewWindowedCounter(windowSpan, windowSlots),
-		WorkerTasks:       reg.CounterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
-		WorkerProcess:     reg.Histogram("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time.", nil),
-		WorkerRecvEOF:     reg.Counter("adcnn_worker_recv_eof_total", "Clean peer disconnects observed by workers."),
-		WorkerRecvErrors:  reg.Counter("adcnn_worker_recv_errors_total", "Mid-stream receive failures observed by workers."),
-		WorkerSendErrors:  reg.Counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
-		Wire:              NewWireMetrics(reg),
+		WorkerTasks:       counterVec("adcnn_worker_tasks_total", "Tile tasks processed by this worker.", "node"),
+		WorkerProcess:     hist("adcnn_worker_process_seconds", "Per-tile Front+Boundary compute and encode time."),
+		WorkerRecvEOF:     counter("adcnn_worker_recv_eof_total", "Clean peer disconnects observed by workers."),
+		WorkerRecvErrors:  counter("adcnn_worker_recv_errors_total", "Mid-stream receive failures observed by workers."),
+		WorkerSendErrors:  counter("adcnn_worker_send_errors_total", "Result send failures observed by workers."),
+		Wire:              newWireMetrics(reg, replica),
 	}
-	phases := reg.HistogramVec("adcnn_central_tile_phase_seconds",
-		"Per-tile latency decomposition: time spent in each phase of the tile's journey.", nil, "phase")
+	phases := histVec("adcnn_central_tile_phase_seconds",
+		"Per-tile latency decomposition: time spent in each phase of the tile's journey.", "phase")
 	for p := 0; p < NumPhases; p++ {
 		m.TilePhase[p] = phases.With(PhaseNames[p])
 	}
@@ -132,11 +189,21 @@ var dirNames = [2]string{"sent", "recv"}
 
 // NewWireMetrics registers the wire counters on reg.
 func NewWireMetrics(reg *telemetry.Registry) *WireMetrics {
+	return newWireMetrics(reg, "")
+}
+
+func newWireMetrics(reg *telemetry.Registry, replica string) *WireMetrics {
+	vec := func(name, help string, labels ...string) *telemetry.CounterVec {
+		if replica == "" {
+			return reg.CounterVec(name, help, labels...)
+		}
+		return reg.CounterVec(name, help, append([]string{"replica"}, labels...)...).Curry(replica)
+	}
 	wm := &WireMetrics{}
-	frames := reg.CounterVec("adcnn_wire_frames_total", "Protocol frames by message kind and direction.", "kind", "dir")
-	bytes := reg.CounterVec("adcnn_wire_bytes_total", "Protocol frame bytes (payload plus header) by message kind and direction.", "kind", "dir")
-	compFrames := reg.CounterVec("adcnn_wire_compressed_frames_total", "Frames carrying compress-pipeline payloads.", "dir")
-	compBytes := reg.CounterVec("adcnn_wire_compressed_bytes_total", "Payload bytes of compressed frames.", "dir")
+	frames := vec("adcnn_wire_frames_total", "Protocol frames by message kind and direction.", "kind", "dir")
+	bytes := vec("adcnn_wire_bytes_total", "Protocol frame bytes (payload plus header) by message kind and direction.", "kind", "dir")
+	compFrames := vec("adcnn_wire_compressed_frames_total", "Frames carrying compress-pipeline payloads.", "dir")
+	compBytes := vec("adcnn_wire_compressed_bytes_total", "Payload bytes of compressed frames.", "dir")
 	for d := 0; d < 2; d++ {
 		for k := 0; k < 4; k++ {
 			wm.frames[d][k] = frames.With(kindNames[k], dirNames[d])

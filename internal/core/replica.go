@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// replica is the replica-scoped half of a Central: the per-node
+// sessions, their dialers, the pending-table demux and the session
+// goroutines. One Central owns exactly one replica; what makes the
+// split worth having is that everything here is private to one control
+// plane instance — N Centrals sharing a Conv pool each hold their own
+// replica (own sessions, own epochs, own clock-offset estimators, own
+// pending table), while the pool-wide state (capacity shares, steal
+// queues) lives above them in Cluster.
+type replica struct {
+	c *Central
+
+	mu       sync.Mutex
+	sessions []*nodeSession
+	dialers  []func(context.Context) (Conn, error)
+
+	pending demux
+	loopWG  sync.WaitGroup
+}
+
+func newReplica(c *Central, nodes int) *replica {
+	r := &replica{
+		c:       c,
+		dialers: make([]func(context.Context) (Conn, error), nodes),
+	}
+	r.pending.init()
+	return r
+}
+
+// setDialer records node k's reconnect dialer (pre-start only; live
+// joins pass the dialer to addNode directly).
+func (r *replica) setDialer(k int, dial func(context.Context) (Conn, error)) {
+	r.mu.Lock()
+	r.dialers[k] = dial
+	r.mu.Unlock()
+}
+
+// start builds the initial sessions from the construction-time
+// connections and spawns their supervisors.
+func (r *replica) start(conns []Conn) {
+	r.mu.Lock()
+	for k, conn := range conns {
+		s := newNodeSession(k, r, conn, r.dialers[k])
+		r.sessions = append(r.sessions, s)
+		r.loopWG.Add(1)
+	}
+	sessions := append([]*nodeSession(nil), r.sessions...)
+	r.mu.Unlock()
+	for _, s := range sessions {
+		go s.run()
+	}
+}
+
+// snapshot returns the current membership view. The slice is append-only
+// (RemoveNode tombstones a session rather than shrinking the slice, so
+// node indices are stable for the life of the replica), which makes the
+// snapshot safe to read without further locking.
+func (r *replica) snapshot() []*nodeSession {
+	r.mu.Lock()
+	s := r.sessions[:len(r.sessions):len(r.sessions)]
+	r.mu.Unlock()
+	return s
+}
+
+// session returns node k's session, or nil when k is out of range.
+func (r *replica) session(k int) *nodeSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 0 || k >= len(r.sessions) {
+		return nil
+	}
+	return r.sessions[k]
+}
+
+// addNode appends a session for a newly joined node and spawns its
+// supervisor. The caller (Central.AddNode) has already grown the
+// scheduler estimate, so an allocation racing this append sees a
+// consistent view whichever side of the append it lands on.
+func (r *replica) addNode(conn Conn, dial func(context.Context) (Conn, error)) int {
+	r.mu.Lock()
+	k := len(r.sessions)
+	s := newNodeSession(k, r, conn, dial)
+	r.sessions = append(r.sessions, s)
+	r.dialers = append(r.dialers, dial)
+	r.loopWG.Add(1)
+	r.mu.Unlock()
+	go s.run()
+	return k
+}
+
+// redispatch re-routes tasks stranded by a connection failure to
+// surviving nodes. A tile with no alive node left aborts its image's
+// inference — the caller sees the same "no alive conv node" error the
+// dispatcher raises.
+func (r *replica) redispatch(orphans []*Message) {
+	c := r.c
+	for _, m := range orphans {
+		if m.Kind != KindTask {
+			continue
+		}
+		placed := false
+		for _, s := range r.snapshot() {
+			if s.Alive() {
+				r.pending.markEnqueued(pendingKey{m.ImageID, m.TileID}, s.id, monoNow())
+				if !s.enqueue(c.ctx, m) {
+					continue
+				}
+				if c.metrics != nil {
+					c.metrics.TilesDispatched.With(nodeLabel(s.id)).Inc()
+				}
+				c.flight.Record("redispatch", m.ImageID, int(m.TileID), s.id, "")
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if e, ok := r.pending.claim(pendingKey{m.ImageID, m.TileID}); ok {
+				c.flight.Record("abort", m.ImageID, int(m.TileID), -1, "no alive conv node")
+				e.col.abort(fmt.Errorf("core: no alive conv node for tile %d", m.TileID))
+			}
+		}
+	}
+}

@@ -2,14 +2,11 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"adcnn/internal/compress"
 	"adcnn/internal/fdsp"
 	"adcnn/internal/models"
 	"adcnn/internal/quant"
@@ -17,239 +14,6 @@ import (
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
-
-// Worker is a Conv node: it stores the separable layer blocks' weights,
-// processes input tiles, applies the communication-reduction boundary,
-// and streams intermediate results back (paper Figure 8, right side).
-type Worker struct {
-	ID    int
-	Model *models.Model
-	// Delay adds artificial per-tile latency — the live-runtime
-	// equivalent of throttling a device with CPUlimit, used to exercise
-	// the adaptive scheduler against a genuinely slow node. Set before
-	// Serve starts; for mid-run changes use SetDelay.
-	Delay time.Duration
-	// Metrics, when set, records task counts, per-tile process time,
-	// wire traffic, and disconnect causes.
-	Metrics *Metrics
-
-	// dynDelay overrides Delay once SetDelay has been called (value is
-	// delay+1 so an explicit SetDelay(0) is distinguishable from unset).
-	dynDelay atomic.Int64
-}
-
-// SetDelay changes the per-tile delay while Serve is running — the
-// race-safe path for injecting a mid-run slowdown (gray-failure and SLO
-// experiments).
-func (w *Worker) SetDelay(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	w.dynDelay.Store(int64(d) + 1)
-}
-
-// tileDelay returns the delay in effect for the next task.
-func (w *Worker) tileDelay() time.Duration {
-	if v := w.dynDelay.Load(); v > 0 {
-		return time.Duration(v - 1)
-	}
-	return w.Delay
-}
-
-// NewWorker creates a Conv-node worker around a model instance (the
-// worker uses only Front and Boundary).
-func NewWorker(id int, m *models.Model) *Worker {
-	return &Worker{ID: id, Model: m}
-}
-
-// Serve processes tasks from conn until the context is cancelled, a
-// shutdown message arrives, or the peer disconnects cleanly (all return
-// nil). A mid-stream transport failure is returned to the caller — and
-// counted separately from clean disconnects — so operators can tell a
-// Central that hung up from a network that broke.
-func (w *Worker) Serve(ctx context.Context, conn Conn) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	met := w.Metrics
-	if met != nil {
-		conn = InstrumentConn(conn, met.Wire)
-	}
-	var tasks *telemetry.Counter
-	if met != nil {
-		tasks = met.WorkerTasks.With(nodeLabel(w.ID))
-	}
-	// Cancellation closes the connection, which unblocks Recv; the stop
-	// channel reaps the watchdog on a normal return.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			_ = conn.Close()
-		case <-stop:
-		}
-	}()
-	var nextFree time.Time // Delay pacer: when the simulated device frees up
-	// Steady-state scratch, reused across tasks: the decoded input tensor
-	// (the model never retains inference inputs), the timing record, the
-	// result message, and the pooled encode buffer. Conn.Send only borrows
-	// the message, so all of it is ours again once Send returns.
-	x := new(tensor.Tensor)
-	qt := new(QuantTile)
-	tm := new(ConvTiming)
-	res := new(Message)
-	var encBuf []byte
-	for {
-		m, err := conn.Recv()
-		if err != nil {
-			if errors.Is(err, io.EOF) || ctx.Err() != nil {
-				if met != nil {
-					met.WorkerRecvEOF.Inc()
-				}
-				return nil // peer closed cleanly or we were cancelled
-			}
-			if met != nil {
-				met.WorkerRecvErrors.Inc()
-			}
-			return fmt.Errorf("core: worker %d: recv: %w", w.ID, err)
-		}
-		switch m.Kind {
-		case KindShutdown:
-			return nil
-		case KindTask:
-			start := time.Now()
-			*tm = ConvTiming{RecvNs: monoNow()}
-			quantized := m.Quantized
-			if quantized {
-				if err := DecodeQuantTensorInto(qt, m.Payload); err != nil {
-					return fmt.Errorf("core: worker %d: %w", w.ID, err)
-				}
-			} else if err := DecodeTensorInto(x, m.Payload); err != nil {
-				return fmt.Errorf("core: worker %d: %w", w.ID, err)
-			}
-			m.ReleasePayload()
-			tm.DecodeNs = monoNow()
-			// Delay models a device that serves tiles at a fixed rate: each
-			// task occupies the device for Delay of wall-clock time, and
-			// back-to-back tasks chain off the previous release time rather
-			// than off this goroutine's (scheduler-jittered) wake-up. A
-			// plain sleep-per-task would model a device that slows down
-			// whenever the Central's CPU is busy, which no remote device
-			// does — and it underestimates pipelining on a loaded host.
-			// The wait sits between decode and compute, so it shows up in
-			// the timing record as queue time, like a busy real device.
-			if delay := w.tileDelay(); delay > 0 {
-				if nextFree.Before(start) {
-					nextFree = start
-				}
-				nextFree = nextFree.Add(delay)
-				if rem := time.Until(nextFree); rem > 0 {
-					select {
-					case <-time.After(rem):
-					case <-ctx.Done():
-						return nil
-					}
-				}
-			}
-			tm.ComputeStartNs = monoNow()
-			var out []byte
-			var compressed bool
-			var err error
-			if quantized {
-				out, compressed, err = w.computeEncodeLevels(qt, x, tm, encBuf)
-			} else {
-				out, compressed, err = w.computeEncode(x, tm, encBuf)
-			}
-			if err != nil {
-				return fmt.Errorf("core: worker %d: %w", w.ID, err)
-			}
-			encBuf = out
-			if met != nil {
-				tasks.Inc()
-				met.WorkerProcess.ObserveDuration(time.Since(start).Nanoseconds())
-			}
-			tm.SendNs = monoNow()
-			*res = Message{
-				Kind: KindResult, ImageID: m.ImageID, TileID: m.TileID,
-				NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
-				TraceID: m.TraceID, SpanID: m.SpanID, Timing: tm,
-			}
-			if err := conn.Send(res); err != nil {
-				if ctx.Err() != nil {
-					return nil
-				}
-				if met != nil {
-					met.WorkerSendErrors.Inc()
-				}
-				return fmt.Errorf("core: worker %d: send: %w", w.ID, err)
-			}
-		default:
-			return fmt.Errorf("core: worker %d: unexpected message kind %d", w.ID, m.Kind)
-		}
-	}
-}
-
-// computeEncode runs one decoded tile through Front + Boundary and
-// encodes the result into buf (a pooled scratch buffer the caller reuses
-// across tiles; too small and it is swapped for a bigger pooled one),
-// stamping the compute-done and encode-done marks into the timing
-// record. The returned slice is the (possibly replaced) buffer — the
-// caller must retain it as the next call's buf.
-func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
-	return w.boundaryEncode(w.Model.Front.Forward(x, false), tm, buf)
-}
-
-// computeEncodeLevels runs one quantized tile. When the model's front
-// opens with an int8-enabled plain convolution, the decoded levels feed
-// its quantized GEMM directly — the no-dequant fast path of the int8
-// operating mode. Otherwise (residual-entry front, or a worker that
-// never called QuantizeInt8) the tile is dequantized into x and takes
-// the ordinary f32 path, so a mixed deployment still computes correctly.
-func (w *Worker) computeEncodeLevels(q *QuantTile, x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
-	if len(q.Shape) == 4 && q.Shape[0] == 1 {
-		if y, ok := w.Model.ForwardFrontLevels(q.Levels, q.Shape[1], q.Shape[2], q.Shape[3], q.Affine); ok {
-			return w.boundaryEncode(y, tm, buf)
-		}
-	}
-	q.DequantizeInto(x)
-	return w.computeEncode(x, tm, buf)
-}
-
-// boundaryEncode applies the boundary ops to a Front output and encodes
-// the result into buf (pooled, reused across tiles — see computeEncode).
-func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
-	opt := w.Model.Opt
-	clipped := opt.Clipped()
-	if clipped {
-		// The boundary's clipped ReLU runs on the Conv node so the result
-		// is sparse before encoding.
-		y = w.Model.Boundary.Layers[0].Forward(y, false)
-	}
-	tm.ComputeEndNs = monoNow()
-	if clipped && opt.QuantBits > 0 {
-		p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
-		// Pre-size to the worst case so the fused encoder never grows the
-		// buffer mid-scan; at steady state the same buffer serves every tile.
-		if n := p.MaxEncodedSize(y); cap(buf) < n {
-			tensor.PutBytes(buf)
-			buf = tensor.GetBytes(n)
-		}
-		out, err := p.EncodeInto(buf[:0], y)
-		tm.EncodeNs = monoNow()
-		if err != nil {
-			return buf[:0], true, err
-		}
-		return out, true, nil
-	}
-	if n := TensorWireSize(y); cap(buf) < n {
-		tensor.PutBytes(buf)
-		buf = tensor.GetBytes(n)
-	}
-	out := AppendTensor(buf[:0], y)
-	tm.EncodeNs = monoNow()
-	return out, false, nil
-}
 
 // InferStats reports one distributed inference's runtime behaviour.
 type InferStats struct {
@@ -275,6 +39,15 @@ type InferStats struct {
 // T_L deadline down to every blocking point. Multiple images may be in
 // flight at once (InferAsync / Pipeline); Infer is the synchronous
 // convenience wrapper.
+//
+// The session machinery — per-node sessions, the pending table, the
+// membership view — lives in a replica-scoped struct (see replica.go):
+// a Central is one replica of the control plane, and several Centrals
+// can drive the same Conv pool concurrently (the Conv side serves each
+// an independent session; see NodeServer). SetShare tells a replica
+// what fraction of each node's capacity the cluster partitioner has
+// assigned it, so co-resident replicas split a node rather than both
+// assuming they own it.
 type Central struct {
 	Model *models.Model
 	Conns []Conn
@@ -292,17 +65,20 @@ type Central struct {
 	// don't collide when merged; the image ID is folded in per image.
 	traceBase uint64
 
-	imageID atomic.Uint32
-	mu      sync.Mutex // guards Stats and allocation
-	backMu  sync.Mutex // serializes the back-layer compute stage
+	imageID  atomic.Uint32
+	inflight atomic.Int64 // images dispatched, Wait not finished
+	mu       sync.Mutex   // guards Stats, share, and allocation
+	backMu   sync.Mutex   // serializes the back-layer compute stage
+
+	// share scales each node's measured speed in the allocator: the
+	// cluster partitioner's per-replica capacity share (nil = this
+	// replica owns every node outright).
+	share []float64
 
 	ctx       context.Context
 	cancel    context.CancelFunc
 	startOnce sync.Once
-	sessions  []*nodeSession
-	dialers   []func(context.Context) (Conn, error)
-	pending   demux
-	loopWG    sync.WaitGroup
+	rep       *replica
 }
 
 // SetMetrics attaches an instrument bundle: wire traffic is metered on
@@ -316,7 +92,7 @@ func (c *Central) SetMetrics(m *Metrics) {
 		}
 	}
 	if m != nil {
-		c.pending.stale = m.StaleResults
+		c.rep.pending.stale = m.StaleResults
 		c.health = NewHealthTracker(len(c.Conns), m.NodeHealth)
 	}
 }
@@ -349,7 +125,40 @@ func (c *Central) FlightRecorder() *telemetry.FlightRecorder { return c.flight }
 // Without a dialer a failed node stays dead forever, which is the right
 // default for in-process pipes. Call before the first Infer.
 func (c *Central) SetDialer(k int, dial func(context.Context) (Conn, error)) {
-	c.dialers[k] = dial
+	c.rep.setDialer(k, dial)
+}
+
+// SetShare installs the cluster partitioner's per-node capacity shares
+// for this replica: node k's measured speed is scaled by share[k] in
+// every subsequent allocation, so a replica granted 40% of a node
+// routes 40% of the tiles it would have routed owning the node alone.
+// A nil or short share leaves the remaining nodes unscaled. Safe to
+// call concurrently with Infer — shares take effect on the next
+// allocation.
+func (c *Central) SetShare(share []float64) {
+	c.mu.Lock()
+	c.share = append(c.share[:0], share...)
+	c.mu.Unlock()
+}
+
+// InFlight reports how many images have been dispatched whose Wait has
+// not finished — the replica's instantaneous load, used by the cluster
+// rebalancer as its demand signal.
+func (c *Central) InFlight() int { return int(c.inflight.Load()) }
+
+// NumNodes reports the current size of the membership view (including
+// tombstoned nodes that have left).
+func (c *Central) NumNodes() int { return len(c.rep.snapshot()) }
+
+// AliveNodes reports, per node index, whether the session currently has
+// a usable connection.
+func (c *Central) AliveNodes() []bool {
+	sessions := c.rep.snapshot()
+	out := make([]bool, len(sessions))
+	for k, s := range sessions {
+		out[k] = s.Alive()
+	}
+	return out
 }
 
 // NewCentral creates a Central node. gamma is Algorithm 2's decay.
@@ -370,31 +179,56 @@ func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) 
 		traceBase: uint64(time.Now().UnixNano()) << 20,
 		ctx:       ctx,
 		cancel:    cancel,
-		dialers:   make([]func(context.Context) (Conn, error), len(conns)),
 	}
-	c.pending.init()
+	c.rep = newReplica(c, len(conns))
 	return c, nil
 }
 
 // start spins up the per-node sessions on first use, after SetMetrics /
 // SetTrace / SetDialer have had their chance to run.
 func (c *Central) start() {
-	c.startOnce.Do(func() {
-		sessions := make([]*nodeSession, len(c.Conns))
-		for k, conn := range c.Conns {
-			sessions[k] = newNodeSession(k, c, conn, c.dialers[k])
-		}
-		// Publish under mu so concurrent readers that can't ride on the
-		// dispatching goroutine (the /debug/sessions handler) see a
-		// consistent slice before the loops start.
-		c.mu.Lock()
-		c.sessions = sessions
-		c.mu.Unlock()
-		for _, s := range sessions {
-			c.loopWG.Add(1)
-			go s.run()
-		}
-	})
+	c.startOnce.Do(func() { c.rep.start(c.Conns) })
+}
+
+// AddNode grows the membership view with a new Conv node while the
+// runtime is live: the node gets a session (with reconnect support when
+// dial is non-nil), a fresh scheduler estimate at the initial value, and
+// a health-tracker slot, and receives tiles from the next allocation
+// onward. Returns the new node's index.
+func (c *Central) AddNode(conn Conn, dial func(context.Context) (Conn, error)) int {
+	c.start()
+	if c.metrics != nil && c.metrics.Wire != nil {
+		conn = InstrumentConn(conn, c.metrics.Wire)
+	}
+	// Grow the estimate before publishing the session so a concurrent
+	// allocation never sees a node without a speed.
+	c.mu.Lock()
+	c.Stats.Add()
+	c.mu.Unlock()
+	if c.health != nil {
+		c.health.Grow(1)
+	}
+	k := c.rep.addNode(conn, dial)
+	if c.trace != nil {
+		c.trace.SetThreadName(k+1, fmt.Sprintf("conv-%d", k))
+	}
+	c.flight.Record("node-join", 0, -1, k, "")
+	return k
+}
+
+// RemoveNode retires node k from the membership view: its session is
+// closed, queued tiles fail over to surviving nodes, and the session
+// never reconnects (the index stays valid as a tombstone so node
+// numbering is stable). Reports whether k named a live node.
+func (c *Central) RemoveNode(k int) bool {
+	c.start()
+	s := c.rep.session(k)
+	if s == nil {
+		return false
+	}
+	s.retire()
+	c.flight.Record("node-leave", 0, -1, k, "")
+	return true
 }
 
 // reviveNode restores a reconnected node's scheduler estimate so it
@@ -406,39 +240,6 @@ func (c *Central) reviveNode(k int) {
 	c.mu.Unlock()
 	if c.metrics != nil {
 		c.metrics.Reconnects.With(nodeLabel(k)).Inc()
-	}
-}
-
-// redispatch re-routes tasks stranded by a connection failure to
-// surviving nodes. A tile with no alive node left aborts its image's
-// inference — the caller sees the same "no alive conv node" error the
-// dispatcher raises.
-func (c *Central) redispatch(orphans []*Message) {
-	for _, m := range orphans {
-		if m.Kind != KindTask {
-			continue
-		}
-		placed := false
-		for _, s := range c.sessions {
-			if s.Alive() {
-				c.pending.markEnqueued(pendingKey{m.ImageID, m.TileID}, s.id, monoNow())
-				if !s.enqueue(c.ctx, m) {
-					continue
-				}
-				if c.metrics != nil {
-					c.metrics.TilesDispatched.With(nodeLabel(s.id)).Inc()
-				}
-				c.flight.Record("redispatch", m.ImageID, int(m.TileID), s.id, "")
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			if e, ok := c.pending.claim(pendingKey{m.ImageID, m.TileID}); ok {
-				c.flight.Record("abort", m.ImageID, int(m.TileID), -1, "no alive conv node")
-				e.col.abort(fmt.Errorf("core: no alive conv node for tile %d", m.TileID))
-			}
-		}
 	}
 }
 
@@ -462,6 +263,7 @@ type Inflight struct {
 	img        uint32
 	traceID    uint64
 	tiles      []fdsp.Tile
+	nodes      int // membership size at dispatch
 	col        *imageCollector
 	alloc      sched.Allocation
 	dispatchAt []time.Time // per tile, for round-trip accounting
@@ -491,23 +293,33 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	img := c.imageID.Add(1)
 	traceID := c.traceBase | uint64(img)
 	met, tr := c.metrics, c.trace
+	c.inflight.Add(1)
 	if met != nil {
 		met.Images.Inc()
 		met.InflightImages.Add(1)
+	}
+	undo := func() {
+		c.inflight.Add(-1)
+		if met != nil {
+			met.InflightImages.Add(-1)
+		}
 	}
 
 	g := c.Model.Opt.Grid
 	tiles := g.Layout(x.Shape[2], x.Shape[3])
 
+	// The membership view is snapshotted once per image: a node joining
+	// mid-dispatch receives tiles from the next image onward.
+	sessions := c.rep.snapshot()
+
 	// Input-partition block: allocate tiles to nodes by current stats,
-	// skipping nodes whose sessions are down.
+	// skipping nodes whose sessions are down and scaling by the cluster
+	// share when one is installed.
 	c.mu.Lock()
-	alloc, err := sched.Allocate(len(tiles), c.aliveSpeedsLocked(), 0, nil, nil)
+	alloc, err := sched.Allocate(len(tiles), c.aliveSpeedsLocked(sessions), 0, nil, nil)
 	c.mu.Unlock()
 	if err != nil {
-		if met != nil {
-			met.InflightImages.Add(-1)
-		}
+		undo()
 		return nil, fmt.Errorf("core: allocation: %w", err)
 	}
 	assignment := make([]int, len(tiles)) // tile -> node
@@ -522,7 +334,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	// Register the collector before the first task leaves, so a result
 	// can never beat its pending-table entry.
 	col := newImageCollector(img, len(tiles))
-	c.pending.register(col, len(tiles))
+	c.rep.pending.register(col, len(tiles))
 
 	// Dispatch every tile. An enqueue failure (session down) falls over
 	// to the next alive node — the runtime half of the paper's failure
@@ -539,7 +351,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	// actually supporting the levels entry; tiles whose value range defies
 	// a finite affine (NaN/Inf input) fall back to float32 per tile.
 	quantUplink := c.Model.Opt.Int8 && c.Model.Int8InputOK()
-	counts := make(sched.Allocation, len(c.sessions)) // tiles actually enqueued per node
+	counts := make(sched.Allocation, len(sessions)) // tiles actually enqueued per node
 	for ti, tl := range tiles {
 		// Serialise the tile into a pooled wire buffer; the session's send
 		// loop releases it once the frame is safely on the wire (a failed
@@ -566,20 +378,18 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 		}
 		k := assignment[ti]
 		sent := false
-		for attempt := 0; attempt < len(c.sessions); attempt++ {
-			c.pending.markEnqueued(pendingKey{img, uint32(ti)}, k, monoNow())
-			if c.sessions[k].enqueue(ctx, task) {
+		for attempt := 0; attempt < len(sessions); attempt++ {
+			c.rep.pending.markEnqueued(pendingKey{img, uint32(ti)}, k, monoNow())
+			if sessions[k].enqueue(ctx, task) {
 				counts[k]++
 				sent = true
 				break
 			}
-			k = (k + 1) % len(c.sessions)
+			k = (k + 1) % len(sessions)
 		}
 		if !sent {
-			c.pending.dropImage(img, len(tiles))
-			if met != nil {
-				met.InflightImages.Add(-1)
-			}
+			c.rep.pending.dropImage(img, len(tiles))
+			undo()
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -600,8 +410,8 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 	cctx, cancelTL := context.WithTimeout(ctx, c.TL)
 	return &Inflight{
 		c: c, parent: ctx, cctx: cctx, cancelTL: cancelTL,
-		img: img, traceID: traceID, tiles: tiles, col: col, alloc: counts,
-		dispatchAt: dispatchAt, start: start,
+		img: img, traceID: traceID, tiles: tiles, nodes: len(sessions),
+		col: col, alloc: counts, dispatchAt: dispatchAt, start: start,
 	}, nil
 }
 
@@ -629,8 +439,9 @@ func (h *Inflight) collect() (*tensor.Tensor, InferStats, error) {
 	c := h.c
 	met, tr := c.metrics, c.trace
 	cleanup := func() {
-		c.pending.dropImage(h.img, len(h.tiles))
+		c.rep.pending.dropImage(h.img, len(h.tiles))
 		h.cancelTL()
+		c.inflight.Add(-1)
 		if met != nil {
 			met.InflightImages.Add(-1)
 		}
@@ -640,7 +451,7 @@ func (h *Inflight) collect() (*tensor.Tensor, InferStats, error) {
 	}
 
 	outTiles := make([]*tensor.Tensor, len(h.tiles))
-	received := make([]int, len(c.sessions))
+	received := make([]int, h.nodes)
 	breakdown := &Breakdown{Image: h.img, TraceID: h.traceID}
 	var wire int64
 	got := 0
@@ -650,6 +461,11 @@ collect:
 		case a := <-h.col.ch:
 			collectNs := monoNow()
 			outTiles[a.tile] = a.t
+			// A redispatch can route a tile to a node that joined after
+			// this image was dispatched; grow the tally to fit.
+			for a.node >= len(received) {
+				received = append(received, 0)
+			}
 			received[a.node]++
 			wire += int64(a.wire)
 			got++
@@ -795,12 +611,24 @@ func (h *Inflight) tracePhases(tb *TileBreakdown, sentNs int64) {
 	}
 }
 
-// aliveSpeedsLocked is aliveSpeeds for callers already holding c.mu.
-func (c *Central) aliveSpeedsLocked() []float64 {
+// aliveSpeedsLocked returns the allocator's speed vector for a session
+// snapshot: the Algorithm 2 estimates, zeroed for down sessions and
+// scaled by the cluster share. Callers hold c.mu.
+func (c *Central) aliveSpeedsLocked(sessions []*nodeSession) []float64 {
 	speeds := c.Stats.Speeds()
-	for k, s := range c.sessions {
+	if len(speeds) > len(sessions) {
+		speeds = speeds[:len(sessions)]
+	}
+	for len(speeds) < len(sessions) {
+		speeds = append(speeds, 0)
+	}
+	for k, s := range sessions {
 		if !s.Alive() {
 			speeds[k] = 0
+			continue
+		}
+		if k < len(c.share) {
+			speeds[k] *= c.share[k]
 		}
 	}
 	return speeds
@@ -828,8 +656,12 @@ func (c *Central) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.T
 // have exited.
 func (c *Central) Shutdown() {
 	c.cancel()
-	c.loopWG.Wait()
+	c.rep.loopWG.Wait()
 	for _, conn := range c.Conns {
 		_ = conn.Close()
+	}
+	// Connections added after construction are not in Conns.
+	for _, s := range c.rep.snapshot() {
+		s.closeConn()
 	}
 }

@@ -161,17 +161,17 @@ const (
 	dialTimeout   = 5 * time.Second
 )
 
-// nodeSession owns the Central's relationship with one Conv node: a
+// nodeSession owns one replica's relationship with one Conv node: a
 // persistent send loop draining a bounded task queue onto the
 // connection, and a persistent recv loop decoding results and demuxing
-// them through the pending table. Both loops live for the connection's
-// lifetime; a supervisor restarts them after a reconnect. Queued tasks
-// stranded by a connection failure are handed back to the Central for
-// redispatch to surviving nodes, so a node death costs at most the tiles
-// already on its wire.
+// them through the replica's pending table. Both loops live for the
+// connection's lifetime; a supervisor restarts them after a reconnect.
+// Queued tasks stranded by a connection failure are handed back to the
+// replica for redispatch to surviving nodes, so a node death costs at
+// most the tiles already on its wire.
 type nodeSession struct {
 	id int // node index (0-based)
-	c  *Central
+	r  *replica
 	// dial, when set, lets the session re-establish a failed connection
 	// with exponential backoff instead of staying dead forever.
 	dial func(context.Context) (Conn, error)
@@ -181,6 +181,7 @@ type nodeSession struct {
 	mu          sync.Mutex
 	conn        Conn
 	alive       bool
+	closed      bool          // RemoveNode tombstone: never reconnect
 	down        chan struct{} // closed when the session goes down
 	pendingSend *Message      // in-flight message a failed Send may strand
 	epochs      int           // connection epochs started (1 = original conn)
@@ -194,10 +195,10 @@ type nodeSession struct {
 	offsetGauge *telemetry.Gauge // nil disables
 }
 
-func newNodeSession(id int, c *Central, conn Conn, dial func(context.Context) (Conn, error)) *nodeSession {
+func newNodeSession(id int, r *replica, conn Conn, dial func(context.Context) (Conn, error)) *nodeSession {
 	s := &nodeSession{
 		id:     id,
-		c:      c,
+		r:      r,
 		dial:   dial,
 		sendq:  make(chan *Message, 256),
 		conn:   conn,
@@ -205,9 +206,9 @@ func newNodeSession(id int, c *Central, conn Conn, dial func(context.Context) (C
 		down:   make(chan struct{}),
 		offset: telemetry.NewOffsetEstimator(0),
 	}
-	if c.metrics != nil {
-		s.queueDepth = c.metrics.SendQueueDepth.With(nodeLabel(id))
-		s.offsetGauge = c.metrics.ClockOffset.With(nodeLabel(id))
+	if m := r.c.metrics; m != nil {
+		s.queueDepth = m.SendQueueDepth.With(nodeLabel(id))
+		s.offsetGauge = m.ClockOffset.With(nodeLabel(id))
 	}
 	return s
 }
@@ -216,7 +217,42 @@ func newNodeSession(id int, c *Central, conn Conn, dial func(context.Context) (C
 func (s *nodeSession) Alive() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.alive
+	return s.alive && !s.closed
+}
+
+// retire tombstones the session (RemoveNode): closing the connection
+// ends the current epoch, and the supervisor — seeing the closed flag —
+// redispatches stranded work and exits instead of reconnecting.
+func (s *nodeSession) retire() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// isClosed reports whether retire has tombstoned the session.
+func (s *nodeSession) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// closeConn closes the session's current connection (Shutdown path for
+// nodes that joined after construction, whose conns are not in c.Conns).
+func (s *nodeSession) closeConn() {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
 }
 
 // enqueue hands a task to the send loop. It returns false when the
@@ -227,7 +263,7 @@ func (s *nodeSession) Alive() bool {
 func (s *nodeSession) enqueue(ctx context.Context, m *Message) bool {
 	for {
 		s.mu.Lock()
-		if !s.alive {
+		if !s.alive || s.closed {
 			s.mu.Unlock()
 			return false
 		}
@@ -246,7 +282,7 @@ func (s *nodeSession) enqueue(ctx context.Context, m *Message) bool {
 			return false
 		case <-ctx.Done():
 			return false
-		case <-s.c.ctx.Done():
+		case <-s.r.c.ctx.Done():
 			return false
 		case <-time.After(time.Millisecond):
 		}
@@ -299,7 +335,8 @@ func (s *nodeSession) revive(conn Conn) {
 // (redispatching stranded tasks), and — when a dialer is configured —
 // reconnects with exponential backoff and starts the next epoch.
 func (s *nodeSession) run() {
-	defer s.c.loopWG.Done()
+	defer s.r.loopWG.Done()
+	c := s.r.c
 	for {
 		s.mu.Lock()
 		conn := s.conn
@@ -315,7 +352,7 @@ func (s *nodeSession) run() {
 		shutdown := false
 		sendOpen, recvOpen := true, true
 		select {
-		case <-s.c.ctx.Done():
+		case <-c.ctx.Done():
 			shutdown = true
 		case <-sendDone:
 			sendOpen = false
@@ -332,28 +369,29 @@ func (s *nodeSession) run() {
 		if recvOpen {
 			<-recvDone
 		}
-		if shutdown || s.c.ctx.Err() != nil {
+		if shutdown || c.ctx.Err() != nil {
 			s.markDown()
 			return
 		}
 
-		// Connection failure: the node is dead until proven otherwise.
+		// Connection failure (or a RemoveNode tombstone closing the
+		// connection): the node is dead until proven otherwise.
 		orphans := s.markDown()
-		if s.c.metrics != nil {
-			s.c.metrics.ConnDrops.With(nodeLabel(s.id)).Inc()
+		if c.metrics != nil {
+			c.metrics.ConnDrops.With(nodeLabel(s.id)).Inc()
 		}
-		s.c.flight.Record("session-down", 0, -1, s.id, "transport failure")
+		c.flight.Record("session-down", 0, -1, s.id, "transport failure")
 		// A failover strands in-flight work: dump the flight ring for
 		// every image that had tasks queued on this session.
 		seen := map[uint32]bool{}
 		for _, m := range orphans {
 			if m.Kind == KindTask && !seen[m.ImageID] {
 				seen[m.ImageID] = true
-				s.c.flight.Dump("session-failover", m.ImageID)
+				c.flight.Dump("session-failover", m.ImageID)
 			}
 		}
-		s.c.redispatch(orphans)
-		if s.dial == nil {
+		s.r.redispatch(orphans)
+		if s.isClosed() || s.dial == nil {
 			return
 		}
 		if !s.reconnect() {
@@ -367,7 +405,7 @@ func (s *nodeSession) run() {
 func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 	for {
 		select {
-		case <-s.c.ctx.Done():
+		case <-s.r.c.ctx.Done():
 			return nil
 		case <-stop:
 			return nil
@@ -378,11 +416,11 @@ func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 			s.mu.Unlock()
 			// Stamp t0 just before the write so the uplink phase (and the
 			// offset estimator's request leg) includes the serialization.
-			s.c.pending.markSent(pendingKey{m.ImageID, m.TileID}, monoNow())
+			s.r.pending.markSent(pendingKey{m.ImageID, m.TileID}, monoNow())
 			if err := conn.Send(m); err != nil {
 				return err
 			}
-			s.c.flight.Record("sent", m.ImageID, int(m.TileID), s.id, "")
+			s.r.c.flight.Record("sent", m.ImageID, int(m.TileID), s.id, "")
 			// Release the task's pooled payload only if markDown has not
 			// claimed the message in the window after Send returned: a
 			// concurrent epoch teardown orphans pendingSend for redispatch,
@@ -411,10 +449,10 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		if m.Kind != KindResult {
 			continue
 		}
-		e, ok := s.c.pending.claim(pendingKey{m.ImageID, m.TileID})
+		e, ok := s.r.pending.claim(pendingKey{m.ImageID, m.TileID})
 		if !ok {
-			s.c.pending.markStale()
-			s.c.flight.Record("stale", m.ImageID, int(m.TileID), s.id, "")
+			s.r.pending.markStale()
+			s.r.c.flight.Record("stale", m.ImageID, int(m.TileID), s.id, "")
 			continue
 		}
 		var offsetNs int64
@@ -441,10 +479,10 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		if derr != nil {
 			// An undecodable result is as good as a missed tile: the
 			// image zero-fills it at the deadline.
-			s.c.flight.Record("decode-error", m.ImageID, int(m.TileID), s.id, derr.Error())
+			s.r.c.flight.Record("decode-error", m.ImageID, int(m.TileID), s.id, derr.Error())
 			continue
 		}
-		s.c.flight.Record("result", m.ImageID, int(m.TileID), s.id, "")
+		s.r.c.flight.Record("result", m.ImageID, int(m.TileID), s.id, "")
 		e.col.ch <- arrival{
 			tile: int(m.TileID), node: s.id, t: t, wire: wire,
 			enqNs: e.enqNs, sentNs: e.sentNs, recvNs: recvNs,
@@ -457,29 +495,33 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 // exponential backoff, then revives the session and the node's
 // scheduler estimate.
 func (s *nodeSession) reconnect() bool {
+	c := s.r.c
 	backoff := reconnectBase
 	for {
 		s.mu.Lock()
 		s.backoff = backoff
 		s.mu.Unlock()
 		select {
-		case <-s.c.ctx.Done():
+		case <-c.ctx.Done():
 			return false
 		case <-time.After(backoff):
 		}
-		dctx, cancel := context.WithTimeout(s.c.ctx, dialTimeout)
+		if s.isClosed() {
+			return false
+		}
+		dctx, cancel := context.WithTimeout(c.ctx, dialTimeout)
 		conn, err := s.dial(dctx)
 		cancel()
 		if err == nil && conn != nil {
-			if s.c.metrics != nil && s.c.metrics.Wire != nil {
-				conn = InstrumentConn(conn, s.c.metrics.Wire)
+			if c.metrics != nil && c.metrics.Wire != nil {
+				conn = InstrumentConn(conn, c.metrics.Wire)
 			}
 			s.mu.Lock()
 			s.backoff = 0
 			s.mu.Unlock()
 			s.revive(conn)
-			s.c.reviveNode(s.id)
-			s.c.flight.Record("session-reconnect", 0, -1, s.id, "")
+			c.reviveNode(s.id)
+			c.flight.Record("session-reconnect", 0, -1, s.id, "")
 			return true
 		}
 		backoff *= 2

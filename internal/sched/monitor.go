@@ -44,6 +44,23 @@ func NewMonitor(reg *telemetry.Registry) *Monitor {
 	}
 }
 
+// NewReplicaMonitor registers the scheduler metrics with a leading
+// "replica" label, for processes hosting several Central replicas on
+// one registry. Every replica's monitor must come through here — the
+// registry rejects mixing the labeled and unlabeled schemas.
+func NewReplicaMonitor(reg *telemetry.Registry, replica string) *Monitor {
+	return &Monitor{
+		speed: reg.GaugeVec("adcnn_sched_speed",
+			"Algorithm 2 EWMA throughput estimate s_k per Conv node.", "replica", "node").Curry(replica),
+		bottleneck: reg.GaugeVec("adcnn_sched_bottleneck",
+			"Allocation objective max_k x_k/s_k of the last allocation (Equation 1).", "replica").With(replica),
+		allocs: reg.CounterVec("adcnn_sched_allocations_total",
+			"Tile allocations computed.", "replica").With(replica),
+		reallocs: reg.CounterVec("adcnn_sched_realloc_total",
+			"Allocations that moved tiles between nodes vs the previous image.", "replica").With(replica),
+	}
+}
+
 // ObserveSpeeds publishes the current s_k estimates.
 func (m *Monitor) ObserveSpeeds(speeds []float64) {
 	if m == nil {

@@ -10,12 +10,15 @@ import (
 	"strings"
 )
 
-// A minimal Prometheus text-format (0.0.4) reader — the consumer side
-// of WritePrometheus, used by adcnn-top to scrape the daemons' /metrics
-// without third-party dependencies. It understands exactly what this
-// repo emits: HELP/TYPE comments, optional {label="value"} sets, and a
-// float value; timestamps and exemplars are not produced and not
-// accepted.
+// A minimal Prometheus text-format (0.0.4 / OpenMetrics-adjacent)
+// reader — the consumer side of WritePrometheus, used by adcnn-top to
+// scrape the daemons' /metrics without third-party dependencies. It
+// understands what this repo emits — HELP/TYPE comments, optional
+// {label="value"} sets, and a float value — and tolerates what other
+// exporters append after the value: a timestamp, an OpenMetrics
+// exemplar (`# {trace_id="..."} 0.5`), or other trailing tokens are
+// ignored rather than rejected, so the console keeps working as metric
+// families gain labels or the scrape target changes emitter.
 
 // PromSample is one parsed sample line.
 type PromSample struct {
@@ -61,8 +64,12 @@ func parsePromLine(line string) (PromSample, error) {
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		sample.Name = line[:i]
-		j := strings.LastIndexByte(line, '}')
-		if j < i {
+		// The label set ends at the first '}' outside a quoted value: an
+		// exemplar after the value carries its own braces, and a label
+		// value may contain a literal '}', so neither the first nor the
+		// last byte match is right without tracking quotes.
+		j := promLabelSetEnd(line, i)
+		if j < 0 {
 			return sample, fmt.Errorf("unterminated label set")
 		}
 		labels, err := parsePromLabels(line[i+1 : j])
@@ -72,19 +79,51 @@ func parsePromLine(line string) (PromSample, error) {
 		sample.Labels = labels
 		rest = strings.TrimSpace(line[j+1:])
 	} else {
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
 			return sample, fmt.Errorf("want 'name value', got %q", line)
 		}
-		sample.Name = fields[0]
-		rest = fields[1]
+		sample.Name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
 	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	// Everything after the value — a timestamp, an OpenMetrics exemplar
+	// ("# {...} v"), or tokens from a future format revision — is
+	// tolerated and ignored: only the first field is the value.
+	if h := strings.Index(rest, " #"); h >= 0 {
+		rest = strings.TrimSpace(rest[:h])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return sample, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return sample, fmt.Errorf("bad value %q", rest)
+		return sample, fmt.Errorf("bad value %q", fields[0])
 	}
 	sample.Value = v
 	return sample, nil
+}
+
+// promLabelSetEnd returns the index of the '}' closing the label set
+// opened at open, skipping quoted values (with backslash escapes), or
+// -1 when the set never closes.
+func promLabelSetEnd(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 func parsePromLabels(s string) (map[string]string, error) {

@@ -68,6 +68,35 @@ func TestParsePrometheusEscapes(t *testing.T) {
 	}
 }
 
+// TestParsePrometheusTrailingTokens covers the tolerated suffixes other
+// exporters emit after the value: timestamps, OpenMetrics exemplars,
+// and trailing comment tokens. The parser keeps the value and ignores
+// the rest.
+func TestParsePrometheusTrailingTokens(t *testing.T) {
+	in := strings.Join([]string{
+		`with_ts{a="b"} 1.5 1700000000000`,
+		`bare_ts 2 1700000000000`,
+		`h_bucket{le="0.1"} 7 # {trace_id="abc",span_id="def"} 0.089 1700000000000`,
+		`brace_value{l="x}y"} 3`,
+	}, "\n")
+	s, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("with_ts", "a", "b"); !ok || v != 1.5 {
+		t.Fatalf("timestamped labeled sample = %v (ok=%v), want 1.5", v, ok)
+	}
+	if v, ok := s.Value("bare_ts"); !ok || v != 2 {
+		t.Fatalf("timestamped bare sample = %v (ok=%v), want 2", v, ok)
+	}
+	if v, ok := s.Value("h_bucket", "le", "0.1"); !ok || v != 7 {
+		t.Fatalf("exemplar sample = %v (ok=%v), want 7", v, ok)
+	}
+	if v, ok := s.Value("brace_value", "l", "x}y"); !ok || v != 3 {
+		t.Fatalf("brace-in-label sample = %v (ok=%v), want 3", v, ok)
+	}
+}
+
 func TestParsePrometheusMalformed(t *testing.T) {
 	for _, in := range []string{
 		"name_only",

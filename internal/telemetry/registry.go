@@ -191,18 +191,40 @@ func (r *Registry) Counter(name, help string) *Counter {
 	return r.CounterVec(name, help).With()
 }
 
-// CounterVec is a counter family with labels.
-type CounterVec struct{ f *family }
+// CounterVec is a counter family with labels. A vec may carry curried
+// (pre-bound) leading label values — see Curry.
+type CounterVec struct {
+	f   *family
+	pre []string
+}
 
 // CounterVec returns the counter family named name with the given label
 // schema.
 func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
-	return &CounterVec{r.lookup(name, help, KindCounter, nil, labelNames)}
+	return &CounterVec{f: r.lookup(name, help, KindCounter, nil, labelNames)}
 }
 
-// With resolves one label-value tuple.
+// With resolves one label-value tuple (appended to any curried values).
 func (v *CounterVec) With(values ...string) *Counter {
-	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+	return v.f.child(joinPre(v.pre, values), func() any { return &Counter{} }).(*Counter)
+}
+
+// Curry returns a view of the family with the given leading label values
+// pre-bound: With on the view supplies only the remaining labels. The
+// view shares the family, so differently-curried views of one vec stay
+// schema-consistent — this is how per-replica instrument bundles share
+// one registry without re-registering families.
+func (v *CounterVec) Curry(values ...string) *CounterVec {
+	return &CounterVec{f: v.f, pre: joinPre(v.pre, values)}
+}
+
+// joinPre concatenates curried and call-site label values.
+func joinPre(pre, values []string) []string {
+	if len(pre) == 0 {
+		return values
+	}
+	out := make([]string, 0, len(pre)+len(values))
+	return append(append(out, pre...), values...)
 }
 
 // ------------------------------------------------------------------ gauge
@@ -224,18 +246,27 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.GaugeVec(name, help).With()
 }
 
-// GaugeVec is a gauge family with labels.
-type GaugeVec struct{ f *family }
+// GaugeVec is a gauge family with labels, optionally curried (see
+// CounterVec.Curry).
+type GaugeVec struct {
+	f   *family
+	pre []string
+}
 
 // GaugeVec returns the gauge family named name with the given label
 // schema.
 func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
-	return &GaugeVec{r.lookup(name, help, KindGauge, nil, labelNames)}
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, nil, labelNames)}
 }
 
-// With resolves one label-value tuple.
+// With resolves one label-value tuple (appended to any curried values).
 func (v *GaugeVec) With(values ...string) *Gauge {
-	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+	return v.f.child(joinPre(v.pre, values), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Curry pre-binds leading label values (see CounterVec.Curry).
+func (v *GaugeVec) Curry(values ...string) *GaugeVec {
+	return &GaugeVec{f: v.f, pre: joinPre(v.pre, values)}
 }
 
 // addFloat atomically adds v to a float64 stored as uint64 bits.
@@ -342,8 +373,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.HistogramVec(name, help, buckets).With()
 }
 
-// HistogramVec is a histogram family with labels.
-type HistogramVec struct{ f *family }
+// HistogramVec is a histogram family with labels, optionally curried
+// (see CounterVec.Curry).
+type HistogramVec struct {
+	f   *family
+	pre []string
+}
 
 // HistogramVec returns the histogram family named name with the given
 // bucket layout and label schema. nil buckets use DefBuckets.
@@ -356,15 +391,20 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames
 			panic(fmt.Sprintf("telemetry: histogram %q buckets not increasing", name))
 		}
 	}
-	return &HistogramVec{r.lookup(name, help, KindHistogram, buckets, labelNames)}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, buckets, labelNames)}
 }
 
-// With resolves one label-value tuple.
+// With resolves one label-value tuple (appended to any curried values).
 func (v *HistogramVec) With(values ...string) *Histogram {
 	f := v.f
-	return f.child(values, func() any {
+	return f.child(joinPre(v.pre, values), func() any {
 		return &Histogram{upper: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
 	}).(*Histogram)
+}
+
+// Curry pre-binds leading label values (see CounterVec.Curry).
+func (v *HistogramVec) Curry(values ...string) *HistogramVec {
+	return &HistogramVec{f: v.f, pre: joinPre(v.pre, values)}
 }
 
 // --------------------------------------------------------------- snapshot
