@@ -7,7 +7,7 @@
 //	adcnn-bench -exp accuracy -quick
 //
 // Experiments: fig3, accuracy (= fig10 + table1 + table2), fig11,
-// table3, fig12, fig13, fig14, fig15, stream, slo, cluster, all.
+// table3, fig12, fig13, fig14, fig15, stream, slo, chaos, cluster, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (kernels|compress|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|slo|cluster|partition|locality|failure|all)")
+	exp := flag.String("exp", "all", "experiment to run (kernels|compress|fig3|fig9|accuracy|fig11|table3|fig12|fig13|fig14|fig15|stream|slo|chaos|cluster|partition|locality|failure|all)")
 	images := flag.Int("images", 50, "images per latency measurement")
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -33,6 +33,7 @@ func main() {
 	compressOut := flag.String("compress-out", "BENCH_compress.json", "output path for the boundary-codec microbenchmark report (-exp compress)")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "output path for the live-stream telemetry-overhead report (-exp stream)")
 	sloOut := flag.String("slo-out", "BENCH_slo.json", "output path for the SLO slow-node detection report (-exp slo)")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the chaos drill report (-exp chaos)")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for the multi-replica control-plane report (-exp cluster)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline from the traced experiments (fig9, stream) to this file")
 	flag.Parse()
@@ -198,6 +199,26 @@ func main() {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", *sloOut)
+		return nil
+	})
+	run("chaos", func() error {
+		// Scripted fault schedule against the live TCP runtime: node
+		// crash/restart, bandwidth collapse, clock skew, and a slow-node
+		// gray failure, each asserting the telemetry stack saw what
+		// happened (link estimates, audit attribution, breach + blame,
+		// recovery).
+		rep, err := experiments.ChaosBench(experiments.ChaosBenchConfig{})
+		if err != nil {
+			return err
+		}
+		rep.WriteText(w)
+		if err := rep.WriteJSON(*chaosOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *chaosOut)
+		if !rep.Pass {
+			return fmt.Errorf("drill assertions failed (see %s)", *chaosOut)
+		}
 		return nil
 	})
 	run("cluster", func() error {

@@ -96,6 +96,8 @@ func main() {
 	sloMiss := flag.Float64("slo-miss-budget", core.DefaultMissBudget, "SLO: tolerated zero-fill fraction (0 disables)")
 	sloFast := flag.Duration("slo-fast", core.DefaultSLOWindows[0], "SLO: fast burn-rate window")
 	sloSlow := flag.Duration("slo-slow", core.DefaultSLOWindows[1], "SLO: slow burn-rate window")
+	probeInterval := flag.Duration("probe-interval", time.Second, "link probe period per node session, keeping RTT estimates fresh through idle periods (0 disables)")
+	linkAware := flag.Bool("link-aware", false, "fold measured link transfer costs into the tile allocation (sched.EffectiveSpeeds)")
 	lf := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 	logger := cliutil.MustLogger(lf, "adcnn-central")
@@ -159,7 +161,8 @@ func main() {
 			tl: *tl, gamma: *gamma, images: *images, depth: *pipeline,
 			verify: *verify, breakdown: *breakdown,
 			metricsAddr: *metricsAddr, connectTimeout: *connectTimeout,
-			flightSize: *flightSize,
+			flightSize:    *flightSize,
+			probeInterval: *probeInterval, linkAware: *linkAware,
 		})
 		return
 	}
@@ -177,6 +180,12 @@ func main() {
 		die("new central", "err", err)
 	}
 	defer central.Shutdown()
+	if *probeInterval > 0 {
+		central.EnableLinkProbes(*probeInterval)
+	}
+	if *linkAware {
+		central.EnableLinkAware()
+	}
 	// Let each node session reconnect (with backoff) if its connection
 	// drops mid-run, instead of staying dead forever.
 	for k, addr := range addrs {
@@ -202,6 +211,7 @@ func main() {
 		met := core.NewMetrics(reg)
 		central.SetMetrics(met)
 		compress.Instrument(reg)
+		telemetry.RegisterBuildInfo(reg, "central", tensor.DetectedKernelTier().String())
 
 		// Scheduler decision audit: every Algorithm 3 reallocation lands
 		// in a ring served at /debug/sched and logged at Debug level.
@@ -345,6 +355,8 @@ type clusterConfig struct {
 	metricsAddr    string
 	connectTimeout time.Duration
 	flightSize     int
+	probeInterval  time.Duration
+	linkAware      bool
 }
 
 // runCluster is the -replicas N path: N full Centrals — each with its
@@ -357,6 +369,7 @@ func runCluster(logger *slog.Logger, die func(string, ...any), oracle *models.Mo
 	if cc.metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		compress.Instrument(reg)
+		telemetry.RegisterBuildInfo(reg, "central", tensor.DetectedKernelTier().String())
 	}
 	// One audit ring and one flight ring for the whole cluster: replica
 	// reallocations and cluster rebalances interleave in the same
@@ -400,6 +413,12 @@ func runCluster(logger *slog.Logger, die func(string, ...any), oracle *models.Mo
 		cen, err := core.NewCentral(mr, conns, cc.tl, cc.gamma)
 		if err != nil {
 			return nil, err
+		}
+		if cc.probeInterval > 0 {
+			cen.EnableLinkProbes(cc.probeInterval)
+		}
+		if cc.linkAware {
+			cen.EnableLinkAware()
 		}
 		for k, addr := range cc.addrs {
 			addr := addr

@@ -25,6 +25,7 @@ import (
 	"adcnn/internal/core"
 	"adcnn/internal/models"
 	"adcnn/internal/telemetry"
+	"adcnn/internal/tensor"
 )
 
 func main() {
@@ -102,6 +103,7 @@ func main() {
 		reg := telemetry.NewRegistry()
 		w.Metrics = core.NewMetrics(reg)
 		compress.Instrument(reg)
+		telemetry.RegisterBuildInfo(reg, "conv", tensor.DetectedKernelTier().String())
 		ready := func() error {
 			if ns.ActiveSessions() == 0 {
 				return errors.New("not ready: weights loaded, no central session attached")

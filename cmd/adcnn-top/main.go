@@ -45,6 +45,10 @@ type sessionRow struct {
 	PendingTiles int     `json:"pending_tiles"`
 	BackoffMs    float64 `json:"reconnect_backoff_ms"`
 	RTTNs        int64   `json:"rtt_ns"`
+	UplinkBps    float64 `json:"uplink_bytes_per_sec"`
+	DownlinkBps  float64 `json:"downlink_bytes_per_sec"`
+	LinkSamples  int     `json:"link_samples"`
+	LinkProbes   uint64  `json:"link_probes"`
 }
 
 // schedPage mirrors sched.Audit's /debug/sched JSON.
@@ -166,8 +170,14 @@ func (d *dash) render() string {
 	d.prev = cur
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  central=%s  %s\n",
+	fmt.Fprintf(&b, "%s  central=%s  %s",
 		d.bold("adcnn-top"), d.central, cur.at.Format("15:04:05"))
+	if cur.err == nil {
+		if bi := buildLine(cur.metrics); bi != "" {
+			fmt.Fprintf(&b, "  %s", bi)
+		}
+	}
+	b.WriteString("\n")
 	if cur.err != nil {
 		fmt.Fprintf(&b, "\n  %s %v\n", d.red("scrape failed:"), cur.err)
 		return b.String()
@@ -283,6 +293,37 @@ func (d *dash) render() string {
 	// ---- phase decomposition (mean seconds per phase since last poll).
 	if line := d.phaseLine(m, prev.metrics); line != "" {
 		fmt.Fprintf(&b, "\n  %s\n   %s\n", d.bold("tile phases (mean, last interval)"), line)
+	}
+
+	// ---- link telemetry: probe-refreshed RTT + passive rate estimates.
+	linkNodes := m.LabelValues("adcnn_central_link_rtt_seconds", "node")
+	if len(linkNodes) == 0 {
+		linkNodes = m.LabelValues("adcnn_central_link_up_bytes_per_second", "node")
+	}
+	if len(linkNodes) > 0 {
+		fmt.Fprintf(&b, "\n  %s\n", d.bold("links"))
+		fmt.Fprintf(&b, "   %-4s %-8s %-10s %-10s %-8s %s\n",
+			"node", "rtt", "uplink", "downlink", "samples", "probes")
+		sess := map[int]sessionRow{}
+		for _, r := range cur.sessions {
+			sess[r.Node] = r
+		}
+		for _, n := range linkNodes {
+			rtt, _ := m.Value("adcnn_central_link_rtt_seconds", "node", n)
+			up, _ := m.Value("adcnn_central_link_up_bytes_per_second", "node", n)
+			down, _ := m.Value("adcnn_central_link_down_bytes_per_second", "node", n)
+			probes, _ := m.Value("adcnn_central_link_probes_total", "node", n)
+			rttStr := "-"
+			if rtt > 0 {
+				rttStr = fmtSec(rtt)
+			}
+			samples := 0
+			if k, err := strconv.Atoi(n); err == nil {
+				samples = sess[k].LinkSamples
+			}
+			fmt.Fprintf(&b, "   %-4s %-8s %-10s %-10s %-8d %.0f\n",
+				n, rttStr, fmtBps(up), fmtBps(down), samples, probes)
+		}
 	}
 
 	// ---- recent scheduler decisions.
@@ -416,6 +457,42 @@ func (d *dash) bar(v, hi float64, width int) string {
 		n = width
 	}
 	return "[" + strings.Repeat("|", n) + strings.Repeat(" ", width-n) + "]"
+}
+
+// buildLine summarizes every scraped adcnn_build_info sample, so the
+// header names the build (revision, Go version, kernel tier) of each
+// component sharing the Central's registry.
+func buildLine(m *telemetry.PromScrape) string {
+	if m == nil {
+		return ""
+	}
+	var parts []string
+	for _, smp := range m.Samples {
+		if smp.Name != "adcnn_build_info" || smp.Labels == nil {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %s go=%s simd=%s",
+			smp.Labels["component"], smp.Labels["revision"],
+			smp.Labels["go_version"], smp.Labels["kernel_tier"]))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "  ")
+}
+
+// fmtBps renders a bytes-per-second estimate (0 = unknown).
+func fmtBps(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1e3:
+		return fmt.Sprintf("%.0fB/s", v)
+	case v < 1e6:
+		return fmt.Sprintf("%.1fKB/s", v/1e3)
+	case v < 1e9:
+		return fmt.Sprintf("%.1fMB/s", v/1e6)
+	default:
+		return fmt.Sprintf("%.1fGB/s", v/1e9)
+	}
 }
 
 // fmtSec renders seconds human-readably (µs/ms/s).

@@ -25,6 +25,14 @@ type SessionDebug struct {
 	ClockOffsetNs int64 `json:"clock_offset_ns"`
 	RTTNs         int64 `json:"rtt_ns"`
 	OffsetSamples int64 `json:"offset_samples"`
+	// UplinkBps/DownlinkBps are the passive link-rate estimates in
+	// bytes/sec (0 = unknown, unconverged, or stale); LinkSamples counts
+	// the transfer samples behind them, LinkProbes the probe echoes
+	// folded into the RTT estimate.
+	UplinkBps   float64 `json:"uplink_bytes_per_sec"`
+	DownlinkBps float64 `json:"downlink_bytes_per_sec"`
+	LinkSamples int     `json:"link_samples"`
+	LinkProbes  uint64  `json:"link_probes"`
 }
 
 // DebugSessions snapshots every node session's state. It is safe to

@@ -105,6 +105,58 @@ func TestHealthTrackerNilAndBounds(t *testing.T) {
 	}
 }
 
+// TestHealthTrackerRecoveryTimeline pins the recovery semantics the
+// chaos drills assert against: the slow baseline stays frozen through
+// the anomaly, the score decays at the fast-EWMA rate once the node
+// heals (≈ 2·0.75^t for a 3× anomaly), and after the freeze lifts the
+// baseline resumes tracking genuine drift.
+func TestHealthTrackerRecoveryTimeline(t *testing.T) {
+	h := NewHealthTracker(1, nil)
+	base := func() *TileBreakdown { return tileWithPhases(0.010, 0.002, 0.001) }
+
+	for i := 0; i < 20; i++ {
+		h.Observe(0, base())
+	}
+	if s := h.Score(0); s > 0.1 {
+		t.Fatalf("warm baseline scores %.3f, want ~0", s)
+	}
+
+	// Anomaly: compute 3× for long enough that an unfrozen baseline
+	// would have laundered it (slow α=0.02 over 40 samples).
+	for i := 0; i < 40; i++ {
+		h.Observe(0, tileWithPhases(0.030, 0.002, 0.001))
+	}
+	if s := h.Score(0); s < 1.7 {
+		t.Fatalf("sustained 3x anomaly scores %.3f — baseline not frozen", s)
+	}
+
+	// Heal: the score must come down on the fast-EWMA schedule — still
+	// clearly anomalous after 4 healthy tiles, below the 0.25 warn line
+	// within 10.
+	for i := 0; i < 4; i++ {
+		h.Observe(0, base())
+	}
+	if s := h.Score(0); s < 0.4 || s > 0.9 {
+		t.Fatalf("score after 4 healthy tiles = %.3f, want fast-α decay (~0.6)", s)
+	}
+	for i := 0; i < 6; i++ {
+		h.Observe(0, base())
+	}
+	if s := h.Score(0); s > 0.25 {
+		t.Fatalf("score after 10 healthy tiles = %.3f, want below warn threshold", s)
+	}
+
+	// Post-heal drift: a modest 1.3× shift is under the freeze ratio, so
+	// the baseline must thaw and absorb it — the score returns to ~0
+	// instead of reporting a permanent 0.3 anomaly.
+	for i := 0; i < 200; i++ {
+		h.Observe(0, tileWithPhases(0.013, 0.002, 0.001))
+	}
+	if s := h.Score(0); s > 0.1 {
+		t.Fatalf("baseline failed to track post-heal drift: score %.3f", s)
+	}
+}
+
 // TestSLOBreachDumpsFlightRecorder is the satellite acceptance test: a
 // breach transition on a wired Central must trigger a whole-ring flight
 // dump whose reason names the breaching objective and the worst-health

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adcnn/internal/telemetry"
+)
+
+// Link-estimator tuning. The transfer-rate EWMAs live in the
+// seconds-per-byte domain, not bytes-per-second: a bandwidth collapse
+// multiplies seconds-per-byte, and an EWMA converges toward a large
+// new value in a couple of samples where the reciprocal bytes-per-second
+// EWMA would crawl down from a huge healthy baseline for dozens. The
+// alphas are asymmetric for the same reason the health tracker's are:
+// react to a slowdown fast (attack), forgive recoveries a little more
+// slowly (decay) so one lucky transfer does not erase a collapse.
+const (
+	linkAttackAlpha = 0.5                  // sample says the link got slower
+	linkDecayAlpha  = 0.2                  // sample says the link got faster
+	linkStale       = 3 * time.Second      // no sample this long → estimate unknown
+	linkMinSamples  = 3                    // samples before an estimate feeds dispatch
+	linkMinDur      = 2 * time.Microsecond // duration floor, avoids loopback ∞ bps
+)
+
+// linkState is one session's view of the network path to its Conv node:
+// EWMA'd uplink/downlink transfer rates estimated passively from tile
+// phase timings, plus the probe counter for the active RTT exchange
+// (the RTT estimate itself lives in the session's OffsetEstimator — the
+// probe frames exist to keep it fresh when no tiles are flowing).
+type linkState struct {
+	mu      sync.Mutex
+	upSpb   float64 // uplink seconds-per-byte EWMA (0 = no estimate)
+	downSpb float64 // downlink seconds-per-byte EWMA
+	upAt    int64   // central mono ns of the last uplink sample
+	downAt  int64
+	upN     int // samples folded in since the last reset
+	downN   int
+	probes  uint64 // probe echoes received this session
+
+	rttGauge  *telemetry.Gauge   // nil disables
+	upGauge   *telemetry.Gauge   // nil disables
+	downGauge *telemetry.Gauge   // nil disables
+	probeCt   *telemetry.Counter // nil disables
+}
+
+// ewmaSpb folds one seconds-per-byte sample into the running estimate
+// with the attack/decay asymmetry described above.
+func ewmaSpb(cur, sample float64) float64 {
+	if cur <= 0 {
+		return sample
+	}
+	a := linkDecayAlpha
+	if sample > cur {
+		a = linkAttackAlpha
+	}
+	return cur + a*(sample-cur)
+}
+
+// observe folds one tile exchange's transfer measurements in: bytes on
+// the wire in each direction and the phase durations (central-clock ns)
+// the bytes took. Zero or negative inputs on a direction skip it — the
+// phase decomposition yields no uplink/downlink split without a timing
+// record, and a zero-byte frame carries no rate information.
+func (l *linkState) observe(upBytes, downBytes, upNs, downNs int64) {
+	now := monoNow()
+	l.mu.Lock()
+	if upBytes > 0 && upNs > 0 {
+		d := upNs
+		if d < int64(linkMinDur) {
+			d = int64(linkMinDur)
+		}
+		l.upSpb = ewmaSpb(l.upSpb, float64(d)/1e9/float64(upBytes))
+		l.upAt = now
+		l.upN++
+	}
+	if downBytes > 0 && downNs > 0 {
+		d := downNs
+		if d < int64(linkMinDur) {
+			d = int64(linkMinDur)
+		}
+		l.downSpb = ewmaSpb(l.downSpb, float64(d)/1e9/float64(downBytes))
+		l.downAt = now
+		l.downN++
+	}
+	up, down := l.ratesLocked(now)
+	l.mu.Unlock()
+	if l.upGauge != nil {
+		l.upGauge.Set(up)
+	}
+	if l.downGauge != nil {
+		l.downGauge.Set(down)
+	}
+}
+
+// observeProbe counts a probe echo and publishes the estimator's RTT.
+func (l *linkState) observeProbe(rttNs int64) {
+	l.mu.Lock()
+	l.probes++
+	l.mu.Unlock()
+	if l.rttGauge != nil && rttNs > 0 {
+		l.rttGauge.Set(float64(rttNs) / 1e9)
+	}
+	if l.probeCt != nil {
+		l.probeCt.Inc()
+	}
+}
+
+// ratesLocked converts the estimates to bytes/sec, returning 0 for a
+// direction whose estimate is missing, unconverged, or stale. Staleness
+// matters for recovery: after a throttle lifts, the collapsed estimate
+// would otherwise pin the node's dispatch cost high forever — expiring
+// it lets tiles return, which produces fresh samples at the true rate.
+func (l *linkState) ratesLocked(now int64) (upBps, downBps float64) {
+	if l.upSpb > 0 && l.upN >= linkMinSamples && now-l.upAt <= int64(linkStale) {
+		upBps = 1 / l.upSpb
+	}
+	if l.downSpb > 0 && l.downN >= linkMinSamples && now-l.downAt <= int64(linkStale) {
+		downBps = 1 / l.downSpb
+	}
+	return upBps, downBps
+}
+
+// rates is the exported view: current uplink/downlink bytes-per-second
+// estimates, 0 when unknown.
+func (l *linkState) rates() (upBps, downBps float64) {
+	now := monoNow()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ratesLocked(now)
+}
+
+// snapshot reports the debug view: rates plus sample/probe counts.
+func (l *linkState) snapshot() (upBps, downBps float64, samples int, probes uint64) {
+	now := monoNow()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	upBps, downBps = l.ratesLocked(now)
+	return upBps, downBps, l.upN + l.downN, l.probes
+}
+
+// reset discards the transfer estimates (a reconnected node may be on a
+// different path); the cumulative probe count survives.
+func (l *linkState) reset() {
+	l.mu.Lock()
+	l.upSpb, l.downSpb = 0, 0
+	l.upAt, l.downAt = 0, 0
+	l.upN, l.downN = 0, 0
+	l.mu.Unlock()
+}

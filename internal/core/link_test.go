@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkStateTracksBandwidthCollapse pins the acceptance behaviour the
+// chaos bandwidth drill relies on: after a collapse the seconds-per-byte
+// EWMA with attack α must land within 25% of the throttled rate in 3
+// samples, where a bytes-per-second EWMA would still be orders of
+// magnitude high.
+func TestLinkStateTracksBandwidthCollapse(t *testing.T) {
+	var l linkState
+	const tile = 1 << 20
+	for i := 0; i < 10; i++ {
+		l.observe(tile, tile, int64(time.Millisecond), int64(time.Millisecond))
+	}
+	up, down := l.rates()
+	healthy := float64(tile) / 1e-3
+	for dir, v := range []float64{up, down} {
+		if v < 0.75*healthy || v > 1.25*healthy {
+			t.Fatalf("healthy estimate[%d] %.0f B/s, want ~%.0f", dir, v, healthy)
+		}
+	}
+
+	// Collapse: the same tile now takes 10s → ~105 KB/s true rate.
+	for i := 0; i < 3; i++ {
+		l.observe(tile, 0, int64(10*time.Second), 0)
+	}
+	up, _ = l.rates()
+	target := float64(tile) / 10
+	if up < 0.75*target || up > 1.25*target {
+		t.Fatalf("collapsed uplink estimate %.0f B/s, want within 25%% of %.0f", up, target)
+	}
+
+	// Recovery decays more slowly than collapse attacks, but must still
+	// converge: a run of healthy samples brings the estimate back.
+	for i := 0; i < 50; i++ {
+		l.observe(tile, 0, int64(time.Millisecond), 0)
+	}
+	up, _ = l.rates()
+	if up < 0.75*healthy {
+		t.Fatalf("post-heal estimate %.0f B/s stuck low, want ~%.0f", up, healthy)
+	}
+}
+
+func TestLinkStateMinSamplesAndReset(t *testing.T) {
+	var l linkState
+	for i := 0; i < linkMinSamples-1; i++ {
+		l.observe(1024, 1024, int64(time.Millisecond), int64(time.Millisecond))
+	}
+	if up, down := l.rates(); up != 0 || down != 0 {
+		t.Fatalf("rates before %d samples = (%f, %f), want unknown", linkMinSamples, up, down)
+	}
+	l.observe(1024, 1024, int64(time.Millisecond), int64(time.Millisecond))
+	if up, down := l.rates(); up <= 0 || down <= 0 {
+		t.Fatalf("converged estimate missing: (%f, %f)", up, down)
+	}
+	l.reset()
+	if up, down := l.rates(); up != 0 || down != 0 {
+		t.Fatal("reset must clear the estimates")
+	}
+}
+
+func TestLinkStateDurationFloorAndProbes(t *testing.T) {
+	var l linkState
+	for i := 0; i < linkMinSamples; i++ {
+		l.observe(1<<20, 0, 1, 0) // 1ns transfer: clamped by the floor, not ∞
+	}
+	up, _ := l.rates()
+	ceil := float64(1<<20) / linkMinDur.Seconds()
+	if up <= 0 || up > ceil+1 {
+		t.Fatalf("floored estimate %.0f B/s, want in (0, %.0f]", up, ceil)
+	}
+	l.observeProbe(int64(200 * time.Microsecond))
+	l.observeProbe(int64(250 * time.Microsecond))
+	if _, _, _, probes := l.snapshot(); probes != 2 {
+		t.Fatalf("probe count = %d, want 2", probes)
+	}
+}

@@ -27,11 +27,16 @@ type Metrics struct {
 	InflightImages  *telemetry.Gauge                // images dispatched, Wait not finished
 	SendQueueDepth  *telemetry.GaugeVec             // node, tasks queued in the session send loop
 	Reconnects      *telemetry.CounterVec           // node, successful session reconnects
+	Revives         *telemetry.CounterVec           // node, probation revivals of starved-but-alive nodes
 	StaleResults    *telemetry.Counter              // results for already-settled tiles
 	PipelineDepth   *telemetry.Gauge                // admission slots held in a Pipeline
 	TilePhase       [NumPhases]*telemetry.Histogram // seconds, per-tile latency decomposition by phase
 	ClockOffset     *telemetry.GaugeVec             // node, estimated Conv-clock offset (seconds to add to map onto Central's clock)
 	NodeHealth      *telemetry.GaugeVec             // node, gray-failure anomaly score (0 = at baseline)
+	LinkRTT         *telemetry.GaugeVec             // node, probe-refreshed round-trip time (hold time subtracted)
+	LinkUp          *telemetry.GaugeVec             // node, EWMA uplink bytes/sec (0 = unknown/stale)
+	LinkDown        *telemetry.GaugeVec             // node, EWMA downlink bytes/sec (0 = unknown/stale)
+	LinkProbes      *telemetry.CounterVec           // node, link probe echoes received
 	Sched           *sched.Monitor
 
 	// Sliding-window views of the live path, feeding the SLO engine and
@@ -132,10 +137,15 @@ func newMetrics(reg *telemetry.Registry, replica string) *Metrics {
 		InflightImages:  gauge("adcnn_central_inflight_images", "Images dispatched whose results are still being collected."),
 		SendQueueDepth:  gaugeVec("adcnn_central_send_queue_depth", "Tile tasks queued in each node session's send loop.", "node"),
 		Reconnects:      counterVec("adcnn_central_reconnects_total", "Successful Conv-node session reconnects.", "node"),
+		Revives:         counterVec("adcnn_central_probation_revives_total", "Starved-but-alive Conv nodes re-admitted to the allocation on probation.", "node"),
 		StaleResults:    counter("adcnn_central_stale_results_total", "Results that arrived after their tile was already settled (duplicate or past T_L)."),
 		PipelineDepth:   gauge("adcnn_pipeline_inflight", "Admission slots currently held in a streaming Pipeline."),
 		ClockOffset:     gaugeVec("adcnn_central_clock_offset_seconds", "Estimated Conv-node clock offset (added to Conv timestamps to map onto Central's clock).", "node"),
 		NodeHealth:      gaugeVec("adcnn_central_node_health", "Gray-failure anomaly score per Conv node: worst relative deviation of the fast phase-time EWMA over the node's slow baseline (0 = at baseline).", "node"),
+		LinkRTT:         gaugeVec("adcnn_central_link_rtt_seconds", "Per-node link round-trip time from probe exchanges (remote hold time subtracted).", "node"),
+		LinkUp:          gaugeVec("adcnn_central_link_up_bytes_per_second", "EWMA uplink transfer rate to each Conv node, estimated from tile phase timings (0 = unknown or stale).", "node"),
+		LinkDown:        gaugeVec("adcnn_central_link_down_bytes_per_second", "EWMA downlink transfer rate from each Conv node, estimated from tile phase timings (0 = unknown or stale).", "node"),
+		LinkProbes:      counterVec("adcnn_central_link_probes_total", "Link probe echoes received per Conv node.", "node"),
 		Sched:           mon(reg),
 
 		TileLatencyWindow: telemetry.NewWindowedHistogram(windowSpan, windowSlots, nil),
@@ -158,13 +168,13 @@ func newMetrics(reg *telemetry.Registry, replica string) *Metrics {
 
 // kindLabel names a message kind for the wire metric labels.
 func kindLabel(k MsgKind) int {
-	if k >= KindTask && k <= KindShutdown {
+	if k >= KindTask && k <= KindProbe {
 		return int(k)
 	}
 	return 0
 }
 
-var kindNames = [4]string{"other", "task", "result", "shutdown"}
+var kindNames = [5]string{"other", "task", "result", "shutdown", "probe"}
 
 // WireMetrics counts transport traffic per message kind and direction:
 //
@@ -176,7 +186,7 @@ var kindNames = [4]string{"other", "task", "result", "shutdown"}
 // The counters are resolved per kind up front so metering a message is
 // two atomic adds.
 type WireMetrics struct {
-	frames, bytes         [2][4]*telemetry.Counter // [dir][kind]
+	frames, bytes         [2][5]*telemetry.Counter // [dir][kind]
 	compFrames, compBytes [2]*telemetry.Counter    // [dir]
 }
 
@@ -205,7 +215,7 @@ func newWireMetrics(reg *telemetry.Registry, replica string) *WireMetrics {
 	compFrames := vec("adcnn_wire_compressed_frames_total", "Frames carrying compress-pipeline payloads.", "dir")
 	compBytes := vec("adcnn_wire_compressed_bytes_total", "Payload bytes of compressed frames.", "dir")
 	for d := 0; d < 2; d++ {
-		for k := 0; k < 4; k++ {
+		for k := 0; k < len(kindNames); k++ {
 			wm.frames[d][k] = frames.With(kindNames[k], dirNames[d])
 			wm.bytes[d][k] = bytes.With(kindNames[k], dirNames[d])
 		}

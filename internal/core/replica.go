@@ -108,7 +108,7 @@ func (r *replica) redispatch(orphans []*Message) {
 		placed := false
 		for _, s := range r.snapshot() {
 			if s.Alive() {
-				r.pending.markEnqueued(pendingKey{m.ImageID, m.TileID}, s.id, monoNow())
+				r.pending.markEnqueued(pendingKey{m.ImageID, m.TileID}, s.id, monoNow(), len(m.Payload))
 				if !s.enqueue(c.ctx, m) {
 					continue
 				}

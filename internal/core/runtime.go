@@ -75,6 +75,29 @@ type Central struct {
 	// replica owns every node outright).
 	share []float64
 
+	// probeEvery, when >0, starts a probe loop on first use that keeps
+	// every session's RTT estimate fresh even when no tiles are flowing.
+	probeEvery time.Duration
+	// linkAware folds per-node transfer costs into the allocation (see
+	// sched.EffectiveSpeeds). Off by default: with no link estimates the
+	// effective speeds equal the measured ones anyway, but the gate keeps
+	// the historical allocation byte-identical for existing callers.
+	linkAware atomic.Bool
+	// Transfer-cost calibration, guarded by mu: EWMA per-tile payload
+	// bytes in each direction, and the EWMA image latency that converts
+	// link seconds into the allocator's 1/s_k units.
+	upBytesEWMA   float64
+	downBytesEWMA float64
+	latEWMA       float64 // seconds
+
+	// probation, guarded by mu, timestamps the last probation revival
+	// per node: an alive node whose Algorithm 2 estimate has starved to
+	// ~zero (it stopped receiving tiles, so its EWMA decayed and the
+	// allocator would never re-measure it) is periodically re-admitted
+	// at the cold-start weight. A handful of probe tiles then either
+	// restore its estimate or the telemetry pushes it back out.
+	probation []time.Time
+
 	ctx       context.Context
 	cancel    context.CancelFunc
 	startOnce sync.Once
@@ -184,10 +207,53 @@ func NewCentral(m *models.Model, conns []Conn, tl time.Duration, gamma float64) 
 	return c, nil
 }
 
+// EnableLinkProbes arranges for every node session to receive a link
+// probe each interval once the runtime starts: the probes refresh the
+// RTT/offset estimate through idle periods and cost 8 payload bytes
+// each way. Call before the first Infer.
+func (c *Central) EnableLinkProbes(interval time.Duration) {
+	c.probeEvery = interval
+}
+
+// EnableLinkAware folds the per-node transfer cost (EWMA tile bytes
+// over the measured link rates) into every subsequent allocation. Safe
+// to call at any time; nodes without converged link estimates keep
+// their pure-compute cost.
+func (c *Central) EnableLinkAware() { c.linkAware.Store(true) }
+
+// DisableLinkAware reverts subsequent allocations to the pure-compute
+// cost 1/s_k. Safe to call at any time; the chaos harness flips the
+// gate mid-run to contrast speed-only and link-aware dispatch under
+// the same fault.
+func (c *Central) DisableLinkAware() { c.linkAware.Store(false) }
+
 // start spins up the per-node sessions on first use, after SetMetrics /
 // SetTrace / SetDialer have had their chance to run.
 func (c *Central) start() {
-	c.startOnce.Do(func() { c.rep.start(c.Conns) })
+	c.startOnce.Do(func() {
+		c.rep.start(c.Conns)
+		if c.probeEvery > 0 {
+			c.rep.loopWG.Add(1)
+			go c.probeLoop()
+		}
+	})
+}
+
+// probeLoop fans one link probe out to every session per tick.
+func (c *Central) probeLoop() {
+	defer c.rep.loopWG.Done()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			for _, s := range c.rep.snapshot() {
+				s.sendProbe()
+			}
+		}
+	}
 }
 
 // AddNode grows the membership view with a new Conv node while the
@@ -270,6 +336,11 @@ type Inflight struct {
 	start      time.Time
 	release    func() // pipeline admission slot, may be nil
 
+	// Link-aware allocation context (nil when the mode is off or no
+	// estimates existed at dispatch), recorded in the audit trail.
+	linkSecs  []float64
+	effSpeeds []float64
+
 	finished bool
 	out      *tensor.Tensor
 	stats    InferStats
@@ -314,9 +385,21 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 
 	// Input-partition block: allocate tiles to nodes by current stats,
 	// skipping nodes whose sessions are down and scaling by the cluster
-	// share when one is installed.
+	// share when one is installed. In link-aware mode the speeds are
+	// derated by each node's measured transfer cost first, so a node
+	// behind a collapsed link sheds tiles even while its compute-rate
+	// estimate still looks healthy.
 	c.mu.Lock()
-	alloc, err := sched.Allocate(len(tiles), c.aliveSpeedsLocked(sessions), 0, nil, nil)
+	c.probationRevivesLocked(sessions, start)
+	allocSpeeds := c.aliveSpeedsLocked(sessions)
+	var linkSecs, effSpeeds []float64
+	if c.linkAware.Load() {
+		linkSecs = c.linkSecsLocked(sessions)
+		if effSpeeds = sched.EffectiveSpeeds(allocSpeeds, linkSecs, c.latEWMA); effSpeeds != nil {
+			allocSpeeds = effSpeeds
+		}
+	}
+	alloc, err := sched.Allocate(len(tiles), allocSpeeds, 0, nil, nil)
 	c.mu.Unlock()
 	if err != nil {
 		undo()
@@ -379,7 +462,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 		k := assignment[ti]
 		sent := false
 		for attempt := 0; attempt < len(sessions); attempt++ {
-			c.rep.pending.markEnqueued(pendingKey{img, uint32(ti)}, k, monoNow())
+			c.rep.pending.markEnqueued(pendingKey{img, uint32(ti)}, k, monoNow(), len(payload))
 			if sessions[k].enqueue(ctx, task) {
 				counts[k]++
 				sent = true
@@ -412,6 +495,7 @@ func (c *Central) InferAsync(ctx context.Context, x *tensor.Tensor) (*Inflight, 
 		c: c, parent: ctx, cctx: cctx, cancelTL: cancelTL,
 		img: img, traceID: traceID, tiles: tiles, nodes: len(sessions),
 		col: col, alloc: counts, dispatchAt: dispatchAt, start: start,
+		linkSecs: linkSecs, effSpeeds: effSpeeds,
 	}, nil
 }
 
@@ -453,7 +537,7 @@ func (h *Inflight) collect() (*tensor.Tensor, InferStats, error) {
 	outTiles := make([]*tensor.Tensor, len(h.tiles))
 	received := make([]int, h.nodes)
 	breakdown := &Breakdown{Image: h.img, TraceID: h.traceID}
-	var wire int64
+	var wire, taskWire int64
 	got := 0
 collect:
 	for got < len(h.tiles) {
@@ -468,6 +552,7 @@ collect:
 			}
 			received[a.node]++
 			wire += int64(a.wire)
+			taskWire += int64(a.taskWire)
 			got++
 			if a.enqNs > 0 {
 				tb := newTileBreakdown(a.tile, a.node, a.enqNs, a.sentNs, a.recvNs, collectNs, a.timing, a.offsetNs)
@@ -478,6 +563,12 @@ collect:
 					}
 				}
 				c.health.Observe(a.node, &tb)
+				// Feed the link profiler: uplink bytes over the uplink
+				// phase, downlink bytes over the downlink phase.
+				if s := c.rep.session(a.node); s != nil {
+					s.link.observe(int64(a.taskWire), int64(a.wire),
+						int64(tb.Phase[PhaseUplink]), int64(tb.Phase[PhaseDownlink]))
+				}
 				h.tracePhases(&tb, a.sentNs)
 			}
 			if h.dispatchAt != nil {
@@ -505,14 +596,20 @@ collect:
 		return nil, InferStats{Latency: time.Since(h.start), TraceID: h.traceID}, err
 	}
 
-	// Statistics-collection block (Algorithm 2).
+	// Statistics-collection block (Algorithm 2), plus the transfer-cost
+	// calibration the link-aware allocator reads: average payload bytes
+	// per tile in each direction this image.
 	c.mu.Lock()
 	c.Stats.Update(received)
 	speeds := c.Stats.Speeds()
+	if got > 0 {
+		c.upBytesEWMA = calibEWMA(c.upBytesEWMA, float64(taskWire)/float64(got))
+		c.downBytesEWMA = calibEWMA(c.downBytesEWMA, float64(wire)/float64(got))
+	}
 	c.mu.Unlock()
 	if met != nil {
 		met.Sched.ObserveSpeeds(speeds)
-		met.Sched.ObserveAllocation(h.alloc, speeds, h.img)
+		met.Sched.ObserveAllocationLink(h.alloc, speeds, h.effSpeeds, h.linkSecs, h.img)
 	}
 
 	// Zero-fill missing tiles (paper: "start executing the later layers by
@@ -560,6 +657,9 @@ collect:
 	c.backMu.Unlock()
 
 	latency := time.Since(h.start)
+	c.mu.Lock()
+	c.latEWMA = latRefEWMA(c.latEWMA, latency.Seconds())
+	c.mu.Unlock()
 	if met != nil {
 		met.ImageLatency.ObserveDuration(latency.Nanoseconds())
 	}
@@ -608,6 +708,131 @@ func (h *Inflight) tracePhases(tb *TileBreakdown, sentNs int64) {
 		dur := tb.Phase[ph.phase]
 		tr.Span(ph.name, "conv", tid, tr.Offset(monoWall(at)), dur, args)
 		at += int64(dur)
+	}
+}
+
+// calibEWMA folds one calibration sample (per-tile bytes, image
+// latency) into its running estimate; the first sample seeds it.
+const linkCalibAlpha = 0.2
+
+func calibEWMA(cur, sample float64) float64 {
+	if cur <= 0 {
+		return sample
+	}
+	return cur + linkCalibAlpha*(sample-cur)
+}
+
+// latRefEWMA folds an image-latency sample into the reference scale
+// that converts link seconds into allocator cost. Unlike the byte
+// calibration this reference must not chase a fault: a collapsed link
+// inflates image latency, and a reference that follows it makes the
+// collapsed link's transfer cost look proportionally cheap, neutering
+// the derating exactly when it is needed — the same reason the health
+// tracker freezes its baseline during an anomaly. Downward moves
+// attack at the calibration rate; upward moves creep.
+const latRefDecayAlpha = 0.02
+
+func latRefEWMA(cur, sample float64) float64 {
+	if cur <= 0 {
+		return sample
+	}
+	a := linkCalibAlpha
+	if sample > cur {
+		a = latRefDecayAlpha
+	}
+	return cur + a*(sample-cur)
+}
+
+// linkSecsLocked estimates each alive node's per-tile transfer time in
+// seconds: EWMA payload bytes over the node's measured link rates. A
+// direction without a converged, fresh estimate contributes nothing, so
+// a node the profiler knows nothing about keeps its pure-compute cost.
+// Callers hold c.mu.
+func (c *Central) linkSecsLocked(sessions []*nodeSession) []float64 {
+	if c.upBytesEWMA <= 0 && c.downBytesEWMA <= 0 {
+		return nil
+	}
+	out := make([]float64, len(sessions))
+	any := false
+	for k, s := range sessions {
+		up, down := s.link.rates()
+		if up > 0 && c.upBytesEWMA > 0 {
+			out[k] += c.upBytesEWMA / up
+			any = true
+		}
+		if down > 0 && c.downBytesEWMA > 0 {
+			out[k] += c.downBytesEWMA / down
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// Probation revival: how often a starved-but-alive node is re-admitted,
+// and how far below the best alive estimate a node must have fallen to
+// count as starved. γ=0.9 drops a zero-tile node's estimate by 10× per
+// image, so "starved" is unambiguous within a handful of images. The
+// interval must comfortably exceed one re-measurement burst (the
+// linkMinSamples images a revived node serves before its fresh link
+// estimate can derate it again), or a still-faulty node would re-enter
+// back-to-back and the probe traffic itself would hold the SLO in
+// breach; at 2s the exploration cost is a few tiles per starved node
+// per interval.
+const (
+	probationInterval = 2 * time.Second
+	probationFrac     = 0.02
+)
+
+// probationRevivesLocked re-admits alive nodes whose speed estimate has
+// decayed to effectively zero. Algorithm 2 has a blind spot the chaos
+// bandwidth drill exposes: a node shed by link-aware dispatch (or any
+// transient stall) receives no tiles, its EWMA decays toward zero, and
+// Allocate skips zero-speed nodes forever — the node is starved even
+// after the fault heals. Reviving it to the cold-start weight every
+// probationInterval routes a few tiles through it, refreshing both the
+// speed estimate and the link telemetry. The link estimate is reset
+// alongside: it describes conditions from before the starvation and
+// would otherwise derate the node back out after a single probe tile,
+// throttling re-measurement to one sample per staleness cycle. Cleared,
+// the min-samples gate leaves the node underated for a few images —
+// exactly long enough to re-measure the link as it is now. Callers
+// hold c.mu.
+func (c *Central) probationRevivesLocked(sessions []*nodeSession, now time.Time) {
+	n := c.Stats.Nodes()
+	for len(c.probation) < n {
+		c.probation = append(c.probation, time.Time{})
+	}
+	best := 0.0
+	for k, s := range sessions {
+		if k < n && s.Alive() {
+			if v := c.Stats.Speed(k); v > best {
+				best = v
+			}
+		}
+	}
+	if best <= 0 {
+		return
+	}
+	for k, s := range sessions {
+		if k >= n || !s.Alive() || c.Stats.Speed(k) >= probationFrac*best {
+			continue
+		}
+		if now.Sub(c.probation[k]) < probationInterval {
+			continue
+		}
+		c.probation[k] = now
+		c.Stats.Revive(k)
+		s.link.reset()
+		if c.metrics != nil {
+			c.metrics.Revives.With(nodeLabel(k)).Inc()
+		}
+		if c.flight != nil {
+			c.flight.Record("probation-revive", 0, 0, k,
+				"starved speed estimate: re-admitting node at cold-start weight")
+		}
 	}
 }
 

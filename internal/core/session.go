@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -16,10 +18,11 @@ import (
 // the Conv-side timing record, and the session's clock-offset estimate
 // at arrival time.
 type arrival struct {
-	tile int
-	node int
-	t    *tensor.Tensor
-	wire int
+	tile     int
+	node     int
+	t        *tensor.Tensor
+	wire     int // result payload bytes (downlink)
+	taskWire int // task payload bytes (uplink)
 
 	enqNs    int64 // task enqueued on the session
 	sentNs   int64 // task frame handed to the socket
@@ -69,10 +72,11 @@ func (col *imageCollector) abort(err error) {
 // attempt (redispatch overwrites them, so the breakdown describes the
 // attempt that actually produced the result).
 type pendingEntry struct {
-	col    *imageCollector
-	node   int   // session the tile was last enqueued on
-	enqNs  int64 // central mono ns, last enqueue
-	sentNs int64 // central mono ns, frame handed to the socket
+	col       *imageCollector
+	node      int   // session the tile was last enqueued on
+	enqNs     int64 // central mono ns, last enqueue
+	sentNs    int64 // central mono ns, frame handed to the socket
+	taskBytes int   // task payload bytes, for the link-rate estimate
 }
 
 // demux is the pending table shared by every node session.
@@ -93,13 +97,15 @@ func (d *demux) register(col *imageCollector, tiles int) {
 	d.mu.Unlock()
 }
 
-// markEnqueued stamps a tile's dispatch-queue entry time and owner.
-func (d *demux) markEnqueued(k pendingKey, node int, ns int64) {
+// markEnqueued stamps a tile's dispatch-queue entry time, owner, and
+// uplink payload size.
+func (d *demux) markEnqueued(k pendingKey, node int, ns int64, bytes int) {
 	d.mu.Lock()
 	if e, ok := d.m[k]; ok {
 		e.node = node
 		e.enqNs = ns
 		e.sentNs = 0
+		e.taskBytes = bytes
 	}
 	d.mu.Unlock()
 }
@@ -191,6 +197,10 @@ type nodeSession struct {
 	// refreshed from every task→result exchange (RTT-midpoint EWMA).
 	offset *telemetry.OffsetEstimator
 
+	// link profiles the network path: probe-refreshed RTT plus passive
+	// uplink/downlink rate estimates from tile phase timings.
+	link linkState
+
 	queueDepth  *telemetry.Gauge // nil disables
 	offsetGauge *telemetry.Gauge // nil disables
 }
@@ -209,8 +219,30 @@ func newNodeSession(id int, r *replica, conn Conn, dial func(context.Context) (C
 	if m := r.c.metrics; m != nil {
 		s.queueDepth = m.SendQueueDepth.With(nodeLabel(id))
 		s.offsetGauge = m.ClockOffset.With(nodeLabel(id))
+		s.link.rttGauge = m.LinkRTT.With(nodeLabel(id))
+		s.link.upGauge = m.LinkUp.With(nodeLabel(id))
+		s.link.downGauge = m.LinkDown.With(nodeLabel(id))
+		s.link.probeCt = m.LinkProbes.With(nodeLabel(id))
 	}
 	return s
+}
+
+// sendProbe enqueues one link probe, best-effort: a full send queue
+// means tiles are flowing (and already feeding the estimators), so the
+// probe is simply skipped rather than adding queue pressure. The 8-byte
+// payload is patched with the send timestamp by the send loop just
+// before the socket write, so queue wait does not inflate the RTT.
+func (s *nodeSession) sendProbe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.alive || s.closed {
+		return
+	}
+	m := &Message{Kind: KindProbe, NodeID: uint32(s.id), Payload: make([]byte, 8)}
+	select {
+	case s.sendq <- m:
+	default:
+	}
 }
 
 // Alive reports whether the session currently has a usable connection.
@@ -411,6 +443,17 @@ func (s *nodeSession) sendLoop(conn Conn, stop chan struct{}) error {
 			return nil
 		case m := <-s.sendq:
 			s.observeQueue()
+			if m.Kind == KindProbe {
+				// Stamp t0 directly into the payload at the last moment:
+				// the probe measures the socket round trip, not the time
+				// it queued behind tiles. A probe is never redispatched,
+				// so it skips the pendingSend handoff.
+				binary.LittleEndian.PutUint64(m.Payload, uint64(monoNow()))
+				if err := conn.Send(m); err != nil {
+					return err
+				}
+				continue
+			}
 			s.mu.Lock()
 			s.pendingSend = m
 			s.mu.Unlock()
@@ -446,6 +489,22 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 			return err
 		}
 		recvNs := monoNow()
+		if m.Kind == KindProbe {
+			// Probe echo: the payload still holds our send timestamp, the
+			// timing record stamps the node-side hold, so the exchange
+			// feeds the offset/RTT estimator exactly like a task→result
+			// pair — but with no compute time inside the window.
+			if m.Timing != nil && len(m.Payload) == 8 {
+				t0 := int64(binary.LittleEndian.Uint64(m.Payload))
+				offsetNs, _ := s.offset.Update(t0, m.Timing.RecvNs, m.Timing.SendNs, recvNs)
+				if s.offsetGauge != nil {
+					s.offsetGauge.Set(float64(offsetNs) / 1e9)
+				}
+				s.link.observeProbe(s.offset.RTT())
+			}
+			m.ReleasePayload()
+			continue
+		}
 		if m.Kind != KindResult {
 			continue
 		}
@@ -485,7 +544,8 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		s.r.c.flight.Record("result", m.ImageID, int(m.TileID), s.id, "")
 		e.col.ch <- arrival{
 			tile: int(m.TileID), node: s.id, t: t, wire: wire,
-			enqNs: e.enqNs, sentNs: e.sentNs, recvNs: recvNs,
+			taskWire: e.taskBytes,
+			enqNs:    e.enqNs, sentNs: e.sentNs, recvNs: recvNs,
 			timing: m.Timing, offsetNs: offsetNs,
 		}
 	}
@@ -501,10 +561,14 @@ func (s *nodeSession) reconnect() bool {
 		s.mu.Lock()
 		s.backoff = backoff
 		s.mu.Unlock()
+		// ±20% jitter: several replicas losing the same node reconnect on
+		// the same schedule otherwise, and the restarted node takes every
+		// redial in one synchronized burst.
+		sleep := backoff + time.Duration((rand.Float64()-0.5)*0.4*float64(backoff))
 		select {
 		case <-c.ctx.Done():
 			return false
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if s.isClosed() {
 			return false
@@ -519,6 +583,9 @@ func (s *nodeSession) reconnect() bool {
 			s.mu.Lock()
 			s.backoff = 0
 			s.mu.Unlock()
+			// The reconnected node may sit behind a different path; let
+			// the rate estimates rebuild from fresh samples.
+			s.link.reset()
 			s.revive(conn)
 			c.reviveNode(s.id)
 			c.flight.Record("session-reconnect", 0, -1, s.id, "")
@@ -545,5 +612,6 @@ func (s *nodeSession) debugInfo() SessionDebug {
 	info.ClockOffsetNs = s.offset.Offset()
 	info.RTTNs = s.offset.RTT()
 	info.OffsetSamples = s.offset.Samples()
+	info.UplinkBps, info.DownlinkBps, info.LinkSamples, info.LinkProbes = s.link.snapshot()
 	return info
 }

@@ -20,6 +20,13 @@ const (
 	KindTask     MsgKind = 1 // Central → Conv: one input tile
 	KindResult   MsgKind = 2 // Conv → Central: one intermediate result
 	KindShutdown MsgKind = 3 // Central → Conv: stop serving
+	// KindProbe is a link-profiling ping: the Central sends an 8-byte
+	// payload holding its send timestamp, the Conv node echoes the
+	// payload verbatim with a ConvTiming record stamping when the probe
+	// was read and when the echo left. The four timestamps feed the
+	// session's clock-offset/RTT estimator exactly like a task→result
+	// exchange, but without charging the simulated device.
+	KindProbe MsgKind = 4
 )
 
 // Message is one protocol frame. Tiles carry the image ID and tile ID of
@@ -117,8 +124,11 @@ const (
 	// results. v3 added the quantized-payload flag (int8 operating
 	// mode); the frame layout is unchanged, but a v2 peer would
 	// misread a quantized payload as float32 words, so the version
-	// gate rejects the pairing outright.
-	ProtoVersion = 3
+	// gate rejects the pairing outright. v4 added the probe frame
+	// kind (link profiling); again no layout change, but a v3 worker
+	// treats the unknown kind as a protocol error and drops the
+	// session, so the pairing is rejected up front.
+	ProtoVersion = 4
 )
 
 // ErrProtoVersion reports a peer speaking a different frame revision.

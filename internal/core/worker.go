@@ -33,6 +33,23 @@ type Worker struct {
 	// dynDelay overrides Delay once SetDelay has been called (value is
 	// delay+1 so an explicit SetDelay(0) is distinguishable from unset).
 	dynDelay atomic.Int64
+	// clockSkew offsets every timestamp this worker stamps into timing
+	// records — a fault-injection hook modelling a Conv node whose
+	// monotonic clock disagrees with the Central's (the offset estimator
+	// must absorb it; see the chaos harness's clock-skew drill).
+	clockSkew atomic.Int64
+}
+
+// SetClockSkew shifts the worker's timing-record clock by d — race-safe,
+// effective from the next timestamp. Zero restores honest stamps.
+func (w *Worker) SetClockSkew(d time.Duration) {
+	w.clockSkew.Store(int64(d))
+}
+
+// now is monoNow plus the injected clock skew; every ConvTiming
+// timestamp the worker produces comes through here.
+func (w *Worker) now() int64 {
+	return monoNow() + w.clockSkew.Load()
 }
 
 // SetDelay changes the per-tile delay while Serve is running — the
@@ -176,6 +193,8 @@ type workerTask struct {
 	img, tile       uint32
 	traceID, spanID uint64
 	quantized       bool
+	probe           bool   // link probe: echo the payload, skip pace/compute
+	echo            []byte // probe payload to return verbatim (reused capacity)
 	x               *tensor.Tensor
 	qt              *QuantTile
 	tm              ConvTiming
@@ -305,7 +324,8 @@ func (s *workerSession) recvLoop(ctx context.Context) error {
 		case KindTask:
 			t := workerTaskPool.Get().(*workerTask)
 			t.start = time.Now()
-			t.tm = ConvTiming{RecvNs: monoNow()}
+			t.probe = false
+			t.tm = ConvTiming{RecvNs: w.now()}
 			t.img, t.tile = m.ImageID, m.TileID
 			t.traceID, t.spanID = m.TraceID, m.SpanID
 			t.quantized = m.Quantized
@@ -319,7 +339,29 @@ func (s *workerSession) recvLoop(ctx context.Context) error {
 				putWorkerTask(t)
 				return fmt.Errorf("core: worker %d: %w", w.ID, err)
 			}
-			t.tm.DecodeNs = monoNow()
+			t.tm.DecodeNs = w.now()
+			select {
+			case s.tasks <- t:
+			case <-s.dead:
+				putWorkerTask(t)
+				return nil
+			case <-ctx.Done():
+				putWorkerTask(t)
+				return nil
+			}
+		case KindProbe:
+			// A probe rides the same bounded task queue as tiles (the
+			// compute loop owns conn.Send, and queue wait cancels out of
+			// the RTT estimate), but skips decode, pacing, and compute.
+			t := workerTaskPool.Get().(*workerTask)
+			t.start = time.Now()
+			t.probe = true
+			t.quantized = false
+			t.tm = ConvTiming{RecvNs: w.now()}
+			t.img, t.tile = m.ImageID, m.TileID
+			t.traceID, t.spanID = m.TraceID, m.SpanID
+			t.echo = append(t.echo[:0], m.Payload...)
+			m.ReleasePayload()
 			select {
 			case s.tasks <- t:
 			case <-s.dead:
@@ -347,6 +389,30 @@ func (s *workerSession) computeLoop(ctx context.Context) error {
 	var encBuf []byte
 	defer func() { tensor.PutBytes(encBuf) }()
 	for t := range s.tasks {
+		if t.probe {
+			// Echo the probe without charging the device pacer: RTT must
+			// measure the link, not the simulated compute rate. Only the
+			// receive/send stamps matter to the estimator; the rest of the
+			// timing record stays zero.
+			t.tm.SendNs = w.now()
+			*res = Message{
+				Kind: KindProbe, ImageID: t.img, TileID: t.tile,
+				NodeID: uint32(w.ID), Payload: t.echo,
+				TraceID: t.traceID, SpanID: t.spanID, Timing: &t.tm,
+			}
+			err := s.conn.Send(res)
+			putWorkerTask(t)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				if met != nil {
+					met.WorkerSendErrors.Inc()
+				}
+				return s.fail(fmt.Errorf("core: worker %d: probe send: %w", w.ID, err))
+			}
+			continue
+		}
 		// Delay models a device that serves tiles at a fixed rate: each
 		// task occupies the device for Delay of wall-clock time, and
 		// back-to-back tasks — across every attached session — chain off
@@ -366,7 +432,7 @@ func (s *workerSession) computeLoop(ctx context.Context) error {
 			putWorkerTask(t)
 			return nil
 		}
-		t.tm.ComputeStartNs = monoNow()
+		t.tm.ComputeStartNs = w.now()
 		var out []byte
 		var compressed bool
 		var err error
@@ -385,7 +451,7 @@ func (s *workerSession) computeLoop(ctx context.Context) error {
 			s.taskCtr.Inc()
 			met.WorkerProcess.ObserveDuration(time.Since(t.start).Nanoseconds())
 		}
-		t.tm.SendNs = monoNow()
+		t.tm.SendNs = w.now()
 		*res = Message{
 			Kind: KindResult, ImageID: t.img, TileID: t.tile,
 			NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
@@ -451,7 +517,7 @@ func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([
 		// is sparse before encoding.
 		y = w.Model.Boundary.Layers[0].Forward(y, false)
 	}
-	tm.ComputeEndNs = monoNow()
+	tm.ComputeEndNs = w.now()
 	if clipped && opt.QuantBits > 0 {
 		p := compress.NewPipeline(opt.QuantBits, opt.ClipHi-opt.ClipLo)
 		// Pre-size to the worst case so the fused encoder never grows the
@@ -461,7 +527,7 @@ func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([
 			buf = tensor.GetBytes(n)
 		}
 		out, err := p.EncodeInto(buf[:0], y)
-		tm.EncodeNs = monoNow()
+		tm.EncodeNs = w.now()
 		if err != nil {
 			return buf[:0], true, err
 		}
@@ -472,6 +538,6 @@ func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([
 		buf = tensor.GetBytes(n)
 	}
 	out := AppendTensor(buf[:0], y)
-	tm.EncodeNs = monoNow()
+	tm.EncodeNs = w.now()
 	return out, false, nil
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosBenchReducedSchedule runs the crash and clock-skew drills at
+// reduced window sizes — the two schedules that exercise the most
+// concurrency-sensitive machinery (session teardown/reconnect and the
+// probe-fed offset estimator), which is what a race-enabled CI pass is
+// for. The full four-drill schedule, including the three-act bandwidth
+// collapse, runs un-instrumented in the chaos CI job via
+// `adcnn-bench -exp chaos`.
+func TestChaosBenchReducedSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-cluster drill schedule")
+	}
+	rep, err := ChaosBench(ChaosBenchConfig{
+		FastWindow: 250 * time.Millisecond,
+		SlowWindow: time.Second,
+		// Race instrumentation plus a contended CI host stretch every
+		// timeline; the drills assert behavior, not wall-clock budgets.
+		Timeout: 20 * time.Second,
+		Drills:  []string{"crash", "skew"},
+	})
+	if err != nil {
+		t.Fatalf("ChaosBench: %v", err)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	t.Logf("report:\n%s", sb.String())
+	for _, d := range rep.Drills {
+		for _, c := range d.Checks {
+			if !c.OK {
+				t.Errorf("drill %s: check %s failed: %s", d.Drill, c.Name, c.Detail)
+			}
+		}
+		if d.FailedImages != 0 {
+			t.Errorf("drill %s: %d images failed", d.Drill, d.FailedImages)
+		}
+	}
+	if !rep.Pass {
+		t.Error("reduced chaos schedule did not pass")
+	}
+}

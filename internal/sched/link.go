@@ -1,0 +1,45 @@
+package sched
+
+// Link-aware dispatch cost. Algorithm 3's greedy places each tile on
+// the node minimizing (x_k+1)/s_k — a pure compute cost of 1/s_k per
+// tile. With a per-node transfer estimate xfer_k (seconds a tile spends
+// on node k's links) the per-tile cost becomes
+//
+//	1/s_k + xfer_k/ref
+//
+// where ref converts wall seconds into the allocator's 1/s_k units (the
+// caller passes its EWMA image latency, so the conversion self-
+// calibrates to whatever timescale the s_k estimates live on). Rather
+// than change the greedy, the sum is folded back into a single
+// *effective* speed:
+//
+//	1/s'_k = 1/s_k + xfer_k/ref   ⇒   s'_k = s_k / (1 + s_k·xfer_k/ref)
+//
+// which makes link awareness a pure input transformation: Allocate,
+// Bottleneck, and the audit trail all run unchanged on s'_k.
+
+// EffectiveSpeeds derates measured compute speeds by per-node transfer
+// cost. xferSecs[k] is node k's estimated per-tile transfer time in
+// seconds (≤0 = unknown, leaves the node's speed untouched); refSecs is
+// the caller's seconds→speed-units reference. Returns nil — meaning
+// "use the measured speeds as-is" — when no node has a usable transfer
+// estimate or the reference is not yet calibrated.
+func EffectiveSpeeds(speeds, xferSecs []float64, refSecs float64) []float64 {
+	if len(xferSecs) == 0 || refSecs <= 0 {
+		return nil
+	}
+	out := make([]float64, len(speeds))
+	changed := false
+	for k, s := range speeds {
+		out[k] = s
+		if s <= 0 || k >= len(xferSecs) || xferSecs[k] <= 0 {
+			continue
+		}
+		out[k] = s / (1 + s*xferSecs[k]/refSecs)
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return out
+}

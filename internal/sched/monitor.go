@@ -30,6 +30,7 @@ type Monitor struct {
 	mu         sync.Mutex
 	last       Allocation
 	lastSpeeds []float64
+	lastLink   []float64
 	seen       bool
 	audit      *Audit
 }
@@ -98,10 +99,26 @@ func (m *Monitor) Audit() *Audit {
 // inputs, objective delta, and trigger attribution. image identifies
 // the inference the allocation was computed for.
 func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64, image uint32) {
+	m.ObserveAllocationLink(a, speeds, nil, nil, image)
+}
+
+// ObserveAllocationLink is ObserveAllocation for link-aware decisions:
+// effSpeeds are the transfer-derated speeds the split was actually
+// computed from (nil when the mode is off or uncalibrated) and linkSecs
+// the per-node transfer costs behind them. Objectives are evaluated on
+// the effective speeds — the quantity the allocator minimized — and
+// trigger attribution weighs link-cost shifts against speed shifts, so
+// a move caused purely by a bandwidth collapse is named "link node=K"
+// even while the measured s_k held steady.
+func (m *Monitor) ObserveAllocationLink(a Allocation, speeds, effSpeeds, linkSecs []float64, image uint32) {
 	if m == nil {
 		return
 	}
-	objAfter := a.Bottleneck(speeds)
+	objSpeeds := speeds
+	if effSpeeds != nil {
+		objSpeeds = effSpeeds
+	}
+	objAfter := a.Bottleneck(objSpeeds)
 	m.bottleneck.Set(objAfter)
 	m.allocs.Inc()
 	m.mu.Lock()
@@ -126,19 +143,24 @@ func (m *Monitor) ObserveAllocation(a Allocation, speeds []float64, image uint32
 			Next:     append(Allocation(nil), a...),
 			ObjAfter: objAfter,
 		}
+		if effSpeeds != nil {
+			d.EffSpeeds = append([]float64(nil), effSpeeds...)
+			d.LinkSecs = append([]float64(nil), linkSecs...)
+		}
 		if first {
 			d.ObjBefore = objAfter
 			d.Trigger = "initial"
 		} else {
 			d.Prev = append(Allocation(nil), m.last...)
-			d.ObjBefore = d.Prev.Bottleneck(speeds)
+			d.ObjBefore = d.Prev.Bottleneck(objSpeeds)
 			d.TilesMoved = tilesMoved(d.Prev, a)
-			d.Trigger = attributeTrigger(m.lastSpeeds, speeds)
+			d.Trigger = attributeTriggerLink(m.lastSpeeds, speeds, m.lastLink, linkSecs)
 		}
 	}
 	audit := m.audit
 	m.last = append(m.last[:0], a...)
 	m.lastSpeeds = append(m.lastSpeeds[:0], speeds...)
+	m.lastLink = append(m.lastLink[:0], linkSecs...)
 	m.seen = true
 	m.mu.Unlock()
 	if changed {

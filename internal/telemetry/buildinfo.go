@@ -1,0 +1,31 @@
+package telemetry
+
+// RegisterBuildInfo exports the binary's identity as the conventional
+// constant-1 info gauge:
+//
+//	adcnn_build_info{component,revision,go_version,kernel_tier} 1
+//
+// so one scrape across a fleet answers "which build and kernel tier is
+// each daemon actually running". component names the daemon
+// ("central", "conv", ...); kernelTier is the runtime-dispatched SIMD
+// tier (tensor.DetectedKernelTier().String(), passed in by the caller
+// to keep this package free of a tensor dependency). revision comes
+// from the embedded VCS stamp and reads "unknown" for unstamped builds
+// (plain `go test`, `go run`).
+func RegisterBuildInfo(reg *Registry, component, kernelTier string) {
+	if reg == nil {
+		return
+	}
+	h := HostInfo()
+	rev := h.GitCommit
+	if rev == "" {
+		rev = "unknown"
+	}
+	if kernelTier == "" {
+		kernelTier = "unknown"
+	}
+	reg.GaugeVec("adcnn_build_info",
+		"Build identity of this binary; the value is always 1, the labels carry the information.",
+		"component", "revision", "go_version", "kernel_tier").
+		With(component, rev, h.GoVersion, kernelTier).Set(1)
+}
