@@ -30,6 +30,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small accuracy setup (fast, one model)")
 	seed := flag.Int64("seed", 1, "random seed")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output path for the kernel microbenchmark report (-exp kernels)")
+	int8Gate := flag.Float64("int8-gate", 0, "fail if the minimum whole-layer int8/f32 forward ratio falls below this floor (-exp kernels; 0 disables)")
 	compressOut := flag.String("compress-out", "BENCH_compress.json", "output path for the boundary-codec microbenchmark report (-exp compress)")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "output path for the live-stream telemetry-overhead report (-exp stream)")
 	sloOut := flag.String("slo-out", "BENCH_slo.json", "output path for the SLO slow-node detection report (-exp slo)")
@@ -75,6 +76,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", *kernelsOut)
+		if *int8Gate > 0 {
+			ratio := rep.MinInt8WholeLayerRatio()
+			if ratio < *int8Gate {
+				fmt.Fprintf(os.Stderr, "kernels: int8 whole-layer ratio %.3fx below gate %.3fx\n", ratio, *int8Gate)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "int8 whole-layer gate: min ratio %.3fx >= %.3fx\n", ratio, *int8Gate)
+		}
 		return
 	}
 

@@ -92,6 +92,51 @@ func FuzzDecodeTensor(f *testing.F) {
 	})
 }
 
+// FuzzDequantizeQuantTensor: the fused levels-downlink decode must never
+// panic on arbitrary payloads — truncated headers, overlong level runs,
+// non-finite or non-positive scales — and must agree exactly with the
+// two-step decode (DecodeQuantTensorInto + DequantizeInto) on both the
+// accept/reject decision and the produced float values.
+func FuzzDequantizeQuantTensor(f *testing.F) {
+	x := tensor.New(2, 3, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i) * 0.125
+	}
+	af := quant.Affine{Scale: 0.0625, Zero: 3}
+	valid := AppendQuantTensor(nil, x, af)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                         // truncated levels
+	f.Add(append(valid, 0, 0, 0))                       // overlong levels
+	f.Add(valid[:3])                                    // truncated header
+	f.Add([]byte{})                                     // empty
+	f.Add([]byte{0, 0, 0, 0, 192, 127, 0})              // rank 0, scale NaN
+	f.Add([]byte{0, 0, 0, 128, 127, 0})                 // rank 0, scale +Inf (short: rejected)
+	f.Add([]byte{0, 0, 0, 0x80, 0xFF, 0})               // rank 0, scale -Inf... header is 6 bytes for rank 0
+	f.Add([]byte{1, 255, 255, 255, 255, 0, 0, 0, 0, 0}) // huge dim
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := tensor.New(1)
+		err := DequantizeQuantTensorInto(got, data)
+		var q QuantTile
+		err2 := DecodeQuantTensorInto(&q, data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("fused decode err=%v, two-step decode err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		want := tensor.New(1)
+		q.DequantizeInto(want)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("fused decode %d values, two-step %d", len(got.Data), len(want.Data))
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("value %d: fused %g, two-step %g", i, got.Data[i], want.Data[i])
+			}
+		}
+	})
+}
+
 // FuzzDecodeQuantTensor: arbitrary quantized tensor payloads must never
 // panic; accepted payloads must round-trip through encode exactly.
 func FuzzDecodeQuantTensor(f *testing.F) {

@@ -528,9 +528,14 @@ func (s *nodeSession) recvLoop(conn Conn) error {
 		// frame's bytes are dead the moment DecodeInto returns.
 		t := new(tensor.Tensor)
 		var derr error
-		if m.Compressed {
+		switch {
+		case m.Compressed:
 			derr = compress.DecodeInto(t, m.Payload)
-		} else {
+		case m.Quantized:
+			// Levels-native downlink: dequantize the uint8 levels into
+			// the collect tensor in one fused pass.
+			derr = DequantizeQuantTensorInto(t, m.Payload)
+		default:
 			derr = DecodeTensorInto(t, m.Payload)
 		}
 		wire := len(m.Payload)

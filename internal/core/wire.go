@@ -127,8 +127,11 @@ const (
 	// gate rejects the pairing outright. v4 added the probe frame
 	// kind (link profiling); again no layout change, but a v3 worker
 	// treats the unknown kind as a protocol error and drops the
-	// session, so the pairing is rejected up front.
-	ProtoVersion = 4
+	// session, so the pairing is rejected up front. v5 extended the
+	// quantized-payload flag to result frames (levels-native downlink
+	// in the int8 operating mode); a v4 Central would misread a
+	// quantized result as float32 words, so the pairing is rejected.
+	ProtoVersion = 5
 )
 
 // ErrProtoVersion reports a peer speaking a different frame revision.

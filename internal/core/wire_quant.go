@@ -112,6 +112,52 @@ func DecodeQuantTensorInto(dst *QuantTile, data []byte) error {
 	return nil
 }
 
+// DequantizeQuantTensorInto decodes an AppendQuantTensor payload
+// straight into a float32 tensor: one fused pass dequantizes the wire
+// levels into pooled dst storage, with no intermediate QuantTile and no
+// levels copy — the downlink counterpart of the worker's levels-native
+// uplink. The payload is fully consumed before returning, so the caller
+// may release the wire buffer immediately. Same validation as
+// DecodeQuantTensorInto.
+func DequantizeQuantTensorInto(dst *tensor.Tensor, data []byte) error {
+	if len(data) < 1 {
+		return errors.New("core: empty quantized tensor payload")
+	}
+	rank := int(data[0])
+	off := 1
+	if len(data) < off+4*rank+5 {
+		return errors.New("core: truncated quantized tensor header")
+	}
+	dst.Shape = dst.Shape[:0]
+	vol := 1
+	for i := 0; i < rank; i++ {
+		d := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		dst.Shape = append(dst.Shape, d)
+		vol *= d
+		if vol < 0 || vol > maxFrame {
+			return fmt.Errorf("core: quantized tensor volume overflows frame limit")
+		}
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	zero := data[off]
+	off++
+	if scale <= 0 || math.IsInf(float64(scale), 0) || math.IsNaN(float64(scale)) {
+		return fmt.Errorf("core: quantized tensor scale %g out of range", scale)
+	}
+	if len(data) != off+vol {
+		return fmt.Errorf("core: quantized tensor payload %d bytes, want %d", len(data), off+vol)
+	}
+	if cap(dst.Data) < vol {
+		tensor.PutBuf(dst.Data)
+		dst.Data = tensor.GetBuf(vol)
+	}
+	dst.Data = dst.Data[:vol]
+	tensor.DequantizeAffineSlice(dst.Data, data[off:], scale, zero)
+	return nil
+}
+
 // DequantizeInto expands the tile to float32 into dst, reshaping it in
 // place with pooled storage like DecodeTensorInto — the fallback for a
 // worker whose model cannot consume levels directly.

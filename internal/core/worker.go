@@ -11,6 +11,7 @@ import (
 
 	"adcnn/internal/compress"
 	"adcnn/internal/models"
+	"adcnn/internal/quant"
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
@@ -434,12 +435,12 @@ func (s *workerSession) computeLoop(ctx context.Context) error {
 		}
 		t.tm.ComputeStartNs = w.now()
 		var out []byte
-		var compressed bool
+		var compressed, quantized bool
 		var err error
 		if t.quantized {
-			out, compressed, err = w.computeEncodeLevels(t.qt, t.x, &t.tm, encBuf)
+			out, compressed, quantized, err = w.computeEncodeLevels(t.qt, t.x, &t.tm, encBuf)
 		} else {
-			out, compressed, err = w.computeEncode(t.x, &t.tm, encBuf)
+			out, compressed, quantized, err = w.computeEncode(t.x, &t.tm, encBuf)
 		}
 		if err != nil {
 			putWorkerTask(t)
@@ -454,7 +455,8 @@ func (s *workerSession) computeLoop(ctx context.Context) error {
 		t.tm.SendNs = w.now()
 		*res = Message{
 			Kind: KindResult, ImageID: t.img, TileID: t.tile,
-			NodeID: uint32(w.ID), Compressed: compressed, Payload: out,
+			NodeID: uint32(w.ID), Compressed: compressed, Quantized: quantized,
+			Payload: out,
 			TraceID: t.traceID, SpanID: t.spanID, Timing: &t.tm,
 		}
 		err = s.conn.Send(res)
@@ -486,8 +488,10 @@ func (s *workerSession) fail(err error) error {
 // across tiles; too small and it is swapped for a bigger pooled one),
 // stamping the compute-done and encode-done marks into the timing
 // record. The returned slice is the (possibly replaced) buffer — the
-// caller must retain it as the next call's buf.
-func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
+// caller must retain it as the next call's buf. The two flags report
+// how the payload is encoded: boundary-codec compressed, or quantized
+// uint8 levels (mutually exclusive).
+func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, bool, error) {
 	return w.boundaryEncode(w.Model.Front.Forward(x, false), tm, buf)
 }
 
@@ -497,7 +501,7 @@ func (w *Worker) computeEncode(x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]
 // operating mode. Otherwise (residual-entry front, or a worker that
 // never called QuantizeInt8) the tile is dequantized into x and takes
 // the ordinary f32 path, so a mixed deployment still computes correctly.
-func (w *Worker) computeEncodeLevels(q *QuantTile, x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
+func (w *Worker) computeEncodeLevels(q *QuantTile, x *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, bool, error) {
 	if len(q.Shape) == 4 && q.Shape[0] == 1 {
 		if y, ok := w.Model.ForwardFrontLevels(q.Levels, q.Shape[1], q.Shape[2], q.Shape[3], q.Affine); ok {
 			return w.boundaryEncode(y, tm, buf)
@@ -509,7 +513,13 @@ func (w *Worker) computeEncodeLevels(q *QuantTile, x *tensor.Tensor, tm *ConvTim
 
 // boundaryEncode applies the boundary ops to a Front output and encodes
 // the result into buf (pooled, reused across tiles — see computeEncode).
-func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, error) {
+// Encoding preference: the boundary codec when the model clips and
+// quantizes the boundary; otherwise, in the int8 operating mode, the
+// result ships as uint8 affine levels (levels-native downlink — Central
+// dequantizes in one fused pass, and the frame is 4× smaller than
+// float32); float32 only as the fallback for value ranges that defy a
+// finite affine (NaN/Inf activations).
+func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([]byte, bool, bool, error) {
 	opt := w.Model.Opt
 	clipped := opt.Clipped()
 	if clipped {
@@ -529,9 +539,21 @@ func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([
 		out, err := p.EncodeInto(buf[:0], y)
 		tm.EncodeNs = w.now()
 		if err != nil {
-			return buf[:0], true, err
+			return buf[:0], true, false, err
 		}
-		return out, true, nil
+		return out, true, false, nil
+	}
+	if opt.Int8 {
+		mn, mx := tensor.MinMax(y.Data)
+		if af, aerr := quant.AffineFor(mn, mx); aerr == nil {
+			if n := QuantTensorWireSize(y); cap(buf) < n {
+				tensor.PutBytes(buf)
+				buf = tensor.GetBytes(n)
+			}
+			out := AppendQuantTensor(buf[:0], y, af)
+			tm.EncodeNs = w.now()
+			return out, false, true, nil
+		}
 	}
 	if n := TensorWireSize(y); cap(buf) < n {
 		tensor.PutBytes(buf)
@@ -539,5 +561,5 @@ func (w *Worker) boundaryEncode(y *tensor.Tensor, tm *ConvTiming, buf []byte) ([
 	}
 	out := AppendTensor(buf[:0], y)
 	tm.EncodeNs = w.now()
-	return out, false, nil
+	return out, false, false, nil
 }

@@ -22,10 +22,21 @@ type Features struct {
 	AVX512F  bool
 	AVX512BW bool
 	AVX512VL bool
+	// AVX512VNNI is the int8 dot-product extension (VPDPBUSD): four
+	// u8×s8 products accumulated into each int32 lane in one
+	// instruction, halving the instruction count of the widen+VPMADDWD
+	// int8 kernel.
+	AVX512VNNI bool
 	// OSYMM reports that the OS saves the full YMM register state
 	// (XGETBV XCR0 bits 1-2); without it AVX/AVX2 must not be used even
 	// when the CPU advertises them.
 	OSYMM bool
+	// OSZMM reports that the OS additionally saves the AVX-512 state:
+	// opmask registers and the ZMM halves (XGETBV XCR0 bits 5-7).
+	// Without it AVX-512 must not be used even when the CPU advertises
+	// it — the kernel would silently corrupt ZMM state across context
+	// switches.
+	OSZMM bool
 }
 
 var (
@@ -44,8 +55,16 @@ func Detect() Features {
 // advertises both and the OS preserves YMM state across context switches.
 func (f Features) UsableAVX2() bool { return f.AVX2 && f.FMA && f.OSYMM }
 
-// UsableAVX512 reports whether AVX-512 (F+BW+VL) kernels may be executed.
-func (f Features) UsableAVX512() bool { return f.AVX512F && f.AVX512BW && f.AVX512VL && f.OSYMM }
+// UsableAVX512 reports whether AVX-512 (F+BW+VL) kernels may be
+// executed: the CPU advertises the feature trio and the OS preserves
+// both the YMM and the extended ZMM/opmask register state.
+func (f Features) UsableAVX512() bool {
+	return f.AVX512F && f.AVX512BW && f.AVX512VL && f.OSYMM && f.OSZMM
+}
+
+// UsableVNNI reports whether the VPDPBUSD int8 fast path may be used on
+// top of the AVX-512 kernels.
+func (f Features) UsableVNNI() bool { return f.UsableAVX512() && f.AVX512VNNI }
 
 // String renders the enabled features as a comma-separated list
 // ("sse2,sse4.1,avx,fma,avx2,..."), empty when nothing was detected.
@@ -65,5 +84,6 @@ func (f Features) String() string {
 	add(f.AVX512F, "avx512f")
 	add(f.AVX512BW, "avx512bw")
 	add(f.AVX512VL, "avx512vl")
+	add(f.AVX512VNNI, "avx512vnni")
 	return strings.Join(names, ",")
 }

@@ -20,9 +20,16 @@ const (
 	bitAVX512F  = 1 << 16
 	bitAVX512BW = 1 << 30
 	bitAVX512VL = 1 << 31
-	// XCR0 bits: SSE (XMM) and AVX (YMM) register state
-	xcr0SSE = 1 << 1
-	xcr0AVX = 1 << 2
+	// leaf 7 ECX bits
+	bitAVX512VNNI = 1 << 11
+	// XCR0 bits: SSE (XMM) and AVX (YMM) register state, then the
+	// AVX-512 triple — opmask (k0-k7), ZMM0-15 upper halves, ZMM16-31.
+	xcr0SSE       = 1 << 1
+	xcr0AVX       = 1 << 2
+	xcr0Opmask    = 1 << 5
+	xcr0ZMMHi256  = 1 << 6
+	xcr0Hi16ZMM   = 1 << 7
+	xcr0AVX512All = xcr0Opmask | xcr0ZMMHi256 | xcr0Hi16ZMM
 )
 
 func detect() Features {
@@ -40,13 +47,15 @@ func detect() Features {
 	if ecx1&bitOSXSAVE != 0 {
 		lo, _ := xgetbv()
 		f.OSYMM = lo&(xcr0SSE|xcr0AVX) == (xcr0SSE | xcr0AVX)
+		f.OSZMM = f.OSYMM && lo&xcr0AVX512All == xcr0AVX512All
 	}
 	if maxLeaf >= 7 {
-		_, ebx7, _, _ := cpuid(7, 0)
+		_, ebx7, ecx7, _ := cpuid(7, 0)
 		f.AVX2 = ebx7&bitAVX2 != 0
 		f.AVX512F = ebx7&bitAVX512F != 0
 		f.AVX512BW = ebx7&bitAVX512BW != 0
 		f.AVX512VL = ebx7&bitAVX512VL != 0
+		f.AVX512VNNI = ecx7&bitAVX512VNNI != 0
 	}
 	return f
 }

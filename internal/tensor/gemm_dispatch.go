@@ -14,6 +14,9 @@ const (
 	TierSSE
 	// TierAVX2 is the AVX2+FMA kernel (8-wide f32, 16-byte int8 dot).
 	TierAVX2
+	// TierAVX512 is the AVX-512 F+BW+VL kernel (16-wide f32, 32-byte
+	// int8 dot, with a VNNI fast path when the CPU has it).
+	TierAVX512
 )
 
 // String names the tier for logs and benchmark reports.
@@ -25,6 +28,8 @@ func (t KernelTier) String() string {
 		return "sse"
 	case TierAVX2:
 		return "avx2"
+	case TierAVX512:
+		return "avx512"
 	}
 	return fmt.Sprintf("tier(%d)", int(t))
 }

@@ -5,19 +5,43 @@ package tensor
 import "adcnn/internal/cpufeat"
 
 // detectKernelTier maps the host feature set onto the widest usable
-// kernel tier: AVX2 requires FMA and OS YMM-state support, SSE is the
-// amd64 baseline.
+// kernel tier: AVX-512 requires F+BW+VL and OS ZMM/opmask state, AVX2
+// requires FMA and OS YMM-state support, SSE is the amd64 baseline.
 func detectKernelTier() KernelTier {
-	if cpufeat.Detect().UsableAVX2() {
+	f := cpufeat.Detect()
+	if f.UsableAVX512() {
+		return TierAVX512
+	}
+	if f.UsableAVX2() {
 		return TierAVX2
 	}
 	return TierSSE
+}
+
+// hasVNNI gates the VPDPBUSD int8 fast path inside the AVX-512 tier.
+// It is a separate flag rather than a tier because VNNI changes no
+// numeric behaviour (the int8 dot is exact either way) — only the
+// instruction mix. Tests flip it through setVNNI to exercise both
+// kernels on VNNI hosts.
+var hasVNNI = cpufeat.Detect().UsableVNNI()
+
+// setVNNI forces the VNNI fast path on or off for parity tests and
+// baseline benchmarks; returns the previous value. Enabling it on a
+// host without VNNI would fault, so callers must only restore a value
+// previously returned by setVNNI. Same caveat as SetKernelTier: not
+// safe concurrently with running GEMMs.
+func setVNNI(on bool) bool {
+	prev := hasVNNI
+	hasVNNI = on && cpufeat.Detect().UsableVNNI()
+	return prev
 }
 
 // gemmAxpy2x4 dispatches the vectorised inner sweep. n is a multiple of
 // 4 and at least 4; slices are at least n long.
 func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
 	switch kernelTier {
+	case TierAVX512:
+		gemmKernel2x4AVX512(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], &aq[0], n)
 	case TierAVX2:
 		gemmKernel2x4AVX2(&c0[0], &c1[0], &b0[0], &b1[0], &b2[0], &b3[0], &aq[0], n)
 	case TierSSE:

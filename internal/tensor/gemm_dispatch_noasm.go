@@ -6,6 +6,9 @@ package tensor
 // kernel is the only tier.
 func detectKernelTier() KernelTier { return TierGeneric }
 
+// setVNNI: no VNNI without assembly kernels; the knob is inert.
+func setVNNI(bool) bool { return false }
+
 // gemmAxpy2x4 routes to the portable kernel.
 func gemmAxpy2x4(c0, c1, b0, b1, b2, b3 []float32, aq *[8]float32, n int) {
 	gemmAxpy2x4Generic(c0, c1, b0, b1, b2, b3, aq, n)

@@ -12,13 +12,34 @@ package tensor
 //go:noescape
 func int8DotKernel2x4AVX2(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
 
-// int8Dot2x4 dispatches the int8 micro-kernel: AVX2 when the tier allows
-// it, the portable kernel otherwise (there is no SSE int8 kernel — the
-// baseline tier for int8 is pure Go).
+// int8DotKernel2x4AVX512 is the same widen+VPMADDWD scheme at ZMM width:
+// 32 k-bytes per step, one 16-byte YMM remainder step. Requires
+// AVX-512 F+BW+VL — dispatch only on TierAVX512.
+//
+//go:noescape
+func int8DotKernel2x4AVX512(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+
+// int8DotKernel2x4VNNI replaces widen+VPMADDWD+VPADDD with one
+// VPDPBUSD per accumulator: 64 k-bytes per step, 16-byte XMM remainder
+// steps. Same exact int32 result. Requires AVX512-VNNI on top of the
+// AVX-512 tier — dispatch only when hasVNNI.
+//
+//go:noescape
+func int8DotKernel2x4VNNI(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+
+// int8Dot2x4 dispatches the int8 micro-kernel by tier: VNNI or ZMM
+// widen on AVX-512, AVX2 widen below that, the portable kernel
+// otherwise (there is no SSE int8 kernel — the baseline tier for int8
+// is pure Go).
 func int8Dot2x4(dst *[8]int32, a0, a1 []int8, b0, b1, b2, b3 []uint8, kp int) {
-	if kernelTier >= TierAVX2 {
+	switch {
+	case kernelTier >= TierAVX512 && hasVNNI:
+		int8DotKernel2x4VNNI(dst, &a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], kp)
+	case kernelTier >= TierAVX512:
+		int8DotKernel2x4AVX512(dst, &a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], kp)
+	case kernelTier >= TierAVX2:
 		int8DotKernel2x4AVX2(dst, &a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], kp)
-		return
+	default:
+		int8Dot2x4Generic(dst, a0, a1, b0, b1, b2, b3, kp)
 	}
-	int8Dot2x4Generic(dst, a0, a1, b0, b1, b2, b3, kp)
 }

@@ -134,3 +134,355 @@ reduce:
 
 	VZEROUPPER
 	RET
+
+// func int8DotKernel2x4AVX512(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+//
+// The AVX2 kernel above widened to ZMM: 32 bytes of each operand row
+// per step (VPMOVSXBW/VPMOVZXBW widen a 32-byte load into 32 words,
+// VPMADDWD pairs them into 16 int32 lanes — still exact), retiring 256
+// multiply-adds per iteration. kp is a multiple of 16; the ZMM
+// accumulators are folded to YMM *before* a kp≡16 (mod 32) remainder
+// runs its YMM step, because an AVX-512 write to a YMM register zeroes
+// the upper half of the corresponding ZMM — adding the tail into Y0
+// first would silently discard the main loop's upper lanes.
+TEXT ·int8DotKernel2x4AVX512(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a0+8(FP), AX
+	MOVQ a1+16(FP), BX
+	MOVQ b0+24(FP), R8
+	MOVQ b1+32(FP), R9
+	MOVQ b2+40(FP), R10
+	MOVQ b3+48(FP), R11
+	MOVQ kp+56(FP), CX
+
+	VPXORQ Z0, Z0, Z0 // row0·b0
+	VPXORQ Z1, Z1, Z1 // row0·b1
+	VPXORQ Z2, Z2, Z2 // row0·b2
+	VPXORQ Z3, Z3, Z3 // row0·b3
+	VPXORQ Z4, Z4, Z4 // row1·b0
+	VPXORQ Z5, Z5, Z5 // row1·b1
+	VPXORQ Z6, Z6, Z6 // row1·b2
+	VPXORQ Z7, Z7, Z7 // row1·b3
+
+	XORQ DX, DX // byte offset into the packed rows
+	MOVQ CX, R12
+	SHRQ $5, R12 // 32-byte iterations = kp/32
+	JZ   fold256
+
+loop32:
+	VPMOVSXBW (AX)(DX*1), Z8   // a0: 32×s8 → 32×s16
+	VPMOVSXBW (BX)(DX*1), Z9   // a1
+	VPMOVZXBW (R8)(DX*1), Z10  // b0: 32×u8 → 32×s16 (0..255)
+	VPMOVZXBW (R9)(DX*1), Z11  // b1
+	VPMOVZXBW (R10)(DX*1), Z12 // b2
+	VPMOVZXBW (R11)(DX*1), Z13 // b3
+
+	VPMADDWD Z10, Z8, Z14
+	VPADDD   Z14, Z0, Z0
+	VPMADDWD Z11, Z8, Z14
+	VPADDD   Z14, Z1, Z1
+	VPMADDWD Z12, Z8, Z14
+	VPADDD   Z14, Z2, Z2
+	VPMADDWD Z13, Z8, Z14
+	VPADDD   Z14, Z3, Z3
+	VPMADDWD Z10, Z9, Z14
+	VPADDD   Z14, Z4, Z4
+	VPMADDWD Z11, Z9, Z14
+	VPADDD   Z14, Z5, Z5
+	VPMADDWD Z12, Z9, Z14
+	VPADDD   Z14, Z6, Z6
+	VPMADDWD Z13, Z9, Z14
+	VPADDD   Z14, Z7, Z7
+
+	ADDQ $32, DX
+	DECQ R12
+	JNZ  loop32
+
+fold256:
+	// Fold each ZMM accumulator's upper 256-bit half onto the lower.
+	// From here on only the YMM halves are live, so the tail step's
+	// upper-zeroing YMM writes are harmless.
+	VEXTRACTI64X4 $1, Z0, Y14
+	VPADDD        Y14, Y0, Y0
+	VEXTRACTI64X4 $1, Z1, Y14
+	VPADDD        Y14, Y1, Y1
+	VEXTRACTI64X4 $1, Z2, Y14
+	VPADDD        Y14, Y2, Y2
+	VEXTRACTI64X4 $1, Z3, Y14
+	VPADDD        Y14, Y3, Y3
+	VEXTRACTI64X4 $1, Z4, Y14
+	VPADDD        Y14, Y4, Y4
+	VEXTRACTI64X4 $1, Z5, Y14
+	VPADDD        Y14, Y5, Y5
+	VEXTRACTI64X4 $1, Z6, Y14
+	VPADDD        Y14, Y6, Y6
+	VEXTRACTI64X4 $1, Z7, Y14
+	VPADDD        Y14, Y7, Y7
+
+	TESTQ $16, CX // a 16-byte remainder?
+	JZ    reduce512
+
+	VPMOVSXBW (AX)(DX*1), Y8
+	VPMOVSXBW (BX)(DX*1), Y9
+	VPMOVZXBW (R8)(DX*1), Y10
+	VPMOVZXBW (R9)(DX*1), Y11
+	VPMOVZXBW (R10)(DX*1), Y12
+	VPMOVZXBW (R11)(DX*1), Y13
+
+	VPMADDWD Y10, Y8, Y14
+	VPADDD   Y14, Y0, Y0
+	VPMADDWD Y11, Y8, Y14
+	VPADDD   Y14, Y1, Y1
+	VPMADDWD Y12, Y8, Y14
+	VPADDD   Y14, Y2, Y2
+	VPMADDWD Y13, Y8, Y14
+	VPADDD   Y14, Y3, Y3
+	VPMADDWD Y10, Y9, Y14
+	VPADDD   Y14, Y4, Y4
+	VPMADDWD Y11, Y9, Y14
+	VPADDD   Y14, Y5, Y5
+	VPMADDWD Y12, Y9, Y14
+	VPADDD   Y14, Y6, Y6
+	VPMADDWD Y13, Y9, Y14
+	VPADDD   Y14, Y7, Y7
+
+reduce512:
+	// Reduce the YMM halves exactly like the AVX2 kernel.
+	VEXTRACTI128 $1, Y0, X14
+	VPADDD       X14, X0, X0
+	VPSHUFD      $0x4E, X0, X14
+	VPADDD       X14, X0, X0
+	VPSHUFD      $0xB1, X0, X14
+	VPADDD       X14, X0, X0
+	VMOVD        X0, 0(DI)
+
+	VEXTRACTI128 $1, Y1, X14
+	VPADDD       X14, X1, X1
+	VPSHUFD      $0x4E, X1, X14
+	VPADDD       X14, X1, X1
+	VPSHUFD      $0xB1, X1, X14
+	VPADDD       X14, X1, X1
+	VMOVD        X1, 4(DI)
+
+	VEXTRACTI128 $1, Y2, X14
+	VPADDD       X14, X2, X2
+	VPSHUFD      $0x4E, X2, X14
+	VPADDD       X14, X2, X2
+	VPSHUFD      $0xB1, X2, X14
+	VPADDD       X14, X2, X2
+	VMOVD        X2, 8(DI)
+
+	VEXTRACTI128 $1, Y3, X14
+	VPADDD       X14, X3, X3
+	VPSHUFD      $0x4E, X3, X14
+	VPADDD       X14, X3, X3
+	VPSHUFD      $0xB1, X3, X14
+	VPADDD       X14, X3, X3
+	VMOVD        X3, 12(DI)
+
+	VEXTRACTI128 $1, Y4, X14
+	VPADDD       X14, X4, X4
+	VPSHUFD      $0x4E, X4, X14
+	VPADDD       X14, X4, X4
+	VPSHUFD      $0xB1, X4, X14
+	VPADDD       X14, X4, X4
+	VMOVD        X4, 16(DI)
+
+	VEXTRACTI128 $1, Y5, X14
+	VPADDD       X14, X5, X5
+	VPSHUFD      $0x4E, X5, X14
+	VPADDD       X14, X5, X5
+	VPSHUFD      $0xB1, X5, X14
+	VPADDD       X14, X5, X5
+	VMOVD        X5, 20(DI)
+
+	VEXTRACTI128 $1, Y6, X14
+	VPADDD       X14, X6, X6
+	VPSHUFD      $0x4E, X6, X14
+	VPADDD       X14, X6, X6
+	VPSHUFD      $0xB1, X6, X14
+	VPADDD       X14, X6, X6
+	VMOVD        X6, 24(DI)
+
+	VEXTRACTI128 $1, Y7, X14
+	VPADDD       X14, X7, X7
+	VPSHUFD      $0x4E, X7, X14
+	VPADDD       X14, X7, X7
+	VPSHUFD      $0xB1, X7, X14
+	VPADDD       X14, X7, X7
+	VMOVD        X7, 28(DI)
+
+	VZEROUPPER
+	RET
+
+// func int8DotKernel2x4VNNI(dst *[8]int32, a0, a1 *int8, b0, b1, b2, b3 *uint8, kp int)
+//
+// The VNNI variant: VPDPBUSD multiplies 64 unsigned activation bytes
+// against 64 signed weight bytes and accumulates quads directly into
+// the 16 int32 lanes — one instruction where the widening kernel needs
+// three, 512 multiply-adds per iteration, and still exact (each quad
+// sum ≤ 4·32640 and the lane totals stay inside int32 for kp ≤
+// int8MaxKP; this is the non-saturating VPDPBUSD, not VPDPBUSDS). kp
+// is a multiple of 16; the ZMM accumulators are folded down to XMM
+// before the ≤48-byte remainder runs its 16-byte XMM steps — an XMM
+// write zeroes the rest of the ZMM, so folding must come first.
+TEXT ·int8DotKernel2x4VNNI(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a0+8(FP), AX
+	MOVQ a1+16(FP), BX
+	MOVQ b0+24(FP), R8
+	MOVQ b1+32(FP), R9
+	MOVQ b2+40(FP), R10
+	MOVQ b3+48(FP), R11
+	MOVQ kp+56(FP), CX
+
+	VPXORQ Z0, Z0, Z0 // row0·b0
+	VPXORQ Z1, Z1, Z1 // row0·b1
+	VPXORQ Z2, Z2, Z2 // row0·b2
+	VPXORQ Z3, Z3, Z3 // row0·b3
+	VPXORQ Z4, Z4, Z4 // row1·b0
+	VPXORQ Z5, Z5, Z5 // row1·b1
+	VPXORQ Z6, Z6, Z6 // row1·b2
+	VPXORQ Z7, Z7, Z7 // row1·b3
+
+	XORQ DX, DX // byte offset into the packed rows
+	MOVQ CX, R12
+	SHRQ $6, R12 // 64-byte iterations = kp/64
+	JZ   vfold
+
+loop64:
+	VMOVDQU8 (AX)(DX*1), Z8   // a0: 64×s8
+	VMOVDQU8 (BX)(DX*1), Z9   // a1
+	VMOVDQU8 (R8)(DX*1), Z10  // b0: 64×u8
+	VMOVDQU8 (R9)(DX*1), Z11  // b1
+	VMOVDQU8 (R10)(DX*1), Z12 // b2
+	VMOVDQU8 (R11)(DX*1), Z13 // b3
+
+	VPDPBUSD Z8, Z10, Z0 // acc += u8(b)·s8(a), quads per lane
+	VPDPBUSD Z8, Z11, Z1
+	VPDPBUSD Z8, Z12, Z2
+	VPDPBUSD Z8, Z13, Z3
+	VPDPBUSD Z9, Z10, Z4
+	VPDPBUSD Z9, Z11, Z5
+	VPDPBUSD Z9, Z12, Z6
+	VPDPBUSD Z9, Z13, Z7
+
+	ADDQ $64, DX
+	DECQ R12
+	JNZ  loop64
+
+vfold:
+	// Fold each ZMM accumulator down to its XMM quarter (upper 256,
+	// then upper 128) so the XMM tail steps can add in place.
+	VEXTRACTI64X4 $1, Z0, Y14
+	VPADDD        Y14, Y0, Y0
+	VEXTRACTI128  $1, Y0, X14
+	VPADDD        X14, X0, X0
+	VEXTRACTI64X4 $1, Z1, Y14
+	VPADDD        Y14, Y1, Y1
+	VEXTRACTI128  $1, Y1, X14
+	VPADDD        X14, X1, X1
+	VEXTRACTI64X4 $1, Z2, Y14
+	VPADDD        Y14, Y2, Y2
+	VEXTRACTI128  $1, Y2, X14
+	VPADDD        X14, X2, X2
+	VEXTRACTI64X4 $1, Z3, Y14
+	VPADDD        Y14, Y3, Y3
+	VEXTRACTI128  $1, Y3, X14
+	VPADDD        X14, X3, X3
+	VEXTRACTI64X4 $1, Z4, Y14
+	VPADDD        Y14, Y4, Y4
+	VEXTRACTI128  $1, Y4, X14
+	VPADDD        X14, X4, X4
+	VEXTRACTI64X4 $1, Z5, Y14
+	VPADDD        Y14, Y5, Y5
+	VEXTRACTI128  $1, Y5, X14
+	VPADDD        X14, X5, X5
+	VEXTRACTI64X4 $1, Z6, Y14
+	VPADDD        Y14, Y6, Y6
+	VEXTRACTI128  $1, Y6, X14
+	VPADDD        X14, X6, X6
+	VEXTRACTI64X4 $1, Z7, Y14
+	VPADDD        Y14, Y7, Y7
+	VEXTRACTI128  $1, Y7, X14
+	VPADDD        X14, X7, X7
+
+	MOVQ CX, R12
+	ANDQ $63, R12 // remainder bytes: 0, 16, 32, or 48
+	JZ   reducev
+	SHRQ $4, R12  // 16-byte remainder steps
+
+vtailloop:
+	VMOVDQU (AX)(DX*1), X8
+	VMOVDQU (BX)(DX*1), X9
+	VMOVDQU (R8)(DX*1), X10
+	VMOVDQU (R9)(DX*1), X11
+	VMOVDQU (R10)(DX*1), X12
+	VMOVDQU (R11)(DX*1), X13
+
+	VPDPBUSD X8, X10, X0
+	VPDPBUSD X8, X11, X1
+	VPDPBUSD X8, X12, X2
+	VPDPBUSD X8, X13, X3
+	VPDPBUSD X9, X10, X4
+	VPDPBUSD X9, X11, X5
+	VPDPBUSD X9, X12, X6
+	VPDPBUSD X9, X13, X7
+
+	ADDQ $16, DX
+	DECQ R12
+	JNZ  vtailloop
+
+reducev:
+	// 128-bit horizontal sum of each accumulator: 64-bit halves, then
+	// the 32-bit pair.
+	VPSHUFD $0x4E, X0, X14
+	VPADDD  X14, X0, X0
+	VPSHUFD $0xB1, X0, X14
+	VPADDD  X14, X0, X0
+	VMOVD   X0, 0(DI)
+
+	VPSHUFD $0x4E, X1, X14
+	VPADDD  X14, X1, X1
+	VPSHUFD $0xB1, X1, X14
+	VPADDD  X14, X1, X1
+	VMOVD   X1, 4(DI)
+
+	VPSHUFD $0x4E, X2, X14
+	VPADDD  X14, X2, X2
+	VPSHUFD $0xB1, X2, X14
+	VPADDD  X14, X2, X2
+	VMOVD   X2, 8(DI)
+
+	VPSHUFD $0x4E, X3, X14
+	VPADDD  X14, X3, X3
+	VPSHUFD $0xB1, X3, X14
+	VPADDD  X14, X3, X3
+	VMOVD   X3, 12(DI)
+
+	VPSHUFD $0x4E, X4, X14
+	VPADDD  X14, X4, X4
+	VPSHUFD $0xB1, X4, X14
+	VPADDD  X14, X4, X4
+	VMOVD   X4, 16(DI)
+
+	VPSHUFD $0x4E, X5, X14
+	VPADDD  X14, X5, X5
+	VPSHUFD $0xB1, X5, X14
+	VPADDD  X14, X5, X5
+	VMOVD   X5, 20(DI)
+
+	VPSHUFD $0x4E, X6, X14
+	VPADDD  X14, X6, X6
+	VPSHUFD $0xB1, X6, X14
+	VPADDD  X14, X6, X6
+	VMOVD   X6, 24(DI)
+
+	VPSHUFD $0x4E, X7, X14
+	VPADDD  X14, X7, X7
+	VPSHUFD $0xB1, X7, X14
+	VPADDD  X14, X7, X7
+	VMOVD   X7, 28(DI)
+
+	VZEROUPPER
+	RET

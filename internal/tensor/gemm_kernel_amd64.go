@@ -19,3 +19,11 @@ func gemmKernel2x4SSE(c0, c1, b0, b1, b2, b3, a *float32, n int)
 //
 //go:noescape
 func gemmKernel2x4AVX2(c0, c1, b0, b1, b2, b3, a *float32, n int)
+
+// gemmKernel2x4AVX512 computes the same update 16 floats per step with
+// ZMM FMA; 8- and 4-wide remainder steps reuse the low lanes of the
+// broadcast registers. Requires AVX-512 F+BW+VL and OS ZMM support —
+// dispatch only on TierAVX512.
+//
+//go:noescape
+func gemmKernel2x4AVX512(c0, c1, b0, b1, b2, b3, a *float32, n int)

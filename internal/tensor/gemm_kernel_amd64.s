@@ -172,3 +172,112 @@ tail4:
 done:
 	VZEROUPPER
 	RET
+
+// func gemmKernel2x4AVX512(c0, c1, b0, b1, b2, b3, a *float32, n int)
+//
+// AVX-512 widening of the same two-row axpy update: 16 floats per step
+// (256 flops per iteration against six 64-byte loads and two stores).
+// n is a multiple of 4; after the 16-wide loop the 8- and 4-column
+// remainders run one YMM and one XMM step against the low lanes of the
+// same broadcast registers (Y8 is the low half of Z8), so every path
+// stays VEX/EVEX-encoded until VZEROUPPER.
+TEXT ·gemmKernel2x4AVX512(SB), NOSPLIT, $0-64
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ a+48(FP), AX
+	MOVQ n+56(FP), CX
+
+	// Broadcast a[0..7] across the sixteen lanes of Z8..Z15.
+	VBROADCASTSS 0(AX), Z8
+	VBROADCASTSS 4(AX), Z9
+	VBROADCASTSS 8(AX), Z10
+	VBROADCASTSS 12(AX), Z11
+	VBROADCASTSS 16(AX), Z12
+	VBROADCASTSS 20(AX), Z13
+	VBROADCASTSS 24(AX), Z14
+	VBROADCASTSS 28(AX), Z15
+
+	XORQ DX, DX // byte offset into the rows
+	MOVQ CX, BX
+	SHRQ $4, BX // 16-wide iterations = n/16
+	JZ   tail8
+
+loop16:
+	VMOVUPS (R8)(DX*1), Z0
+	VMOVUPS (R9)(DX*1), Z1
+	VMOVUPS (R10)(DX*1), Z2
+	VMOVUPS (R11)(DX*1), Z3
+	VMOVUPS (DI)(DX*1), Z4
+	VMOVUPS (SI)(DX*1), Z5
+
+	VFMADD231PS Z8, Z0, Z4  // Z4 += b0*a0
+	VFMADD231PS Z9, Z1, Z4  // Z4 += b1*a1
+	VFMADD231PS Z10, Z2, Z4 // Z4 += b2*a2
+	VFMADD231PS Z11, Z3, Z4 // Z4 += b3*a3
+	VFMADD231PS Z12, Z0, Z5 // Z5 += b0*a4
+	VFMADD231PS Z13, Z1, Z5 // Z5 += b1*a5
+	VFMADD231PS Z14, Z2, Z5 // Z5 += b2*a6
+	VFMADD231PS Z15, Z3, Z5 // Z5 += b3*a7
+
+	VMOVUPS Z4, (DI)(DX*1)
+	VMOVUPS Z5, (SI)(DX*1)
+
+	ADDQ $64, DX
+	DECQ BX
+	JNZ  loop16
+
+tail8:
+	TESTQ $8, CX // an 8-column remainder?
+	JZ    tail4
+
+	VMOVUPS (R8)(DX*1), Y0
+	VMOVUPS (R9)(DX*1), Y1
+	VMOVUPS (R10)(DX*1), Y2
+	VMOVUPS (R11)(DX*1), Y3
+	VMOVUPS (DI)(DX*1), Y4
+	VMOVUPS (SI)(DX*1), Y5
+
+	VFMADD231PS Y8, Y0, Y4
+	VFMADD231PS Y9, Y1, Y4
+	VFMADD231PS Y10, Y2, Y4
+	VFMADD231PS Y11, Y3, Y4
+	VFMADD231PS Y12, Y0, Y5
+	VFMADD231PS Y13, Y1, Y5
+	VFMADD231PS Y14, Y2, Y5
+	VFMADD231PS Y15, Y3, Y5
+
+	VMOVUPS Y4, (DI)(DX*1)
+	VMOVUPS Y5, (SI)(DX*1)
+
+	ADDQ $32, DX
+
+tail4:
+	TESTQ $4, CX // a 4-column remainder?
+	JZ    done512
+
+	VMOVUPS (R8)(DX*1), X0
+	VMOVUPS (R9)(DX*1), X1
+	VMOVUPS (R10)(DX*1), X2
+	VMOVUPS (R11)(DX*1), X3
+	VMOVUPS (DI)(DX*1), X4
+	VMOVUPS (SI)(DX*1), X5
+
+	VFMADD231PS X8, X0, X4
+	VFMADD231PS X9, X1, X4
+	VFMADD231PS X10, X2, X4
+	VFMADD231PS X11, X3, X4
+	VFMADD231PS X12, X0, X5
+	VFMADD231PS X13, X1, X5
+	VFMADD231PS X14, X2, X5
+	VFMADD231PS X15, X3, X5
+
+	VMOVUPS X4, (DI)(DX*1)
+	VMOVUPS X5, (SI)(DX*1)
+
+done512:
+	VZEROUPPER
+	RET

@@ -1,13 +1,22 @@
 package tensor
 
+import "encoding/binary"
+
 // Quantized im2col. The int8 conv forward consumes activations as uint8
 // affine levels q = clamp(round(x/scale) + zp, 0, 255), packed in the
 // transposed column layout the int8 GEMM expects: row j = output pixel
-// oy·OW+ox, column k = (ch·KH+kh)·KW+kw, rows padded from k to kp. The
-// two packers below build that matrix in one gather pass — one straight
-// from a float32 image (quantizing on the fly), one from an image that
-// is already uint8 levels (a decoded wire payload), which is how the
-// Conv worker skips the dequant→f32→requant round trip.
+// oy·OW+ox, column k = (ch·KH+kh)·KW+kw, rows padded from k to kp.
+//
+// The packers build that matrix in two fused stages instead of a
+// per-element gather: the float image is quantized ONCE with the SIMD
+// quantizer (the old path re-quantized every input pixel up to KH·KW
+// times as the windows overlap), and the gather itself moves contiguous
+// kw-runs — within one (ch, kh) segment consecutive kw values map to
+// consecutive source bytes regardless of stride, so each segment is one
+// small copy, with spatial padding handled once per clipped edge rather
+// than per element. A levels-native entry point packs decoded wire
+// uint8 levels straight into the layout with no float detour, which is
+// how the Conv worker skips the dequant→f32→requant round trip.
 
 // QuantizeAffine maps x to its uint8 affine level with invScale = 1/scale
 // and zpF = float32(zero point): clamp(round(x·invScale + zp), 0, 255),
@@ -25,12 +34,16 @@ func QuantizeAffine(x, invScale, zpF float32) uint8 {
 	return uint8(v + 0.5)
 }
 
-// QuantizeAffineSlice quantizes src into dst element-wise.
+// QuantizeAffineSlice quantizes src into dst element-wise, bit-exact
+// with QuantizeAffine. The bulk runs on the widest vector kernel the
+// host provides (32 levels per AVX2 step, 16 per AVX-512 step); only
+// the sub-register tail is scalar.
 func QuantizeAffineSlice(dst []uint8, src []float32, invScale float32, zp uint8) {
 	zpF := float32(zp)
 	dst = dst[:len(src)]
-	for i, x := range src {
-		dst[i] = QuantizeAffine(x, invScale, zpF)
+	i := quantizeAffineSIMD(dst, src, invScale, zpF)
+	for ; i < len(src); i++ {
+		dst[i] = QuantizeAffine(src[i], invScale, zpF)
 	}
 }
 
@@ -45,21 +58,26 @@ func DequantizeAffineSlice(dst []float32, src []uint8, scale float32, zp uint8) 
 }
 
 // MinMax scans xs and returns its minimum and maximum. An empty slice
-// returns (0, 0); NaNs propagate so callers can reject them.
+// returns (0, 0); a NaN anywhere in xs poisons both bounds (the scan
+// checks NaN explicitly before the ordered comparisons, which are
+// always false against NaN and would otherwise drop one silently), so
+// callers can reject non-finite inputs by checking the result.
 func MinMax(xs []float32) (mn, mx float32) {
 	if len(xs) == 0 {
 		return 0, 0
 	}
 	mn, mx = xs[0], xs[0]
+	if mn != mn {
+		return mn, mn
+	}
 	for _, v := range xs[1:] {
-		if v < mn {
-			mn = v
-		}
-		if v > mx {
-			mx = v
-		}
 		if v != v { // NaN poisons both bounds
 			return v, v
+		}
+		if v < mn {
+			mn = v
+		} else if v > mx {
+			mx = v
 		}
 	}
 	return mn, mx
@@ -70,11 +88,268 @@ func MinMax(xs []float32) (mn, mx float32) {
 // every element. Spatial padding positions take the level zp (the affine
 // image of 0.0) and the kp tail of each row is zero-filled, so dst is
 // fully defined on return and pooled buffers are safe destinations.
+//
+// The image is quantized once into pooled scratch with the SIMD
+// quantizer and then byte-gathered by Im2ColU8Slice — bit-exact with
+// the retained per-element reference (RefIm2ColQuantSlice) because the
+// quantizer is deterministic per element, and much faster because the
+// overlap-window re-quantization and the per-element float work are
+// gone. Zero allocations at pool steady state.
 func Im2ColQuantSlice(dst []uint8, src []float32, c, h, w int, g ConvGeom, invScale float32, zp uint8, kp int) {
-	oh, ow := g.OutSize(h, w)
 	k := c * g.KH * g.KW
 	if kp < k {
 		panic("tensor: Im2ColQuantSlice kp below C·KH·KW")
+	}
+	q := GetBytes(c * h * w)
+	QuantizeAffineSlice(q, src[:c*h*w], invScale, zp)
+	Im2ColU8Slice(dst, q, c, h, w, g, zp, kp)
+	PutBytes(q)
+}
+
+// Im2ColU8Slice is Im2ColQuantSlice for an image that is already uint8
+// levels: a pure gather, with spatial padding reading as pad (the level
+// representing 0.0 under the source's affine parameters). Each (ch, kh)
+// segment of a destination row is a contiguous kw-run of the source
+// row, so the gather is run copies instead of element stores — and for
+// the interior columns (no horizontal clipping) the segment loop is
+// hoisted OUTSIDE the ox loop: one pass per (ch, kh) sweeps every
+// interior output pixel of the row with a tight strided store loop
+// (an 8-byte word move per pixel for kernels up to KW=8, a byte gather
+// for 1×1 convs), so the per-segment slicing overhead is paid once per
+// source row instead of once per output pixel. Clipped edge columns go
+// through the general per-pixel path.
+func Im2ColU8Slice(dst, src []uint8, c, h, w int, g ConvGeom, pad uint8, kp int) {
+	oh, ow := g.OutSize(h, w)
+	k := c * g.KH * g.KW
+	if kp < k {
+		panic("tensor: Im2ColU8Slice kp below C·KH·KW")
+	}
+	dst = dst[:oh*ow*kp]
+	// Interior ox range [oxLo, oxHi): the kw-run [ix0, ix0+KW) stays
+	// inside [0, w), so no horizontal clipping.
+	oxLo := 0
+	if g.PadW > 0 {
+		oxLo = (g.PadW + g.StrideW - 1) / g.StrideW
+	}
+	oxHi := 0
+	if hi := w - g.KW + g.PadW; hi >= 0 {
+		oxHi = hi/g.StrideW + 1
+	}
+	if oxLo > ow {
+		oxLo = ow
+	}
+	if oxHi > ow {
+		oxHi = ow
+	}
+	if oxHi < oxLo {
+		oxHi = oxLo
+	}
+	// Last ox whose 8-byte source read stays inside the image row
+	// (ix0+8 <= w), for the word-move loop bound.
+	oxWordLim := 0
+	if num := w - 8 + g.PadW; num >= 0 {
+		oxWordLim = num/g.StrideW + 1
+	}
+	padWord := 0x0101010101010101 * uint64(pad)
+	plane := h * w
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy*g.StrideH - g.PadH
+		// Valid kh range [khLo, khHi): iy0+kh inside [0, h).
+		khLo := 0
+		if iy0 < 0 {
+			khLo = -iy0
+		}
+		khHi := g.KH
+		if iy0+khHi > h {
+			khHi = h - iy0
+		}
+		if khHi < khLo {
+			khHi = khLo
+		}
+		base := oy * ow * kp
+		for ox := 0; ox < oxLo; ox++ {
+			gatherU8RowClipped(dst[base+ox*kp:][:kp], src, c, h, w, g, pad,
+				ox*g.StrideW-g.PadW, iy0, khLo, khHi)
+		}
+		for ox := oxHi; ox < ow; ox++ {
+			gatherU8RowClipped(dst[base+ox*kp:][:kp], src, c, h, w, g, pad,
+				ox*g.StrideW-g.PadW, iy0, khLo, khHi)
+		}
+		if oxHi <= oxLo {
+			continue
+		}
+		d0 := base + oxLo*kp
+		dEnd := base + oxHi*kp
+		ix0Lo := oxLo*g.StrideW - g.PadW
+		if g.KH == 3 && g.KW == 3 && khLo == 0 && khHi == 3 {
+			// 3×3 kernels with no vertical clipping (every row but the
+			// padded top/bottom): the three kh segments of a channel are
+			// 9 contiguous destination bytes fed by three source rows at
+			// the same horizontal offset, so one pass per channel writes
+			// the whole block — three loads, one word store, one byte
+			// store per interior pixel. kp ≥ k = 9c keeps the 9-byte
+			// block in-row for every channel, so no fallback is needed.
+			oxW := oxHi
+			if oxWordLim < oxW {
+				oxW = oxWordLim
+			}
+			if oxW < oxLo {
+				oxW = oxLo
+			}
+			for ch := 0; ch < c; ch++ {
+				srow0 := src[ch*plane+iy0*w:]
+				srow1 := srow0[w:]
+				srow2 := srow1[w:]
+				d := d0 + ch*9
+				s := ix0Lo
+				for ox := oxLo; ox < oxW; ox++ {
+					w0 := binary.LittleEndian.Uint64(srow0[s:])
+					w1 := binary.LittleEndian.Uint64(srow1[s:])
+					w2 := binary.LittleEndian.Uint64(srow2[s:])
+					binary.LittleEndian.PutUint64(dst[d:],
+						w0&0xFFFFFF|(w1&0xFFFFFF)<<24|w2<<48)
+					dst[d+8] = byte(w2 >> 16)
+					d += kp
+					s += g.StrideW
+				}
+				for ox := oxW; ox < oxHi; ox++ {
+					copy(dst[d:d+3], srow0[s:s+3])
+					copy(dst[d+3:d+6], srow1[s:s+3])
+					copy(dst[d+6:d+9], srow2[s:s+3])
+					d += kp
+					s += g.StrideW
+				}
+			}
+			for d := d0; d < dEnd; d += kp {
+				fillU8(dst[d+k:d+kp], 0)
+			}
+			continue
+		}
+		for ch := 0; ch < c; ch++ {
+			kiCh := ch * g.KH * g.KW
+			for kh := 0; kh < g.KH; kh++ {
+				ki := kiCh + kh*g.KW
+				if kh < khLo || kh >= khHi {
+					// Vertically clipped segment: spray pad across the
+					// interior rows. The word overhang lands on
+					// positions later segments (or the zeroed tail)
+					// overwrite, same as the copy overhang below.
+					if g.KW <= 8 && ki+8 <= kp {
+						for d := d0 + ki; d < dEnd; d += kp {
+							binary.LittleEndian.PutUint64(dst[d:], padWord)
+						}
+					} else {
+						for d := d0 + ki; d < dEnd; d += kp {
+							fillU8(dst[d:d+g.KW], pad)
+						}
+					}
+					continue
+				}
+				srow := src[ch*plane+(iy0+kh)*w:]
+				if g.KW == 1 {
+					// 1×1 kernels: the segment is a single byte, so the
+					// sweep is a strided byte gather (a transpose column).
+					s := ix0Lo
+					for d := d0 + ki; d < dEnd; d += kp {
+						dst[d] = srow[s]
+						s += g.StrideW
+					}
+					continue
+				}
+				oxW := oxHi
+				if oxWordLim < oxW {
+					oxW = oxWordLim
+				}
+				if oxW < oxLo {
+					oxW = oxLo
+				}
+				d := d0 + ki
+				s := ix0Lo
+				if g.KW <= 8 && ki+8 <= kp {
+					// One word move per interior pixel while the 8-byte
+					// read stays inside the source row.
+					for ox := oxLo; ox < oxW; ox++ {
+						binary.LittleEndian.PutUint64(dst[d:],
+							binary.LittleEndian.Uint64(srow[s:]))
+						d += kp
+						s += g.StrideW
+					}
+					for ox := oxW; ox < oxHi; ox++ {
+						copy(dst[d:d+g.KW], srow[s:s+g.KW])
+						d += kp
+						s += g.StrideW
+					}
+					continue
+				}
+				for ox := oxLo; ox < oxHi; ox++ {
+					copy(dst[d:d+g.KW], srow[s:s+g.KW])
+					d += kp
+					s += g.StrideW
+				}
+			}
+		}
+		for d := d0; d < dEnd; d += kp {
+			fillU8(dst[d+k:d+kp], 0)
+		}
+	}
+}
+
+// gatherU8RowClipped fills one destination row for a horizontally
+// clipped output column: out-of-image flanks take pad, the in-image
+// middle run is copied, and the kp tail is zeroed.
+func gatherU8RowClipped(row, src []uint8, c, h, w int, g ConvGeom, pad uint8, ix0, iy0, khLo, khHi int) {
+	plane := h * w
+	ki := 0
+	for ch := 0; ch < c; ch++ {
+		img := src[ch*plane:]
+		for kh := 0; kh < g.KH; kh++ {
+			if kh < khLo || kh >= khHi {
+				fillU8(row[ki:ki+g.KW], pad)
+				ki += g.KW
+				continue
+			}
+			srow := img[(iy0+kh)*w:]
+			lo, hi := ix0, ix0+g.KW
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > w {
+				hi = w
+			}
+			if hi <= lo { // run fully outside the image
+				fillU8(row[ki:ki+g.KW], pad)
+				ki += g.KW
+				continue
+			}
+			fillU8(row[ki:ki+(lo-ix0)], pad)
+			copy(row[ki+(lo-ix0):], srow[lo:hi])
+			fillU8(row[ki+(hi-ix0):ki+g.KW], pad)
+			ki += g.KW
+		}
+	}
+	for ; ki < len(row); ki++ {
+		row[ki] = 0
+	}
+}
+
+// fillU8 sets every byte of s to v (the compiler lowers the loop to a
+// memset-style fill for v==0 and a tight store loop otherwise).
+func fillU8(s []uint8, v uint8) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// RefIm2ColQuantSlice is the retained per-element reference for
+// Im2ColQuantSlice: same contract, scalar gather with one QuantizeAffine
+// per destination element. The property tests pin the fused packer
+// against it bit-exactly, and kernelbench uses it as the speedup
+// baseline.
+func RefIm2ColQuantSlice(dst []uint8, src []float32, c, h, w int, g ConvGeom, invScale float32, zp uint8, kp int) {
+	oh, ow := g.OutSize(h, w)
+	k := c * g.KH * g.KW
+	if kp < k {
+		panic("tensor: RefIm2ColQuantSlice kp below C·KH·KW")
 	}
 	dst = dst[:oh*ow*kp]
 	zpF := float32(zp)
@@ -112,14 +387,13 @@ func Im2ColQuantSlice(dst []uint8, src []float32, c, h, w int, g ConvGeom, invSc
 	}
 }
 
-// Im2ColU8Slice is Im2ColQuantSlice for an image that is already uint8
-// levels: a pure gather, with spatial padding reading as pad (the level
-// representing 0.0 under the source's affine parameters).
-func Im2ColU8Slice(dst, src []uint8, c, h, w int, g ConvGeom, pad uint8, kp int) {
+// RefIm2ColU8Slice is the retained per-element reference for
+// Im2ColU8Slice.
+func RefIm2ColU8Slice(dst, src []uint8, c, h, w int, g ConvGeom, pad uint8, kp int) {
 	oh, ow := g.OutSize(h, w)
 	k := c * g.KH * g.KW
 	if kp < k {
-		panic("tensor: Im2ColU8Slice kp below C·KH·KW")
+		panic("tensor: RefIm2ColU8Slice kp below C·KH·KW")
 	}
 	dst = dst[:oh*ow*kp]
 	for oy := 0; oy < oh; oy++ {

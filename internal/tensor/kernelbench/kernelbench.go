@@ -13,10 +13,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"adcnn/internal/nn"
+	"adcnn/internal/quant"
 	"adcnn/internal/telemetry"
 	"adcnn/internal/tensor"
 )
@@ -28,6 +30,7 @@ type Result struct {
 	Threads      int     `json:"threads"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	GFlops       float64 `json:"gflops,omitempty"`
+	GBPerSec     float64 `json:"gb_per_sec,omitempty"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
 	ScalingVs1T  float64 `json:"scaling_vs_1_thread,omitempty"`
@@ -41,26 +44,33 @@ type Report struct {
 	telemetry.Host
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// KernelTier is the SIMD dispatch tier the host CPU selected
-	// (generic / sse / avx2) — the tier every non-forced result ran at.
+	// (generic / sse / avx2 / avx512) — the tier every non-forced
+	// result ran at.
 	KernelTier string   `json:"kernel_tier"`
 	Results    []Result `json:"results"`
 }
 
 // ConvShape is a GEMM shape as produced by a conv layer: M=OutC,
-// K=InC·KH·KW, N=OH·OW.
+// K=InC·KH·KW, N=OH·OW. The conv-geometry fields (InC, spatial size,
+// kernel, padding; stride is 1 throughout the zoo) let the whole-layer
+// benchmarks rebuild the layer that produces the GEMM shape.
 type ConvShape struct {
 	Name    string
 	M, K, N int
+	InC     int // input channels
+	H, W    int // input spatial size (output matches: stride 1, same pad)
+	KH, KW  int // kernel size
+	Pad     int // symmetric spatial padding
 }
 
 // ZooConvShapes are representative per-tile GEMM shapes from the model
 // zoo (VGG16 / YOLO blocks on FDSP-partitioned feature maps).
 var ZooConvShapes = []ConvShape{
-	{"vgg_L2_64x64_56sq", 64, 64 * 9, 56 * 56},
-	{"vgg_L4_128x128_28sq", 128, 128 * 9, 28 * 28},
-	{"vgg_L7_256x256_14sq", 256, 256 * 9, 14 * 14},
-	{"vgg_L13_512x512_7sq", 512, 512 * 9, 7 * 7},
-	{"yolo_1x1_512to256_14sq", 256, 512, 14 * 14},
+	{"vgg_L2_64x64_56sq", 64, 64 * 9, 56 * 56, 64, 56, 56, 3, 3, 1},
+	{"vgg_L4_128x128_28sq", 128, 128 * 9, 28 * 28, 128, 28, 28, 3, 3, 1},
+	{"vgg_L7_256x256_14sq", 256, 256 * 9, 14 * 14, 256, 14, 14, 3, 3, 1},
+	{"vgg_L13_512x512_7sq", 512, 512 * 9, 7 * 7, 512, 7, 7, 3, 3, 1},
+	{"yolo_1x1_512to256_14sq", 256, 512, 14 * 14, 512, 14, 14, 1, 1, 0},
 }
 
 func benchGemm(m, k, n int, f func(c, a, b *tensor.Tensor)) (float64, int64) {
@@ -167,7 +177,7 @@ func Run() Report {
 	runtime.GOMAXPROCS(1)
 	detected := tensor.DetectedKernelTier()
 	var sseNs float64
-	for _, tier := range []tensor.KernelTier{tensor.TierGeneric, tensor.TierSSE, tensor.TierAVX2} {
+	for _, tier := range []tensor.KernelTier{tensor.TierGeneric, tensor.TierSSE, tensor.TierAVX2, tensor.TierAVX512} {
 		if tensor.SetKernelTier(tier) != nil {
 			continue // above what this host supports
 		}
@@ -288,7 +298,106 @@ func Run() Report {
 	add(Result{Name: "im2col_64ch_3x3_56sq", Shape: "64x56x56",
 		Threads: 1, NsPerOp: float64(ir.NsPerOp()), AllocsPerOp: ir.AllocsPerOp()})
 
+	// Quantized im2col: the fused SIMD quantize-while-pack path against
+	// the retained per-element reference, in both directions the int8
+	// operating mode runs — f32 activations → packed levels (local
+	// compute) and decoded wire levels → packed levels (the levels-native
+	// quantized uplink). GB/s counts the source image read once plus the
+	// packed column matrix written — the fixed data movement both
+	// implementations share — so the reference's overlap-window re-reads
+	// and re-quantization count against it, not for it.
+	mn, mx := tensor.MinMax(src)
+	af, _ := quant.AffineFor(mn, mx)
+	qkp := tensor.Int8KP(64 * 9)
+	qbuf := tensor.GetBytes(oh * ow * qkp)
+	benchQuantIm2Col := func(name string, bytes float64, f func()) float64 {
+		qr := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				f()
+			}
+		})
+		ns := float64(qr.NsPerOp())
+		add(Result{Name: name, Shape: "64x56x56", Threads: 1, NsPerOp: ns,
+			GBPerSec: bytes / ns, AllocsPerOp: qr.AllocsPerOp()})
+		return ns
+	}
+	qf32Bytes := float64(4*64*56*56 + oh*ow*qkp)
+	refQNs := benchQuantIm2Col("quantized_im2col_f32_ref", qf32Bytes, func() {
+		tensor.RefIm2ColQuantSlice(qbuf, src, 64, 56, 56, g, af.InvScale(), af.Zero, qkp)
+	})
+	fusedQNs := benchQuantIm2Col("quantized_im2col_f32_fused", qf32Bytes, func() {
+		tensor.Im2ColQuantSlice(qbuf, src, 64, 56, 56, g, af.InvScale(), af.Zero, qkp)
+	})
+	rep.Results[len(rep.Results)-1].SpeedupVsRef = refQNs / fusedQNs
+	lv := tensor.GetBytes(64 * 56 * 56)
+	tensor.QuantizeAffineSlice(lv, src, af.InvScale(), af.Zero)
+	qu8Bytes := float64(64*56*56 + oh*ow*qkp)
+	refUNs := benchQuantIm2Col("quantized_im2col_u8_ref", qu8Bytes, func() {
+		tensor.RefIm2ColU8Slice(qbuf, lv, 64, 56, 56, g, af.Zero, qkp)
+	})
+	fusedUNs := benchQuantIm2Col("quantized_im2col_u8_fused", qu8Bytes, func() {
+		tensor.Im2ColU8Slice(qbuf, lv, 64, 56, 56, g, af.Zero, qkp)
+	})
+	rep.Results[len(rep.Results)-1].SpeedupVsRef = refUNs / fusedUNs
+	tensor.PutBytes(lv)
+	tensor.PutBytes(qbuf)
+
+	// Whole-layer int8-vs-f32 ratio per model-zoo shape: each zoo GEMM
+	// shape rebuilt as the conv layer that produces it, forward pass
+	// measured f32 then int8 on the same layer. speedup_vs_ref is the
+	// int8/f32 whole-layer ratio the bench gate watches — the exact
+	// number that used to sit below 1.0 when im2col ate the GEMM win.
+	for _, cs := range ZooConvShapes {
+		lrng := rand.New(rand.NewSource(4))
+		lconv := nn.NewConv2D(cs.Name, cs.InC, cs.M, cs.KH, cs.KW, 1, cs.Pad, lrng)
+		lx := tensor.New(1, cs.InC, cs.H, cs.W)
+		lx.RandU(lrng, -1, 1)
+		ly := tensor.New(lconv.OutShape(lx.Shape)...)
+		lconv.ForwardInto(ly, lx, false)
+		fr := testing.Benchmark(func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				lconv.ForwardInto(ly, lx, false)
+			}
+		})
+		if err := lconv.QuantizeInt8(); err != nil {
+			continue
+		}
+		lconv.ForwardInto(ly, lx, false)
+		qr := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				lconv.ForwardInto(ly, lx, false)
+			}
+		})
+		lconv.ClearInt8()
+		flops := 2 * float64(cs.M) * float64(cs.K) * float64(cs.N)
+		add(Result{Name: "int8_whole_layer_" + cs.Name,
+			Shape:   fmt.Sprintf("1x%dx%dx%d", cs.InC, cs.H, cs.W),
+			Threads: maxProcs, NsPerOp: float64(qr.NsPerOp()),
+			GFlops:       flops / float64(qr.NsPerOp()),
+			AllocsPerOp:  qr.AllocsPerOp(),
+			SpeedupVsRef: float64(fr.NsPerOp()) / float64(qr.NsPerOp())})
+	}
+
 	return rep
+}
+
+// MinInt8WholeLayerRatio returns the smallest int8-vs-f32 whole-layer
+// forward ratio in the report (the speedup_vs_ref of the
+// int8_whole_layer_* results), or 0 when the report has none. The bench
+// gate fails the kernels job when this dips below the floor.
+func (r Report) MinInt8WholeLayerRatio() float64 {
+	min := 0.0
+	for _, res := range r.Results {
+		if !strings.HasPrefix(res.Name, "int8_whole_layer_") {
+			continue
+		}
+		if min == 0 || res.SpeedupVsRef < min {
+			min = res.SpeedupVsRef
+		}
+	}
+	return min
 }
 
 // WriteJSON writes the report, indented, to path.
@@ -304,8 +413,8 @@ func (r Report) WriteJSON(path string) error {
 func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "kernel benchmarks (%s, %s, GOMAXPROCS=%d, tier=%s)\n",
 		r.GoVersion, r.GOARCH, r.GOMAXPROCS, r.KernelTier)
-	fmt.Fprintf(w, "%-36s %-16s %8s %12s %9s %7s %9s\n",
-		"name", "shape", "threads", "ns/op", "GFLOP/s", "allocs", "vs-ref")
+	fmt.Fprintf(w, "%-36s %-16s %8s %12s %9s %7s %7s %9s\n",
+		"name", "shape", "threads", "ns/op", "GFLOP/s", "GB/s", "allocs", "vs-ref")
 	for _, res := range r.Results {
 		speed := ""
 		if res.SpeedupVsRef > 0 {
@@ -315,7 +424,11 @@ func (r Report) WriteText(w io.Writer) {
 		if res.GFlops > 0 {
 			gf = fmt.Sprintf("%.2f", res.GFlops)
 		}
-		fmt.Fprintf(w, "%-36s %-16s %8d %12.0f %9s %7d %9s\n",
-			res.Name, res.Shape, res.Threads, res.NsPerOp, gf, res.AllocsPerOp, speed)
+		gb := ""
+		if res.GBPerSec > 0 {
+			gb = fmt.Sprintf("%.2f", res.GBPerSec)
+		}
+		fmt.Fprintf(w, "%-36s %-16s %8d %12.0f %9s %7s %7d %9s\n",
+			res.Name, res.Shape, res.Threads, res.NsPerOp, gf, gb, res.AllocsPerOp, speed)
 	}
 }

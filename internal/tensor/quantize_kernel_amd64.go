@@ -1,0 +1,36 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// quantizePackAVX2 (quantize_kernel_amd64.s) quantizes n floats (n a
+// positive multiple of 32) into uint8 levels, bit-exact with
+// QuantizeAffine on finite inputs.
+//
+//go:noescape
+func quantizePackAVX2(dst *uint8, src *float32, n int, invScale, zpF float32)
+
+// quantizePackAVX512 is the 16-wide AVX-512 variant (n a positive
+// multiple of 16), using VPMOVDB to narrow without shuffles.
+//
+//go:noescape
+func quantizePackAVX512(dst *uint8, src *float32, n int, invScale, zpF float32)
+
+// quantizeAffineSIMD quantizes a prefix of src into dst with the widest
+// available vector kernel and returns how many elements it handled; the
+// caller finishes the tail with the scalar quantizer. Returns 0 when no
+// vector kernel applies (short input or generic tier).
+func quantizeAffineSIMD(dst []uint8, src []float32, invScale, zpF float32) int {
+	switch {
+	case kernelTier >= TierAVX512:
+		if n := len(src) &^ 15; n > 0 {
+			quantizePackAVX512(&dst[0], &src[0], n, invScale, zpF)
+			return n
+		}
+	case kernelTier >= TierAVX2:
+		if n := len(src) &^ 31; n > 0 {
+			quantizePackAVX2(&dst[0], &src[0], n, invScale, zpF)
+			return n
+		}
+	}
+	return 0
+}

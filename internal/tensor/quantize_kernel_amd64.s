@@ -1,0 +1,139 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func quantizePackAVX2(dst *uint8, src *float32, n int, invScale, zpF float32)
+//
+// Vectorized QuantizeAffine: q = clamp(trunc(clamp(x·inv + zp, 0, 255)
+// + 0.5)) for 32 floats per iteration. Bit-exact with the scalar path
+// by construction: the multiply and add are separate (scalar rounds
+// each op, so FMA would diverge), the clamp runs on the float BEFORE
+// the +0.5 and truncating convert (so an overflowing CVTTPS2DQ result
+// can never appear), and the pack stages only see values already in
+// [0, 255.5) where their saturation is inert. n must be a positive
+// multiple of 32. NaN inputs are unspecified (callers reject them via
+// MinMax/AffineFor before quantizing).
+//
+// Packing 4×8 int32 → 32 bytes: two VPACKSSDW and one VPACKUSWB work
+// per 128-bit lane, leaving the 32 bytes in dword-interleaved order;
+// the final VPERMD with pattern [0 4 1 5 2 6 3 7] restores source
+// order.
+TEXT ·quantizePackAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS invScale+24(FP), Y12
+	VBROADCASTSS zpF+28(FP), Y13
+	VXORPS       Y14, Y14, Y14          // 0.0
+	MOVL         $0x437F0000, AX        // 255.0f
+	VMOVD        AX, X15
+	VBROADCASTSS X15, Y15
+	MOVL         $0x3F000000, AX        // 0.5f
+	VMOVD        AX, X11
+	VBROADCASTSS X11, Y11
+
+	// VPERMD index [0 4 1 5 2 6 3 7] via the stack-free route: build in
+	// Y10 from a constant table in memory.
+	VMOVDQU permIdx<>(SB), Y10
+
+	SHRQ $5, CX // iterations = n/32
+	XORQ DX, DX
+
+loop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+
+	VMULPS Y12, Y0, Y0 // x·invScale (separately rounded — no FMA)
+	VMULPS Y12, Y1, Y1
+	VMULPS Y12, Y2, Y2
+	VMULPS Y12, Y3, Y3
+	VADDPS Y13, Y0, Y0 // + zp
+	VADDPS Y13, Y1, Y1
+	VADDPS Y13, Y2, Y2
+	VADDPS Y13, Y3, Y3
+	VMAXPS Y14, Y0, Y0 // clamp low: max(v, 0)
+	VMAXPS Y14, Y1, Y1
+	VMAXPS Y14, Y2, Y2
+	VMAXPS Y14, Y3, Y3
+	VMINPS Y15, Y0, Y0 // clamp high: min(v, 255)
+	VMINPS Y15, Y1, Y1
+	VMINPS Y15, Y2, Y2
+	VMINPS Y15, Y3, Y3
+	VADDPS Y11, Y0, Y0 // + 0.5, then truncate = round half up
+	VADDPS Y11, Y1, Y1
+	VADDPS Y11, Y2, Y2
+	VADDPS Y11, Y3, Y3
+
+	VCVTTPS2DQ Y0, Y0
+	VCVTTPS2DQ Y1, Y1
+	VCVTTPS2DQ Y2, Y2
+	VCVTTPS2DQ Y3, Y3
+
+	VPACKSSDW Y1, Y0, Y0 // words, per-lane interleaved
+	VPACKSSDW Y3, Y2, Y2
+	VPACKUSWB Y2, Y0, Y0 // bytes, dword-interleaved
+	VPERMD    Y0, Y10, Y0
+	VMOVDQU   Y0, (DI)
+
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+	VZEROUPPER
+	RET
+
+DATA  permIdx<>+0(SB)/4, $0
+DATA  permIdx<>+4(SB)/4, $4
+DATA  permIdx<>+8(SB)/4, $1
+DATA  permIdx<>+12(SB)/4, $5
+DATA  permIdx<>+16(SB)/4, $2
+DATA  permIdx<>+20(SB)/4, $6
+DATA  permIdx<>+24(SB)/4, $3
+DATA  permIdx<>+28(SB)/4, $7
+GLOBL permIdx<>(SB), RODATA|NOPTR, $32
+
+// func quantizePackAVX512(dst *uint8, src *float32, n int, invScale, zpF float32)
+//
+// The AVX-512 variant is simpler: 16 floats per step, and VPMOVDB
+// narrows the 16 int32 lanes straight to 16 bytes with no shuffle
+// fixup (the values are already clamped to [0, 255], so plain
+// truncating narrow is exact). Same scalar-exact op order as above.
+// n must be a positive multiple of 16.
+TEXT ·quantizePackAVX512(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS invScale+24(FP), Z12
+	VBROADCASTSS zpF+28(FP), Z13
+	VPXORQ       Z14, Z14, Z14   // 0.0
+	MOVL         $0x437F0000, AX // 255.0f
+	VMOVD        AX, X15
+	VBROADCASTSS X15, Z15
+	MOVL         $0x3F000000, AX // 0.5f
+	VMOVD        AX, X11
+	VBROADCASTSS X11, Z11
+
+	SHRQ $4, CX // iterations = n/16
+
+loop:
+	VMOVUPS (SI), Z0
+	VMULPS  Z12, Z0, Z0 // x·invScale (no FMA — scalar rounds each op)
+	VADDPS  Z13, Z0, Z0 // + zp
+	VMAXPS  Z14, Z0, Z0 // clamp low
+	VMINPS  Z15, Z0, Z0 // clamp high
+	VADDPS  Z11, Z0, Z0 // + 0.5
+	VCVTTPS2DQ Z0, Z0
+	VPMOVDB Z0, (DI)
+
+	ADDQ $64, SI
+	ADDQ $16, DI
+	DECQ CX
+	JNZ  loop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// quantizeAffineSIMD: no vector quantizer is linked in; the scalar path
+// handles everything.
+func quantizeAffineSIMD(dst []uint8, src []float32, invScale, zpF float32) int { return 0 }
